@@ -1,0 +1,72 @@
+// Ablation — per-node storage capacity (Sec. 2/4: "each node can store d
+// coded blocks", M < W d).
+//
+// W = 200 nodes host M = 800 coded blocks under capacities d = 4..64 and
+// unlimited. Expected shape: placement respects d exactly (max load = d
+// whenever d < the unconstrained max); tighter capacity costs more
+// spills (placement walks past full nodes, one extra hop each) but
+// decodability is untouched as long as M <= W d; at d = 4 the system is
+// exactly full (spills everywhere, still zero overflow).
+#include <iostream>
+
+#include "bench_common.h"
+#include "codes/decoder.h"
+#include "net/chord_network.h"
+#include "proto/collector.h"
+#include "proto/predistribution.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace prlc;
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — per-node storage capacity",
+                "W = 200 nodes, M = 800 locations, N = 200 source blocks.");
+  const std::size_t trials = bench::trials(10, 3);
+  const auto spec = codes::PrioritySpec({40, 60, 100});
+  const auto dist = codes::PriorityDistribution::uniform(3);
+
+  TablePrinter table({"capacity d", "max load (95% CI)", "spills", "overflows",
+                      "decoded levels", "W*d / M"});
+  for (std::size_t d : {4u, 6u, 8u, 16u, 64u, 0u}) {
+    RunningStats max_load;
+    RunningStats spills;
+    RunningStats overflows;
+    RunningStats levels;
+    Rng master(0xCA9 + d);
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng = master.split();
+      net::ChordParams np;
+      np.nodes = 200;
+      np.locations = 800;
+      np.seed = rng();
+      net::ChordNetwork overlay(np);
+      proto::ProtocolParams params;
+      params.block_size = 8;
+      params.node_capacity = d;
+      params.sparse = true;  // keep dissemination cost sane
+      proto::Predistribution pd(overlay, spec, dist, params);
+      const auto source =
+          codes::SourceData<proto::Field>::random(spec.total(), params.block_size, rng);
+      const auto stats = pd.disseminate(source, rng);
+      max_load.add(static_cast<double>(stats.max_node_load));
+      spills.add(static_cast<double>(stats.capacity_spills));
+      overflows.add(static_cast<double>(stats.capacity_overflows));
+      codes::PriorityDecoder<proto::Field> dec(params.scheme, spec, params.block_size);
+      levels.add(static_cast<double>(collect(pd, dec, {}, rng).decoded_levels));
+    }
+    table.add_row({d == 0 ? "unlimited" : std::to_string(d),
+                   fmt_mean_ci(max_load.mean(), max_load.ci95_halfwidth(), 1),
+                   fmt_double(spills.mean(), 0), fmt_double(overflows.mean(), 0),
+                   fmt_double(levels.mean(), 2),
+                   d == 0 ? "-" : fmt_double(static_cast<double>(200 * d) / 800.0, 2)});
+  }
+  table.emit("abl_capacity");
+  std::cout << "\nExpected shape: max load pinned at d; spills explode as W*d/M -> 1;\n"
+               "decodability untouched because every block still lands somewhere.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation — long-run persistence under join/leave turnover.
+//
+// The paper's motivating P2P setting has peers continuously arriving and
+// departing, not just a one-shot failure wave. This bench runs a Chord
+// ring through many session-churn epochs (each epoch: 15% of peers leave,
+// 30% of departed peers rejoin *empty*) and measures how long the
+// priority-coded archive stays decodable — with and without the refresh
+// maintenance round between epochs. Expected shape: without maintenance
+// the archive dies within a handful of epochs even though the *population*
+// stays large (rejoined peers hold nothing); with refresh it persists
+// indefinitely, at a bounded repair cost per epoch.
+#include <iostream>
+
+#include "bench_common.h"
+#include "codes/decoder.h"
+#include "net/chord_network.h"
+#include "net/churn.h"
+#include "proto/collector.h"
+#include "proto/refresh.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace prlc;
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — session churn (join/leave) over many epochs",
+                "15% leave / 30% rejoin per epoch; refresh on/off.");
+  const std::size_t trials = bench::trials(12, 3);
+  const std::size_t epochs = 20;
+  const auto spec = codes::PrioritySpec({20, 40, 60});  // N = 120
+  const auto dist = codes::PriorityDistribution::uniform(3);
+
+  std::vector<RunningStats> alive_frac(epochs);
+  std::vector<RunningStats> levels_with(epochs);
+  std::vector<RunningStats> levels_without(epochs);
+  std::vector<RunningStats> repair_msgs(epochs);
+
+  Rng master(0xD1A51C);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (bool use_refresh : {true, false}) {
+      Rng rng = master.split();
+      net::ChordParams np;
+      np.nodes = 400;
+      np.locations = 240;
+      np.seed = rng();
+      net::ChordNetwork overlay(np);
+      proto::ProtocolParams params;
+      params.scheme = codes::Scheme::kPlc;
+      params.block_size = 8;
+      proto::Predistribution pd(overlay, spec, dist, params);
+      const auto source =
+          codes::SourceData<proto::Field>::random(spec.total(), params.block_size, rng);
+      pd.disseminate(source, rng);
+
+      for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        net::apply_session_churn(overlay, 0.15, 0.30, rng);
+        if (overlay.alive_count() == 0) break;
+        std::size_t messages = 0;
+        if (use_refresh) {
+          messages = refresh(pd, overlay.random_alive_node(rng), rng).messages;
+        }
+        codes::PriorityDecoder<proto::Field> dec(params.scheme, spec, params.block_size);
+        const auto result = collect(pd, dec, {}, rng);
+        if (use_refresh) {
+          levels_with[epoch].add(static_cast<double>(result.decoded_levels));
+          repair_msgs[epoch].add(static_cast<double>(messages));
+          alive_frac[epoch].add(static_cast<double>(overlay.alive_count()) / 400.0);
+        } else {
+          levels_without[epoch].add(static_cast<double>(result.decoded_levels));
+        }
+      }
+    }
+  }
+
+  TablePrinter table({"epoch", "alive frac", "levels w/ refresh", "repairs/epoch",
+                      "levels w/o refresh"});
+  for (std::size_t e = 0; e < epochs; e += 2) {
+    table.add_row({std::to_string(e + 1), fmt_double(alive_frac[e].mean(), 2),
+                   fmt_mean_ci(levels_with[e].mean(), levels_with[e].ci95_halfwidth(), 2),
+                   fmt_double(repair_msgs[e].mean(), 0),
+                   fmt_mean_ci(levels_without[e].mean(), levels_without[e].ci95_halfwidth(),
+                               2)});
+  }
+  table.emit("abl_dynamic_membership");
+  std::cout << "\nExpected shape: the population equilibrates at ~2/3 alive, yet the\n"
+               "unmaintained archive decays to zero levels (rejoined peers are\n"
+               "empty); with a refresh round per epoch all three levels persist\n"
+               "for the whole run at a steady repair cost.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation — end-to-end differentiated persistence under node failure.
+//
+// The paper's motivating scenario assembled from all substrates: deploy
+// an overlay (sensor field / Chord ring), pre-distribute priority-coded
+// measurement data per Sec. 4, kill a growing fraction of nodes, and let
+// a collector decode what survives. Expected shape: decoded levels
+// degrade gracefully for PLC (important levels die last), SLC sits below
+// PLC, and RLC falls off a cliff once survivors < N.
+#include <iostream>
+
+#include "bench_common.h"
+#include "proto/persistence_experiment.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace prlc;
+
+void run_overlay(proto::OverlayKind kind, std::size_t trials) {
+  proto::PersistenceParams base;
+  base.overlay = kind;
+  base.nodes = kind == proto::OverlayKind::kSensor ? 400 : 250;
+  base.level_sizes = {20, 40, 60, 80};  // N = 200
+  base.locations = 400;                 // 2x overprovisioning
+  base.failure_fractions = {0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  base.trials = trials;
+  base.seed = 97;
+
+  TablePrinter table({"failure fraction", "surviving blocks", "PLC levels (95% CI)",
+                      "SLC levels (95% CI)", "RLC levels (95% CI)"});
+  std::vector<std::vector<proto::PersistencePoint>> rows;
+  for (codes::Scheme scheme :
+       {codes::Scheme::kPlc, codes::Scheme::kSlc, codes::Scheme::kRlc}) {
+    auto params = base;
+    params.scheme = scheme;
+    rows.push_back(run_persistence_experiment(params));
+  }
+  for (std::size_t i = 0; i < base.failure_fractions.size(); ++i) {
+    table.add_row({fmt_double(base.failure_fractions[i], 1),
+                   fmt_double(rows[0][i].mean_surviving_blocks, 1),
+                   fmt_mean_ci(rows[0][i].mean_decoded_levels, rows[0][i].ci95_decoded_levels, 2),
+                   fmt_mean_ci(rows[1][i].mean_decoded_levels, rows[1][i].ci95_decoded_levels, 2),
+                   fmt_mean_ci(rows[2][i].mean_decoded_levels, rows[2][i].ci95_decoded_levels, 2)});
+  }
+  std::cout << "\nOverlay: " << to_string(kind) << " (" << base.nodes << " nodes, "
+            << base.locations << " locations, N = 200 in levels {20,40,60,80})\n";
+  table.emit(std::string("abl_persistence_") + to_string(kind));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — end-to-end persistence under churn",
+                "Pre-distribution protocol + uniform mass failures + collection.");
+  const std::size_t trials = bench::trials(12, 3);
+  run_overlay(proto::OverlayKind::kChord, trials);
+  run_overlay(proto::OverlayKind::kSensor, trials);
+  std::cout << "\nExpected shape: all schemes hold until survivors ~ N; past that RLC\n"
+               "drops to zero at once while PLC sheds low-priority levels first and\n"
+               "keeps level 1 alive deep into the failure sweep; SLC between.\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace prlc::bench {
+
+bool fast_mode() {
+  const char* v = std::getenv("PRLC_BENCH_FAST");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::size_t trials(std::size_t full, std::size_t fast) { return fast_mode() ? fast : full; }
+
+void banner(const std::string& title, const std::string& description) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << description << "\n";
+  if (fast_mode()) std::cout << "(PRLC_BENCH_FAST: reduced trial counts)\n";
+  std::cout << "==============================================================\n";
+}
+
+}  // namespace prlc::bench

@@ -1,0 +1,23 @@
+// Shared conventions for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper (see
+// DESIGN.md's experiment index): it prints the series as an aligned text
+// table and, when PRLC_BENCH_CSV_DIR is set, mirrors it to CSV.
+// PRLC_BENCH_FAST=1 shrinks trial counts for smoke runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace prlc::bench {
+
+/// True when PRLC_BENCH_FAST is set to a nonempty, non-"0" value.
+bool fast_mode();
+
+/// `full` normally, `fast` under PRLC_BENCH_FAST.
+std::size_t trials(std::size_t full, std::size_t fast);
+
+/// Print the bench banner: which figure/table of the paper this is.
+void banner(const std::string& title, const std::string& description);
+
+}  // namespace prlc::bench

@@ -1,0 +1,72 @@
+// Figure 4 — "Analysis vs simulations for PLC".
+//
+// Paper setting: 1000 source blocks, uniform priority distribution, two
+// panels: (a) 5 levels of 200 blocks, (b) 50 levels of 20 blocks. Each
+// curve plots the expected number of decoded priority levels against the
+// number of randomly accumulated coded blocks; the analysis curve must
+// overlay the GF(2^8) simulation. Panel (b) is where the paper's own
+// approximation deviates slightly; our analysis backend for many levels
+// is a count-model Monte Carlo (see DESIGN.md), which deviates only by
+// the O(1/q) field effects.
+#include <iostream>
+
+#include "analysis/analysis_curve.h"
+#include "analysis/plc_approx.h"
+#include "bench_common.h"
+#include "codes/decoding_curve.h"
+#include "gf/gf256.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace prlc;
+using F = gf::Gf256;
+
+void run_panel(const char* panel, std::size_t levels, std::size_t per_level,
+               std::size_t trials) {
+  const auto spec = codes::PrioritySpec::uniform(levels, per_level);
+  const auto dist = codes::PriorityDistribution::uniform(levels);
+  const auto block_counts = codes::make_block_counts(100, 1400, 14);
+
+  codes::CurveOptions sim_opt;
+  sim_opt.block_counts = block_counts;
+  sim_opt.trials = trials;
+  sim_opt.seed = 0xF160A + levels;
+  const auto sim = codes::simulate_decoding_curve<F>(codes::Scheme::kPlc, spec, dist, sim_opt);
+
+  analysis::AnalysisCurveOptions ana_opt;
+  ana_opt.mc_trials = 20000;
+  const auto ana =
+      analysis::analysis_curve(codes::Scheme::kPlc, spec, dist, block_counts, ana_opt);
+  // The paper-style approximate analysis (independent Theorem-1 events):
+  // its error grows with the level count, like the paper's own Fig. 4(b).
+  analysis::PlcApproxAnalysis approx(spec, dist);
+
+  TablePrinter table({"coded blocks", "E[levels] analysis", "E[levels] approx",
+                      "E[levels] simulated (95% CI)", "analysis backend"});
+  for (std::size_t i = 0; i < block_counts.size(); ++i) {
+    table.add_row({std::to_string(block_counts[i]), fmt_double(ana[i].expected_levels, 3),
+                   fmt_double(approx.expected_levels(block_counts[i]), 3),
+                   fmt_mean_ci(sim[i].mean_levels, sim[i].ci95_levels),
+                   ana[i].exact ? "exact DP" : "count-model MC"});
+  }
+  std::cout << "\nFig 4(" << panel << "): PLC, " << levels << " levels x " << per_level
+            << " blocks, uniform priority distribution, " << trials << " trials\n";
+  table.emit(std::string("fig4") + panel + "_plc_validation");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 4 — analysis vs simulation, PLC",
+                "N = 1000 source blocks, uniform priority distribution.");
+  const std::size_t t = bench::trials(60, 6);
+  run_panel("a", 5, 200, t);
+  run_panel("b", 50, 20, t);
+  std::cout << "\nExpected shape: the analysis column overlays simulation at both\n"
+               "level counts; the product-form approximation (the paper-style\n"
+               "backend) tracks closely at 5 levels and visibly deviates at 50 —\n"
+               "the paper's own Fig. 4(b) behaviour. The curve rises steeply once\n"
+               "blocks approach N regardless of the level count.\n";
+  return 0;
+}

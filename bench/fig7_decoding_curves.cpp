@@ -1,0 +1,86 @@
+// Figure 7 — decoding curves for the Table-1 priority distributions.
+//
+// Paper setting (Sec. 5.3): the three PLC priority distributions of
+// Table 1 over 500 source blocks in levels {50, 100, 350}; each curve
+// plots E[decoded levels] vs accumulated coded blocks. Expected
+// observations (quoted from the paper): Case 1 decodes level 1 with only
+// ~130 blocks and Case 2 decodes level 2 with ~287 — both far below the
+// 500 blocks plain RLC would need to decode anything; every curve meets
+// its constraints; higher priority levels always decode first.
+#include <iostream>
+
+#include "analysis/plc_analysis.h"
+#include "bench_common.h"
+#include "codes/decoding_curve.h"
+#include "gf/gf256.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace prlc;
+using F = gf::Gf256;
+
+struct Case {
+  const char* name;
+  std::vector<double> distribution;  // Table 1 (paper's published rows)
+};
+
+const Case kCases[] = {
+    {"Case 1", {0.5138, 0.0768, 0.4094}},
+    {"Case 2", {0.0, 0.6149, 0.3851}},
+    {"Case 3", {0.2894, 0.3246, 0.3860}},
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 7 — decoding curves of the Table-1 distributions",
+                "PLC over N = 500 blocks in levels {50, 100, 350}.");
+  const auto spec = codes::PrioritySpec({50, 100, 350});
+  const auto block_counts = codes::make_block_counts(50, 1000, 14);
+  const std::size_t trials = bench::trials(100, 10);
+
+  std::vector<std::vector<codes::CurvePoint>> sims;
+  std::vector<std::vector<double>> anas;
+  for (const auto& c : kCases) {
+    const codes::PriorityDistribution dist{std::vector<double>(c.distribution)};
+    codes::CurveOptions opt;
+    opt.block_counts = block_counts;
+    opt.trials = trials;
+    opt.seed = 0xF167;
+    sims.push_back(codes::simulate_decoding_curve<F>(codes::Scheme::kPlc, spec, dist, opt));
+    analysis::PlcAnalysis plc(spec, dist);
+    std::vector<double> curve;
+    for (std::size_t m : block_counts) curve.push_back(plc.expected_levels(m));
+    anas.push_back(std::move(curve));
+  }
+
+  TablePrinter table({"coded blocks", "Case 1 sim (95% CI)", "Case 1 ana",
+                      "Case 2 sim (95% CI)", "Case 2 ana", "Case 3 sim (95% CI)",
+                      "Case 3 ana"});
+  for (std::size_t i = 0; i < block_counts.size(); ++i) {
+    table.add_row({std::to_string(block_counts[i]),
+                   fmt_mean_ci(sims[0][i].mean_levels, sims[0][i].ci95_levels, 2),
+                   fmt_double(anas[0][i], 2),
+                   fmt_mean_ci(sims[1][i].mean_levels, sims[1][i].ci95_levels, 2),
+                   fmt_double(anas[1][i], 2),
+                   fmt_mean_ci(sims[2][i].mean_levels, sims[2][i].ci95_levels, 2),
+                   fmt_double(anas[2][i], 2)});
+  }
+  table.emit("fig7_decoding_curves");
+
+  // The paper's two headline checkpoints.
+  analysis::PlcAnalysis case1(spec, codes::PriorityDistribution{
+                                        std::vector<double>(kCases[0].distribution)});
+  analysis::PlcAnalysis case2(spec, codes::PriorityDistribution{
+                                        std::vector<double>(kCases[1].distribution)});
+  std::cout << "\nHeadline checkpoints (exact analysis):\n"
+            << "  Case 1: E[X_130] = " << fmt_double(case1.expected_levels(130), 3)
+            << "  (paper: level 1 decodable with ~130 blocks; RLC needs 500)\n"
+            << "  Case 2: E[X_287] = " << fmt_double(case2.expected_levels(287), 3)
+            << "  (paper: level 2 decodable with ~287 blocks)\n"
+            << "\nExpected shape: curves are staircases through their constraint\n"
+               "points; high-priority levels always decode before low-priority\n"
+               "ones; the three distributions give visibly different curves.\n";
+  return 0;
+}

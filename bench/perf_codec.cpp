@@ -1,0 +1,109 @@
+// Microbenchmarks — throughput of the coding substrate (google-benchmark).
+//
+// Not a paper figure; engineering numbers for the library itself: field
+// kernels, encoder throughput, progressive-decoder cost at the paper's
+// scales, and batch RREF.
+#include <benchmark/benchmark.h>
+
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "gf/gf256.h"
+#include "linalg/gauss_jordan.h"
+#include "linalg/progressive_decoder.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace prlc;
+using F = gf::Gf256;
+
+void BM_GfMul(benchmark::State& state) {
+  Rng rng(1);
+  std::uint8_t a = static_cast<std::uint8_t>(1 + rng.uniform(255));
+  std::uint8_t x = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto _ : state) {
+    x = F::mul(a, x ^ 1);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_GfMul);
+
+void BM_GfAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<std::uint8_t> x(n);
+  std::vector<std::uint8_t> y(n);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto _ : state) {
+    F::axpy(std::span<std::uint8_t>(y), 0x1D, std::span<const std::uint8_t>(x));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfAxpy)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_EncodeBlock(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto spec = codes::PrioritySpec::uniform(4, n / 4);
+  const auto source = codes::SourceData<F>::random(n, 64, rng);
+  const codes::PriorityEncoder<F> enc(codes::Scheme::kPlc, spec, {}, &source);
+  for (auto _ : state) {
+    auto block = enc.encode(3, rng);
+    benchmark::DoNotOptimize(block.payload.data());
+  }
+}
+BENCHMARK(BM_EncodeBlock)->Arg(256)->Arg(1024);
+
+void BM_ProgressiveDecodeFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const auto spec = codes::PrioritySpec::uniform(4, n / 4);
+  const codes::PriorityEncoder<F> enc(codes::Scheme::kPlc, spec);
+  const auto dist = codes::PriorityDistribution::uniform(4);
+  // Pre-generate blocks outside the timed region.
+  std::vector<codes::CodedBlock<F>> blocks;
+  for (std::size_t i = 0; i < n + 16; ++i) blocks.push_back(enc.encode_random(dist, rng));
+  for (auto _ : state) {
+    codes::PriorityDecoder<F> dec(codes::Scheme::kPlc, spec);
+    for (const auto& b : blocks) {
+      if (dec.rank() == n) break;
+      dec.add(b);
+    }
+    benchmark::DoNotOptimize(dec.decoded_levels());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ProgressiveDecodeFull)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_BatchRref(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const auto m = linalg::Matrix<F>::random(n, n, rng);
+  for (auto _ : state) {
+    auto copy = m;
+    const auto info = linalg::rref(copy);
+    benchmark::DoNotOptimize(info.rank);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BatchRref)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SparseEncode(benchmark::State& state) {
+  Rng rng(6);
+  const auto spec = codes::PrioritySpec::uniform(4, 256);  // N = 1024
+  codes::EncoderOptions opt;
+  opt.model = codes::CoefficientModel::kSparse;
+  const codes::PriorityEncoder<F> enc(codes::Scheme::kPlc, spec, opt);
+  for (auto _ : state) {
+    auto block = enc.encode(3, rng);
+    benchmark::DoNotOptimize(block.coeffs.data());
+  }
+}
+BENCHMARK(BM_SparseEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

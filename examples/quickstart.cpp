@@ -1,0 +1,57 @@
+// Quickstart — priority random linear codes in ~60 lines.
+//
+// Twelve measurement blocks in three priority tiers are encoded with PLC
+// (Progressive Linear Codes). As coded blocks trickle into the decoder,
+// the most important data becomes readable first — the partial-recovery
+// property that plain RLC lacks.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+#include <string>
+
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "gf/gf256.h"
+#include "util/random.h"
+
+using namespace prlc;
+using Field = gf::Gf256;
+
+int main() {
+  // 12 source blocks: 2 critical, 4 important, 6 routine. Each block is
+  // an 8-byte payload (pretend sensor readings).
+  const codes::PrioritySpec spec({2, 4, 6});
+  Rng rng(2007);  // ICDCS vintage
+  const auto source = codes::SourceData<Field>::random(spec.total(), 8, rng);
+
+  // A PLC encoder over the source data, and fractions of coded blocks per
+  // level: half the redundancy guards the two critical blocks.
+  const codes::PriorityEncoder<Field> encoder(codes::Scheme::kPlc, spec, {}, &source);
+  const codes::PriorityDistribution dist({0.5, 0.3, 0.2});
+
+  // Stream random coded blocks into the progressive decoder, exactly as a
+  // data-collecting server would receive them from surviving nodes.
+  codes::PriorityDecoder<Field> decoder(codes::Scheme::kPlc, spec, source.block_size());
+  std::size_t last_levels = 0;
+  for (std::size_t received = 1; received <= 48 && decoder.decoded_levels() < 3; ++received) {
+    decoder.add(encoder.encode_random(dist, rng));
+    if (decoder.decoded_levels() != last_levels) {
+      last_levels = decoder.decoded_levels();
+      std::cout << "after " << received << " coded blocks: decoded priority levels 1.."
+                << last_levels << " (" << decoder.decoded_prefix_blocks() << "/"
+                << spec.total() << " source blocks)\n";
+    }
+  }
+
+  // Verify the recovered payloads are the original data, byte for byte.
+  std::size_t verified = 0;
+  for (std::size_t j = 0; j < decoder.decoded_prefix_blocks(); ++j) {
+    const auto got = decoder.recovered(j);
+    const auto want = source.block(j);
+    if (std::equal(got.begin(), got.end(), want.begin(), want.end())) ++verified;
+  }
+  std::cout << verified << " recovered blocks verified against the originals.\n"
+            << "Compare: plain RLC would have decoded nothing until "
+            << spec.total() << " blocks arrived.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Archiving coded blocks to disk with the wire format.
+//
+// A gateway snapshots a priority-coded archive to a file (each coded
+// block framed with the PRLC wire format), the file suffers damage —
+// truncated tail, one flipped byte — and a later restore decodes whatever
+// frames survive, important tiers first. Demonstrates the integrity
+// checking a production deployment needs between "bytes on flash" and
+// the decoder.
+//
+// Build & run:  cmake --build build && ./build/examples/wire_archive
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "codes/wire_format.h"
+#include "gf/gf256.h"
+#include "util/random.h"
+
+using namespace prlc;
+using Field = gf::Gf256;
+
+namespace {
+
+// Each frame is prefixed with its u32 length so the archive is seekable.
+void append_frame(std::vector<std::uint8_t>& archive, const std::vector<std::uint8_t>& frame) {
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    archive.push_back(static_cast<std::uint8_t>(len >> shift));
+  }
+  archive.insert(archive.end(), frame.begin(), frame.end());
+}
+
+}  // namespace
+
+int main() {
+  const codes::PrioritySpec spec({8, 16, 24});  // 48 readings in 3 tiers
+  const codes::PriorityDistribution dist({0.4, 0.3, 0.3});
+  Rng rng(1234);
+  const auto source = codes::SourceData<Field>::random(spec.total(), 12, rng);
+  const codes::PriorityEncoder<Field> encoder(codes::Scheme::kPlc, spec, {}, &source);
+
+  // Write 96 coded blocks (2x redundancy) into an in-memory archive, then
+  // to disk.
+  std::vector<std::uint8_t> archive;
+  for (int i = 0; i < 96; ++i) {
+    append_frame(archive,
+                 codes::encode_wire(codes::Scheme::kPlc, encoder.encode_random(dist, rng)));
+  }
+  const auto path = std::filesystem::temp_directory_path() / "prlc_archive.bin";
+  std::ofstream(path, std::ios::binary)
+      .write(reinterpret_cast<const char*>(archive.data()),
+             static_cast<std::streamsize>(archive.size()));
+  std::cout << "archived 96 coded blocks (" << archive.size() << " bytes) to " << path << "\n";
+
+  // Damage: lose the last 30% of the file and flip one byte in an early
+  // frame.
+  std::vector<std::uint8_t> damaged(archive.begin(),
+                                    archive.begin() + static_cast<std::ptrdiff_t>(
+                                                          archive.size() * 7 / 10));
+  damaged[200] ^= 0x01;
+  std::cout << "damage: truncated to " << damaged.size() << " bytes, flipped byte 200\n\n";
+
+  // Restore: walk frames, skip anything that fails validation.
+  codes::PriorityDecoder<Field> decoder(codes::Scheme::kPlc, spec, source.block_size());
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  std::size_t pos = 0;
+  while (pos + 4 <= damaged.size()) {
+    std::uint32_t len = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      len |= static_cast<std::uint32_t>(damaged[pos++]) << shift;
+    }
+    if (pos + len > damaged.size()) break;  // truncated tail frame
+    try {
+      const auto frame = codes::decode_wire(
+          std::span<const std::uint8_t>(damaged.data() + pos, len));
+      decoder.add(frame.block);
+      ++ok;
+    } catch (const codes::WireFormatError& e) {
+      ++rejected;  // the flipped-byte frame lands here
+    }
+    pos += len;
+  }
+  std::cout << "restore: " << ok << " frames decoded, " << rejected
+            << " rejected by CRC, tail truncated mid-frame\n";
+  std::cout << "recovered priority tiers: 1.." << decoder.decoded_levels() << " ("
+            << decoder.decoded_prefix_blocks() << "/" << spec.total() << " readings)\n";
+
+  // Verify the recovered tier against the original data.
+  bool all_match = true;
+  for (std::size_t j = 0; j < decoder.decoded_prefix_blocks(); ++j) {
+    const auto got = decoder.recovered(j);
+    const auto want = source.block(j);
+    all_match = all_match && std::equal(got.begin(), got.end(), want.begin(), want.end());
+  }
+  std::cout << (all_match ? "every recovered reading verified byte-for-byte\n"
+                          : "VERIFICATION FAILED\n");
+  std::filesystem::remove(path);
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+#include "analysis/count_model.h"
+
+#include <numeric>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace prlc::analysis {
+
+std::size_t slc_levels_from_counts(const codes::PrioritySpec& spec,
+                                   std::span<const std::size_t> counts) {
+  PRLC_REQUIRE(counts.size() == spec.levels(), "count vector width mismatch");
+  std::size_t k = 0;
+  while (k < spec.levels() && counts[k] >= spec.level_size(k)) ++k;
+  return k;
+}
+
+std::size_t plc_levels_from_counts(const codes::PrioritySpec& spec,
+                                   std::span<const std::size_t> counts) {
+  PRLC_REQUIRE(counts.size() == spec.levels(), "count vector width mismatch");
+  const std::size_t n = spec.levels();
+  // suffix_from[i] = D_{i+1,n} in paper terms = counts[i] + ... + counts[n-1].
+  std::vector<std::size_t> suffix(n + 1, 0);
+  for (std::size_t i = n; i-- > 0;) suffix[i] = suffix[i + 1] + counts[i];
+
+  std::size_t decoded = 0;  // levels decoded so far (b_decoded blocks known)
+  bool progressed = true;
+  while (progressed && decoded < n) {
+    progressed = false;
+    // Try to extend the decoded prefix to the largest feasible k.
+    for (std::size_t k = n; k > decoded; --k) {
+      const std::size_t bk = spec.prefix_size(k - 1);
+      // Condition of Lemma 2 relative to the already-decoded prefix: for
+      // every level i in (decoded, k], blocks of levels i..k must supply
+      // at least b_k - b_{i-1} equations on the undecoded unknowns.
+      bool ok = true;
+      for (std::size_t i = decoded; i < k; ++i) {
+        // i is 0-indexed level; D_{i+1,k} = suffix[i] - suffix[k].
+        const std::size_t d_ik = suffix[i] - suffix[k];
+        const std::size_t need = bk - (i == 0 ? 0 : spec.prefix_size(i - 1));
+        if (d_ik < need) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        decoded = k;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return decoded;
+}
+
+std::size_t rlc_levels_from_counts(const codes::PrioritySpec& spec,
+                                   std::span<const std::size_t> counts) {
+  PRLC_REQUIRE(counts.size() == spec.levels(), "count vector width mismatch");
+  const std::size_t total = std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  return total >= spec.total() ? spec.levels() : 0;
+}
+
+std::size_t levels_from_counts(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                               std::span<const std::size_t> counts) {
+  switch (scheme) {
+    case codes::Scheme::kRlc:
+      return rlc_levels_from_counts(spec, counts);
+    case codes::Scheme::kSlc:
+      return slc_levels_from_counts(spec, counts);
+    case codes::Scheme::kPlc:
+      return plc_levels_from_counts(spec, counts);
+  }
+  PRLC_ASSERT(false, "unknown scheme");
+}
+
+std::vector<CountCurvePoint> mc_count_curve(codes::Scheme scheme,
+                                            const codes::PrioritySpec& spec,
+                                            const codes::PriorityDistribution& dist,
+                                            std::span<const std::size_t> block_counts,
+                                            std::size_t trials, std::uint64_t seed) {
+  PRLC_REQUIRE(!block_counts.empty(), "need at least one block count");
+  PRLC_REQUIRE(trials > 0, "need at least one trial");
+  PRLC_REQUIRE(dist.levels() == spec.levels(), "distribution/spec level mismatch");
+  for (std::size_t i = 1; i < block_counts.size(); ++i) {
+    PRLC_REQUIRE(block_counts[i - 1] < block_counts[i],
+                 "block counts must be strictly increasing");
+  }
+
+  std::vector<RunningStats> stats(block_counts.size());
+  Rng master(seed);
+  std::vector<std::size_t> counts(spec.levels());
+  for (std::size_t t = 0; t < trials; ++t) {
+    Rng rng = master.split();
+    std::fill(counts.begin(), counts.end(), 0);
+    std::size_t drawn = 0;
+    for (std::size_t point = 0; point < block_counts.size(); ++point) {
+      while (drawn < block_counts[point]) {
+        ++counts[dist.sample_level(rng)];
+        ++drawn;
+      }
+      stats[point].add(static_cast<double>(levels_from_counts(scheme, spec, counts)));
+    }
+  }
+
+  std::vector<CountCurvePoint> out(block_counts.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].coded_blocks = block_counts[i];
+    out[i].mean_levels = stats[i].mean();
+    out[i].ci95_levels = stats[i].ci95_halfwidth();
+  }
+  return out;
+}
+
+CountCurvePoint mc_expected_levels(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                                   const codes::PriorityDistribution& dist,
+                                   std::size_t coded_blocks, std::size_t trials,
+                                   std::uint64_t seed) {
+  const std::size_t points[] = {coded_blocks};
+  return mc_count_curve(scheme, spec, dist, points, trials, seed)[0];
+}
+
+}  // namespace prlc::analysis

@@ -1,0 +1,68 @@
+// Count-based decodability model (Theorem 1 and the SLC events of
+// Sec. 3.3.1), plus its Monte-Carlo evaluator.
+//
+// Over a sufficiently large field, whether the first k levels decode is a
+// function of the per-level coded-block *counts* D_1..D_n alone — the
+// coefficient values only matter through O(1/q) rank-deficiency events.
+// This module evaluates that combinatorial model:
+//
+//   SLC:  X = max prefix k with D_i >= a_i for all i <= k.
+//   PLC:  X follows Theorem 1; operationally, a decoded prefix of b_X
+//         blocks extends to b_k iff every suffix count within the new
+//         window suffices: D_{i,k} >= b_k - b_{i-1} for X < i <= k.
+//
+// The Monte-Carlo evaluator samples the multinomial counts directly — no
+// Galois-field work — and serves as the scalable analysis backend for
+// many-level PLC, standing in for the closed-form approximation of the
+// paper's tech report (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "codes/priority_spec.h"
+#include "codes/scheme.h"
+#include "util/random.h"
+
+namespace prlc::analysis {
+
+/// Decoded levels for SLC given per-level coded-block counts.
+std::size_t slc_levels_from_counts(const codes::PrioritySpec& spec,
+                                   std::span<const std::size_t> counts);
+
+/// Decoded levels for PLC given per-level coded-block counts (Theorem 1,
+/// greedy prefix extension).
+std::size_t plc_levels_from_counts(const codes::PrioritySpec& spec,
+                                   std::span<const std::size_t> counts);
+
+/// Decoded levels for RLC: all-or-nothing at M >= N.
+std::size_t rlc_levels_from_counts(const codes::PrioritySpec& spec,
+                                   std::span<const std::size_t> counts);
+
+/// Dispatch on scheme.
+std::size_t levels_from_counts(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                               std::span<const std::size_t> counts);
+
+/// One curve point estimated by count-model Monte Carlo.
+struct CountCurvePoint {
+  std::size_t coded_blocks = 0;
+  double mean_levels = 0;
+  double ci95_levels = 0;
+};
+
+/// Estimate E(X_M) for each M in `block_counts` (strictly increasing) by
+/// sampling level counts from Multinomial(M, dist) — `trials` independent
+/// streams, incrementally extended across the M grid.
+std::vector<CountCurvePoint> mc_count_curve(codes::Scheme scheme,
+                                            const codes::PrioritySpec& spec,
+                                            const codes::PriorityDistribution& dist,
+                                            std::span<const std::size_t> block_counts,
+                                            std::size_t trials, std::uint64_t seed);
+
+/// Convenience: single-point E(X_M) estimate.
+CountCurvePoint mc_expected_levels(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                                   const codes::PriorityDistribution& dist, std::size_t coded_blocks,
+                                   std::size_t trials, std::uint64_t seed);
+
+}  // namespace prlc::analysis

@@ -1,0 +1,39 @@
+#include "analysis/coupon.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace prlc::analysis {
+
+double coupon_expected_draws(std::size_t n) {
+  PRLC_REQUIRE(n > 0, "need at least one coupon");
+  double harmonic = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) harmonic += 1.0 / static_cast<double>(i);
+  return static_cast<double>(n) * harmonic;
+}
+
+double coupon_expected_distinct(std::size_t n, std::size_t draws) {
+  PRLC_REQUIRE(n > 0, "need at least one coupon");
+  const auto dn = static_cast<double>(n);
+  const double miss = std::pow(1.0 - 1.0 / dn, static_cast<double>(draws));
+  return dn * (1.0 - miss);
+}
+
+double coupon_prob_all_collected(std::size_t n, std::size_t draws) {
+  PRLC_REQUIRE(n > 0, "need at least one coupon");
+  const auto dn = static_cast<double>(n);
+  const double seen = 1.0 - std::exp(-static_cast<double>(draws) / dn);
+  return std::pow(seen, dn);
+}
+
+double coupon_expected_prefix(std::size_t n, std::size_t draws) {
+  PRLC_REQUIRE(n > 0, "need at least one coupon");
+  const auto dn = static_cast<double>(n);
+  const double r = 1.0 - std::exp(-static_cast<double>(draws) / dn);
+  if (r >= 1.0) return dn;
+  // sum_{k=1..n} r^k = r (1 - r^n) / (1 - r)
+  return r * (1.0 - std::pow(r, dn)) / (1.0 - r);
+}
+
+}  // namespace prlc::analysis

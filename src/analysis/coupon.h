@@ -1,0 +1,34 @@
+// Coupon-collector baseline (no coding).
+//
+// Sec. 5.2 observes that SLC with one source block per level degenerates
+// to plain replication, where recovering all N blocks needs O(N ln N)
+// random blocks — the coupon-collector effect. These helpers quantify
+// that baseline for Fig. 6 commentary and the ablation benches.
+//
+// Probabilities use the Poissonized model (draw count ~ Poisson(M), which
+// makes per-coupon counts independent) — the same regime the rest of the
+// analysis engine works in; the error is O(1/sqrt(M)) and invisible at
+// the paper's scales. Expectations of linear statistics are exact.
+#pragma once
+
+#include <cstddef>
+
+namespace prlc::analysis {
+
+/// E[draws to collect all N coupons] = N * H_N (exact).
+double coupon_expected_draws(std::size_t n);
+
+/// E[# distinct coupons after M uniform draws] = N (1 - (1 - 1/N)^M)
+/// (exact).
+double coupon_expected_distinct(std::size_t n, std::size_t draws);
+
+/// Pr(all N coupons collected after M draws) = (1 - e^{-M/N})^N under
+/// Poissonization.
+double coupon_prob_all_collected(std::size_t n, std::size_t draws);
+
+/// E[length of the longest collected prefix 1..k after M draws] =
+/// sum_{k>=1} r^k with r = 1 - e^{-M/N} under Poissonization — the
+/// no-coding analogue of the decoded-prefix metric.
+double coupon_expected_prefix(std::size_t n, std::size_t draws);
+
+}  // namespace prlc::analysis

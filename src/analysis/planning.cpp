@@ -1,0 +1,83 @@
+#include "analysis/planning.h"
+
+#include <cmath>
+
+#include "analysis/plc_analysis.h"
+#include "analysis/slc_analysis.h"
+#include "util/check.h"
+
+namespace prlc::analysis {
+
+namespace {
+
+/// Pr(X_M >= k) through the scheme's exact backend.
+double prob_at_least(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                     const codes::PriorityDistribution& dist, std::size_t k, std::size_t m) {
+  switch (scheme) {
+    case codes::Scheme::kSlc: {
+      SlcAnalysis slc(spec, dist);
+      return slc.prob_at_least(k, m);
+    }
+    case codes::Scheme::kPlc: {
+      PlcAnalysis plc(spec, dist);
+      return plc.prob_at_least(k, m);
+    }
+    case codes::Scheme::kRlc:
+      return m >= spec.total() ? 1.0 : 0.0;
+  }
+  PRLC_ASSERT(false, "unknown scheme");
+}
+
+}  // namespace
+
+std::optional<std::size_t> blocks_needed(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                                         const codes::PriorityDistribution& dist, std::size_t k,
+                                         double confidence, std::size_t max_blocks) {
+  PRLC_REQUIRE(k >= 1 && k <= spec.levels(), "target level out of range");
+  PRLC_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+  PRLC_REQUIRE(dist.levels() == spec.levels(), "distribution/spec level mismatch");
+  PRLC_REQUIRE(max_blocks >= 1, "max_blocks must be positive");
+
+  if (prob_at_least(scheme, spec, dist, k, max_blocks) < confidence) return std::nullopt;
+  // Pr(X_M >= k) is monotone nondecreasing in M: bisect.
+  std::size_t lo = spec.prefix_size(k - 1);  // fewer blocks than b_k can never decode k
+  if (lo == 0) lo = 1;
+  if (prob_at_least(scheme, spec, dist, k, lo) >= confidence) return lo;
+  std::size_t hi = max_blocks;
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (prob_at_least(scheme, spec, dist, k, mid) >= confidence) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double tolerable_loss(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                      const codes::PriorityDistribution& dist, std::size_t k, double confidence,
+                      std::size_t stored_blocks) {
+  PRLC_REQUIRE(stored_blocks >= 1, "need at least one stored block");
+  const auto needed = blocks_needed(scheme, spec, dist, k, confidence, stored_blocks);
+  if (!needed.has_value()) return 0.0;
+  // Keeping a uniform random subset of the stored blocks is again an
+  // i.i.d. sample from the priority distribution (to first order), so the
+  // threshold is simply needed/stored.
+  return 1.0 - static_cast<double>(*needed) / static_cast<double>(stored_blocks);
+}
+
+double variance_levels(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                       const codes::PriorityDistribution& dist, std::size_t coded_blocks) {
+  PRLC_REQUIRE(dist.levels() == spec.levels(), "distribution/spec level mismatch");
+  double mean = 0.0;
+  double second_moment = 0.0;
+  for (std::size_t k = 1; k <= spec.levels(); ++k) {
+    const double p = prob_at_least(scheme, spec, dist, k, coded_blocks);
+    mean += p;
+    second_moment += static_cast<double>(2 * k - 1) * p;
+  }
+  return std::max(0.0, second_moment - mean * mean);
+}
+
+}  // namespace prlc::analysis

@@ -1,0 +1,42 @@
+// Planning queries on top of the decoding analysis: the inverse questions
+// an operator actually asks.
+//
+//   * "How many surviving coded blocks do I need so that the first k
+//     levels decode with probability >= conf?"  (blocks_needed)
+//   * "What failure fraction can the deployment tolerate before level k
+//     is at risk?"  (tolerable_loss — derived from blocks_needed and the
+//     number of stored blocks)
+//   * "How uncertain is the decoded-level count?"  (variance / stddev of
+//     X via E[X^2] = sum (2k-1) Pr(X >= k))
+//
+// All exact for SLC; exact for PLC up to the Theorem-1 DP's practical
+// level range (the same backends as analysis_curve).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "codes/priority_spec.h"
+#include "codes/scheme.h"
+
+namespace prlc::analysis {
+
+/// Smallest M with Pr(X_M >= k) >= confidence; nullopt if not reachable
+/// below `max_blocks` (e.g. a zero-weight level). Monotone bisection over
+/// the exact analysis. Requires 1 <= k <= levels and confidence in (0,1).
+std::optional<std::size_t> blocks_needed(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                                         const codes::PriorityDistribution& dist, std::size_t k,
+                                         double confidence, std::size_t max_blocks);
+
+/// Largest loss fraction f such that keeping ceil((1-f) * stored_blocks)
+/// random blocks still decodes k levels with >= confidence; 0 when even
+/// the full store cannot. Resolution 1/stored_blocks.
+double tolerable_loss(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                      const codes::PriorityDistribution& dist, std::size_t k, double confidence,
+                      std::size_t stored_blocks);
+
+/// Var(X_M) under the exact analysis backends.
+double variance_levels(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                       const codes::PriorityDistribution& dist, std::size_t coded_blocks);
+
+}  // namespace prlc::analysis

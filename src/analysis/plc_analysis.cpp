@@ -1,0 +1,86 @@
+#include "analysis/plc_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace prlc::analysis {
+
+PlcAnalysis::PlcAnalysis(codes::PrioritySpec spec, codes::PriorityDistribution dist)
+    : spec_(std::move(spec)), dist_(std::move(dist)) {
+  PRLC_REQUIRE(spec_.levels() == dist_.levels(), "spec/distribution level mismatch");
+}
+
+double PlcAnalysis::prob_exactly(std::size_t k, std::size_t M) {
+  const std::size_t n = spec_.levels();
+  PRLC_REQUIRE(k <= n, "level out of range");
+  if (M == 0) return k == 0 ? 1.0 : 0.0;
+
+  // b_k in paper terms (0 when k = 0).
+  const std::size_t bk = k == 0 ? 0 : spec_.prefix_size(k - 1);
+  if (bk > M) return 0.0;  // cannot have decoded more blocks than received
+
+  // m = max { i : b_i <= M } (1-indexed level count reachable with M).
+  const std::size_t m = spec_.levels_covered_by_prefix(M);
+  if (k > m) return 0.0;
+
+  const auto dM = static_cast<double>(M);
+
+  // Group 1 — levels k..1 (1-indexed), suffix-sum constraints.
+  SupportPoly g1 = SupportPoly::delta0();
+  for (std::size_t i = k; i >= 1; --i) {
+    const SupportPoly level = SupportPoly::poisson(dM * dist_.at(i - 1), M, lfact_);
+    g1 = SupportPoly::convolve(g1, level, M);
+    const std::size_t b_im1 = i == 1 ? 0 : spec_.prefix_size(i - 2);
+    g1.zero_below(bk - b_im1);
+    if (g1.is_zero()) return 0.0;
+  }
+
+  // Group 2 — levels k+1..m, prefix-sum constraints (capped from above).
+  SupportPoly g2 = SupportPoly::delta0();
+  for (std::size_t j = k + 1; j <= m; ++j) {
+    const SupportPoly level = SupportPoly::poisson(dM * dist_.at(j - 1), M, lfact_);
+    g2 = SupportPoly::convolve(g2, level, M);
+    const std::size_t cap = spec_.prefix_size(j - 1) - bk - 1;  // b_j - b_k - 1
+    g2.zero_above(cap);
+    if (g2.is_zero()) return 0.0;
+  }
+
+  // Group 3 — levels m+1..n, unconstrained.
+  double rest_mass = 0.0;
+  for (std::size_t j = m; j < n; ++j) rest_mass += dist_.at(j);
+  const SupportPoly g3 = SupportPoly::poisson(dM * rest_mass, M, lfact_);
+
+  const SupportPoly g12 = SupportPoly::convolve(g1, g2, M);
+  const double coeff = SupportPoly::convolve_at(g12, g3, M);
+  const double log_c = log_multinomial_normalizer(M, lfact_);
+  return std::clamp(std::exp(log_c) * coeff, 0.0, 1.0);
+}
+
+std::vector<double> PlcAnalysis::level_pmf(std::size_t M) {
+  std::vector<double> pmf(spec_.levels() + 1, 0.0);
+  for (std::size_t k = 0; k <= spec_.levels(); ++k) pmf[k] = prob_exactly(k, M);
+  return pmf;
+}
+
+double PlcAnalysis::expected_levels(std::size_t M) {
+  const auto pmf = level_pmf(M);
+  double e = 0.0;
+  for (std::size_t k = 1; k < pmf.size(); ++k) e += static_cast<double>(k) * pmf[k];
+  return e;
+}
+
+double PlcAnalysis::prob_at_least(std::size_t k, std::size_t M) {
+  PRLC_REQUIRE(k <= spec_.levels(), "level out of range");
+  if (k == 0) return 1.0;
+  double p = 0.0;
+  for (std::size_t j = k; j <= spec_.levels(); ++j) p += prob_exactly(j, M);
+  return std::min(p, 1.0);
+}
+
+double PlcAnalysis::prob_decode_all(std::size_t M) {
+  return prob_exactly(spec_.levels(), M);
+}
+
+}  // namespace prlc::analysis

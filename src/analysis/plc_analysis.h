@@ -1,0 +1,57 @@
+// Exact decoding-performance analysis for PLC (Sec. 3.3.2, Theorem 1).
+//
+// Pr(X = k) is the probability of the Theorem-1 event system:
+//   suffix counts   D_{i,k}  >= b_k - b_{i-1}          for i = 1..k
+//   prefix counts   D_{k+1,j} <= b_j - b_k - 1          for j = k+1..m
+// with m = max{ i : b_i <= M }. Both families constrain *partial sums* of
+// the multinomial counts, so each family is evaluated by a windowed
+// convolve-and-mask DP over Poissonized level counts (group 1 processes
+// levels k..1 masking suffix sums from below; group 2 processes levels
+// k+1..m masking prefix sums from above), and the families combine
+// through one final convolution with the unconstrained remainder — the
+// Poissonization identity in poisson_dp.h.
+//
+// This is an *exact* evaluation of the Theorem-1 model (the paper's own
+// numbers use an approximation that degrades as levels grow; see Fig.
+// 4(b)). Cost is O(n * M^2) per (M, k) pair, so the exact backend is the
+// right tool up to ~10 levels; for many levels use the count-model
+// Monte-Carlo backend in count_model.h.
+#pragma once
+
+#include <vector>
+
+#include "analysis/poisson_dp.h"
+#include "codes/priority_spec.h"
+#include "util/logprob.h"
+
+namespace prlc::analysis {
+
+class PlcAnalysis {
+ public:
+  PlcAnalysis(codes::PrioritySpec spec, codes::PriorityDistribution dist);
+
+  /// Pr(X = k), k = 0..levels.
+  double prob_exactly(std::size_t k, std::size_t coded_blocks);
+
+  /// Full pmf over k = 0..levels (index k = levels decoded).
+  std::vector<double> level_pmf(std::size_t coded_blocks);
+
+  /// E(X).
+  double expected_levels(std::size_t coded_blocks);
+
+  /// Pr(X >= k); k = 0 returns 1.
+  double prob_at_least(std::size_t k, std::size_t coded_blocks);
+
+  /// Pr(X = levels): full recovery — constraint (10)'s quantity.
+  double prob_decode_all(std::size_t coded_blocks);
+
+  const codes::PrioritySpec& spec() const { return spec_; }
+  const codes::PriorityDistribution& dist() const { return dist_; }
+
+ private:
+  codes::PrioritySpec spec_;
+  codes::PriorityDistribution dist_;
+  LogFactorialTable lfact_;
+};
+
+}  // namespace prlc::analysis

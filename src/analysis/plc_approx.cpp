@@ -1,0 +1,63 @@
+#include "analysis/plc_approx.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace prlc::analysis {
+
+PlcApproxAnalysis::PlcApproxAnalysis(codes::PrioritySpec spec, codes::PriorityDistribution dist)
+    : spec_(std::move(spec)), dist_(std::move(dist)) {
+  PRLC_REQUIRE(spec_.levels() == dist_.levels(), "spec/distribution level mismatch");
+}
+
+double PlcApproxAnalysis::prob_exactly(std::size_t k, std::size_t M) {
+  const std::size_t n = spec_.levels();
+  PRLC_REQUIRE(k <= n, "level out of range");
+  if (M == 0) return k == 0 ? 1.0 : 0.0;
+
+  const std::size_t bk = k == 0 ? 0 : spec_.prefix_size(k - 1);
+  if (bk > M) return 0.0;
+  const std::size_t m = spec_.levels_covered_by_prefix(M);
+  if (k > m) return 0.0;
+
+  double prob = 1.0;
+  // Group 1: suffix counts D_{i,k} ~ Bin(M, p_i + ... + p_k).
+  for (std::size_t i = 1; i <= k; ++i) {
+    // range_sum can exceed 1 by an ulp when it spans everything.
+    const double mass = std::clamp(dist_.range_sum(i - 1, k - 1), 0.0, 1.0);
+    const std::size_t need = bk - (i == 1 ? 0 : spec_.prefix_size(i - 2));
+    prob *= lfact_.binomial_tail_ge(M, mass, need);
+    if (prob == 0.0) return 0.0;
+  }
+  // Group 2: prefix counts D_{k+1,j} ~ Bin(M, p_{k+1} + ... + p_j).
+  for (std::size_t j = k + 1; j <= m; ++j) {
+    const double mass = std::clamp(dist_.range_sum(k, j - 1), 0.0, 1.0);
+    const std::size_t cap = spec_.prefix_size(j - 1) - bk - 1;
+    prob *= 1.0 - lfact_.binomial_tail_ge(M, mass, cap + 1);
+    if (prob == 0.0) return 0.0;
+  }
+  return std::clamp(prob, 0.0, 1.0);
+}
+
+std::vector<double> PlcApproxAnalysis::level_pmf(std::size_t M) {
+  std::vector<double> pmf(spec_.levels() + 1, 0.0);
+  double total = 0;
+  for (std::size_t k = 0; k <= spec_.levels(); ++k) {
+    pmf[k] = prob_exactly(k, M);
+    total += pmf[k];
+  }
+  if (total > 0) {
+    for (double& p : pmf) p /= total;
+  }
+  return pmf;
+}
+
+double PlcApproxAnalysis::expected_levels(std::size_t M) {
+  const auto pmf = level_pmf(M);
+  double e = 0;
+  for (std::size_t k = 1; k < pmf.size(); ++k) e += static_cast<double>(k) * pmf[k];
+  return e;
+}
+
+}  // namespace prlc::analysis

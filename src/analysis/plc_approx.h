@@ -1,0 +1,50 @@
+// Product-form approximation of the PLC analysis — the fast, slightly
+// biased analytical backend in the spirit of the paper's own.
+//
+// The paper computes Pr(X = k) from the Theorem-1 event system using
+// approximations "to reduce computation complexity" (Sec. 3.3.2), and
+// Fig. 4(b) shows the resulting analysis deviating from simulation as the
+// level count grows. The natural approximation with that signature treats
+// the Theorem-1 events as independent:
+//
+//   Pr(X = k) ~ prod_{i<=k} Pr(D_{i,k} >= b_k - b_{i-1})
+//             * prod_{j>k}  Pr(D_{k+1,j} <= b_j - b_k - 1)
+//
+// with exact binomial marginals for the partial sums. Each factor is a
+// one-dimensional binomial tail, so a whole decoding curve costs
+// O(n^2 M) instead of the exact DP's O(n^2 M^2) per point — and the
+// neglected correlations grow with the number of levels, reproducing the
+// paper's qualitative error behaviour (accurate at 5 levels, visibly off
+// at 50).
+#pragma once
+
+#include <vector>
+
+#include "codes/priority_spec.h"
+#include "util/logprob.h"
+
+namespace prlc::analysis {
+
+class PlcApproxAnalysis {
+ public:
+  PlcApproxAnalysis(codes::PrioritySpec spec, codes::PriorityDistribution dist);
+
+  /// Approximate Pr(X = k).
+  double prob_exactly(std::size_t k, std::size_t coded_blocks);
+
+  /// Approximate pmf over k = 0..levels, renormalized to sum to 1 (the
+  /// raw independent-event products need not).
+  std::vector<double> level_pmf(std::size_t coded_blocks);
+
+  /// Approximate E(X).
+  double expected_levels(std::size_t coded_blocks);
+
+  const codes::PrioritySpec& spec() const { return spec_; }
+
+ private:
+  codes::PrioritySpec spec_;
+  codes::PriorityDistribution dist_;
+  LogFactorialTable lfact_;
+};
+
+}  // namespace prlc::analysis

@@ -1,0 +1,121 @@
+#include "analysis/poisson_dp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace prlc::analysis {
+
+SupportPoly SupportPoly::delta0() {
+  SupportPoly p;
+  p.lo_ = 0;
+  p.v_ = {1.0};
+  return p;
+}
+
+SupportPoly SupportPoly::poisson(double mu, std::size_t cap, LogFactorialTable& lfact) {
+  PRLC_REQUIRE(mu >= 0.0, "Poisson mean must be nonnegative");
+  SupportPoly p;
+  if (mu == 0.0) return delta0();
+  const double log_mu = std::log(mu);
+  // Effective support: probable region around mu; computing the exact pmf
+  // everywhere and trimming is O(cap) and simple.
+  p.lo_ = 0;
+  p.v_.assign(cap + 1, 0.0);
+  for (std::size_t k = 0; k <= cap; ++k) {
+    const double lp = static_cast<double>(k) * log_mu - mu - lfact(k);
+    p.v_[k] = lp < -700.0 ? 0.0 : std::exp(lp);
+  }
+  p.trim();
+  return p;
+}
+
+double SupportPoly::sum() const {
+  double s = 0.0;
+  for (double x : v_) s += x;
+  return s;
+}
+
+void SupportPoly::zero_below(std::size_t k) {
+  if (is_zero() || k <= lo_) return;
+  if (k >= hi()) {
+    v_.clear();
+    lo_ = 0;
+    return;
+  }
+  v_.erase(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(k - lo_));
+  lo_ = k;
+  trim();
+}
+
+void SupportPoly::zero_above(std::size_t k) {
+  if (is_zero()) return;
+  if (k + 1 <= lo_) {
+    v_.clear();
+    lo_ = 0;
+    return;
+  }
+  if (k + 1 >= hi()) return;
+  v_.resize(k + 1 - lo_);
+  trim();
+}
+
+void SupportPoly::trim() {
+  std::size_t front = 0;
+  while (front < v_.size() && v_[front] < kTrimEps) ++front;
+  std::size_t back = v_.size();
+  while (back > front && v_[back - 1] < kTrimEps) --back;
+  if (front == back) {
+    v_.clear();
+    lo_ = 0;
+    return;
+  }
+  if (back < v_.size()) v_.resize(back);
+  if (front > 0) {
+    v_.erase(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(front));
+    lo_ += front;
+  }
+}
+
+SupportPoly SupportPoly::convolve(const SupportPoly& a, const SupportPoly& b, std::size_t cap) {
+  SupportPoly out;
+  if (a.is_zero() || b.is_zero()) return out;
+  const std::size_t lo = a.lo_ + b.lo_;
+  if (lo > cap) return out;
+  const std::size_t hi = std::min(cap + 1, a.hi() + b.hi() - 1);
+  out.lo_ = lo;
+  out.v_.assign(hi - lo, 0.0);
+  for (std::size_t i = 0; i < a.v_.size(); ++i) {
+    const double ai = a.v_[i];
+    if (ai < kTrimEps) continue;
+    const std::size_t base = a.lo_ + i + b.lo_;
+    if (base > cap) break;
+    const std::size_t jmax = std::min(b.v_.size(), cap + 1 - base);
+    double* dst = out.v_.data() + (base - lo);
+    const double* src = b.v_.data();
+    for (std::size_t j = 0; j < jmax; ++j) dst[j] += ai * src[j];
+  }
+  out.trim();
+  return out;
+}
+
+double SupportPoly::convolve_at(const SupportPoly& a, const SupportPoly& b, std::size_t target) {
+  if (a.is_zero() || b.is_zero()) return 0.0;
+  double s = 0.0;
+  // i over a's degrees with target - i inside b's window.
+  const std::size_t i_lo = b.hi() > target + 1 ? a.lo_ : std::max(a.lo_, target + 1 - b.hi());
+  const std::size_t i_hi = std::min<std::size_t>(a.hi(), target >= b.lo_ ? target - b.lo_ + 1 : 0);
+  for (std::size_t i = i_lo; i < i_hi; ++i) {
+    s += a.at(i) * b.at(target - i);
+  }
+  return s;
+}
+
+double log_multinomial_normalizer(std::size_t M, LogFactorialTable& lfact) {
+  if (M == 0) return 0.0;
+  const auto m = static_cast<double>(M);
+  return lfact(M) + m - m * std::log(m);
+}
+
+}  // namespace prlc::analysis

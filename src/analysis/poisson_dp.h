@@ -1,0 +1,78 @@
+// Windowed polynomial arithmetic over truncated Poisson pmfs — the
+// numerical core of the Sec. 3.3 analysis.
+//
+// Multinomial constraint probabilities are computed by the classic
+// Poissonization identity: if (D_1..D_n) ~ Multinomial(M; p) then for any
+// event E that is a product of per-level / partial-sum constraints,
+//
+//   Pr(E) = C(M) * [z^M] prod_i G_i(z),   C(M) = M! e^M / M^M,
+//
+// where G_i is the pmf polynomial of an independent Poisson(M*p_i)
+// variable with the constraint applied as a coefficient mask. C(M) =
+// 1/Pr(Pois(M) = M) ~ sqrt(2*pi*M) is perfectly stable in log space.
+// This is the same dynamic-programming-with-convolutions idea as the
+// Kontkanen-Myllymaki algorithm the paper cites ([13]); plain windowed
+// convolution is fast enough at the paper's scales, so no FFT is needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logprob.h"
+
+namespace prlc::analysis {
+
+/// Dense nonnegative polynomial with an explicit support window:
+/// coefficient of z^(lo+i) is v[i]. Negligible tails are trimmed so that
+/// convolutions only touch the probable region.
+class SupportPoly {
+ public:
+  /// The zero polynomial.
+  SupportPoly() = default;
+
+  /// delta at z^0 (the empty product).
+  static SupportPoly delta0();
+
+  /// Poisson(mu) pmf over degrees 0..cap (inclusive), trimmed.
+  static SupportPoly poisson(double mu, std::size_t cap, LogFactorialTable& lfact);
+
+  bool is_zero() const { return v_.empty(); }
+  std::size_t lo() const { return lo_; }
+  /// One past the highest stored degree.
+  std::size_t hi() const { return lo_ + v_.size(); }
+
+  /// Coefficient of z^degree (0 outside the window).
+  double at(std::size_t degree) const {
+    if (degree < lo_ || degree >= hi()) return 0.0;
+    return v_[degree - lo_];
+  }
+
+  double sum() const;
+
+  /// Zero all coefficients of degree < k (a ">= k" constraint mask).
+  void zero_below(std::size_t k);
+
+  /// Zero all coefficients of degree > k (a "<= k" constraint mask).
+  /// zero_above(-1-like semantics) is expressed by k == SIZE_MAX no-op.
+  void zero_above(std::size_t k);
+
+  /// Drop negligible (< kTrimEps) leading/trailing coefficients.
+  void trim();
+
+  /// Product truncated to degrees <= cap.
+  static SupportPoly convolve(const SupportPoly& a, const SupportPoly& b, std::size_t cap);
+
+  /// Coefficient of z^target in a*b, without materializing the product.
+  static double convolve_at(const SupportPoly& a, const SupportPoly& b, std::size_t target);
+
+  static constexpr double kTrimEps = 1e-290;
+
+ private:
+  std::size_t lo_ = 0;
+  std::vector<double> v_;
+};
+
+/// ln C(M) = ln(M!) + M - M ln M; C(0) = 1.
+double log_multinomial_normalizer(std::size_t M, LogFactorialTable& lfact);
+
+}  // namespace prlc::analysis

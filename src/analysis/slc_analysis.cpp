@@ -1,0 +1,57 @@
+#include "analysis/slc_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace prlc::analysis {
+
+SlcAnalysis::SlcAnalysis(codes::PrioritySpec spec, codes::PriorityDistribution dist)
+    : spec_(std::move(spec)), dist_(std::move(dist)) {
+  PRLC_REQUIRE(spec_.levels() == dist_.levels(), "spec/distribution level mismatch");
+}
+
+std::vector<double> SlcAnalysis::prefix_probabilities(std::size_t M) {
+  const std::size_t n = spec_.levels();
+  std::vector<double> probs(n, 0.0);
+  if (M == 0) return probs;
+
+  const double log_c = log_multinomial_normalizer(M, lfact_);
+  SupportPoly prefix = SupportPoly::delta0();
+  double mass_used = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mu_i = static_cast<double>(M) * dist_.at(i);
+    SupportPoly level = SupportPoly::poisson(mu_i, M, lfact_);
+    level.zero_below(spec_.level_size(i));
+    prefix = SupportPoly::convolve(prefix, level, M);
+    if (prefix.is_zero()) break;  // Pr(X >= j) = 0 for all j > i
+    mass_used += dist_.at(i);
+    const double mu_rest = static_cast<double>(M) * std::max(0.0, 1.0 - mass_used);
+    const SupportPoly rest = SupportPoly::poisson(mu_rest, M, lfact_);
+    const double coeff = SupportPoly::convolve_at(prefix, rest, M);
+    probs[i] = std::clamp(std::exp(log_c) * coeff, 0.0, 1.0);
+  }
+  // Enforce monotonicity (guards against trim/rounding noise).
+  for (std::size_t i = 1; i < n; ++i) probs[i] = std::min(probs[i], probs[i - 1]);
+  return probs;
+}
+
+double SlcAnalysis::prob_at_least(std::size_t k, std::size_t M) {
+  PRLC_REQUIRE(k <= spec_.levels(), "level out of range");
+  if (k == 0) return 1.0;
+  return prefix_probabilities(M)[k - 1];
+}
+
+double SlcAnalysis::expected_levels(std::size_t M) {
+  const auto probs = prefix_probabilities(M);
+  double e = 0.0;
+  for (double p : probs) e += p;
+  return e;
+}
+
+double SlcAnalysis::prob_decode_all(std::size_t M) {
+  return prob_at_least(spec_.levels(), M);
+}
+
+}  // namespace prlc::analysis

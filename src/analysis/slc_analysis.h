@@ -1,0 +1,51 @@
+// Exact decoding-performance analysis for SLC (Sec. 3.3.1).
+//
+// With M coded blocks whose levels are Multinomial(M; p), SLC decodes at
+// least k levels iff D_i >= a_i for every i <= k, so
+//
+//   Pr(X >= k) = C(M) * [z^M] T_1(z) ... T_k(z) R_k(z)
+//
+// where T_i is the Poisson(M p_i) pmf polynomial masked to degrees >= a_i
+// and R_k is the unmasked Poisson over the remaining levels' mass (see
+// poisson_dp.h for the identity), and E(X) = sum_k Pr(X >= k).
+// This matches the paper's equation (6) computed via the DP of [13] —
+// with the idealized-field footnote 1 (rank deficiencies, O(1/q) per
+// level, are ignored; GF(2^8) simulation confirms the error is invisible
+// at the paper's scales).
+#pragma once
+
+#include <vector>
+
+#include "analysis/poisson_dp.h"
+#include "codes/priority_spec.h"
+#include "util/logprob.h"
+
+namespace prlc::analysis {
+
+class SlcAnalysis {
+ public:
+  SlcAnalysis(codes::PrioritySpec spec, codes::PriorityDistribution dist);
+
+  /// Pr(X >= k) for k = 1..levels; k = 0 returns 1.
+  double prob_at_least(std::size_t k, std::size_t coded_blocks);
+
+  /// All prefix probabilities Pr(X >= k), k = 1..levels, in one DP sweep.
+  std::vector<double> prefix_probabilities(std::size_t coded_blocks);
+
+  /// E(X): expected number of decoded levels from `coded_blocks` blocks.
+  double expected_levels(std::size_t coded_blocks);
+
+  /// Pr(X = levels): probability of full recovery — the constraint-(10)
+  /// quantity Pr(X_{alpha N} = n).
+  double prob_decode_all(std::size_t coded_blocks);
+
+  const codes::PrioritySpec& spec() const { return spec_; }
+  const codes::PriorityDistribution& dist() const { return dist_; }
+
+ private:
+  codes::PrioritySpec spec_;
+  codes::PriorityDistribution dist_;
+  LogFactorialTable lfact_;
+};
+
+}  // namespace prlc::analysis

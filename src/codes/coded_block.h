@@ -1,0 +1,24 @@
+// A coded block: one linear combination of source blocks (Sec. 3.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gf/field_concept.h"
+
+namespace prlc::codes {
+
+/// Self-describing coded block. `coeffs` always spans all N source blocks
+/// (entries outside the scheme's support are zero); `payload` is the coded
+/// data itself and is empty in coefficient-only simulations, where only
+/// decodability is measured.
+template <gf::FieldPolicy F>
+struct CodedBlock {
+  using Symbol = typename F::Symbol;
+
+  std::size_t level = 0;         ///< 0-indexed priority level of this block
+  std::vector<Symbol> coeffs;    ///< beta_{i,1..N} in the paper's notation
+  std::vector<Symbol> payload;   ///< c_i = sum_j beta_{i,j} x_j
+};
+
+}  // namespace prlc::codes

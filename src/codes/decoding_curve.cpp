@@ -1,0 +1,20 @@
+#include "codes/decoding_curve.h"
+
+namespace prlc::codes {
+
+std::vector<std::size_t> make_block_counts(std::size_t lo, std::size_t hi, std::size_t points) {
+  PRLC_REQUIRE(lo >= 1, "block counts start at 1");
+  PRLC_REQUIRE(hi >= lo, "range must be nonempty");
+  PRLC_REQUIRE(points >= 1, "need at least one point");
+  std::vector<std::size_t> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac = points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto m = static_cast<std::size_t>(
+        static_cast<double>(lo) + frac * static_cast<double>(hi - lo) + 0.5);
+    if (out.empty() || out.back() < m) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace prlc::codes

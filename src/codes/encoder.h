@@ -1,0 +1,148 @@
+// Centralized encoders for RLC, SLC and PLC (Sec. 3.1).
+//
+// "Centralized" means the encoder sees all source payloads at once — the
+// model used by the paper's coding analysis and simulations. The
+// decentralized variant, where coded blocks accumulate c <- c + beta*x as
+// source blocks arrive over the network, lives in src/proto; both produce
+// identically distributed coded blocks.
+//
+// Support sets per scheme for a block of (0-indexed) level k:
+//   RLC: all N source blocks            SLC: [b_{k-1}, b_k)
+//   PLC: [0, b_k)
+// Coefficients within the support are drawn per a CoefficientModel:
+//   kDenseUniform  — uniform over the field (zeros allowed; all-zero rows
+//                    are redrawn). The standard RLNC model.
+//   kDenseNonzero  — uniform over nonzero elements, as the paper states
+//                    for SLC.
+//   kSparse        — ceil(factor * ln(support)) random positions get
+//                    nonzero coefficients; the rest are zero. Models the
+//                    O(ln N) pre-distribution result of Dimakis et al.
+//                    cited in Sec. 4.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "codes/coded_block.h"
+#include "codes/priority_spec.h"
+#include "codes/scheme.h"
+#include "codes/source_data.h"
+#include "gf/field_concept.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::codes {
+
+enum class CoefficientModel { kDenseUniform, kDenseNonzero, kSparse };
+
+struct EncoderOptions {
+  CoefficientModel model = CoefficientModel::kDenseUniform;
+  /// Nonzeros per block = ceil(sparsity_factor * ln(support size)) under
+  /// kSparse (clamped to [1, support size]).
+  double sparsity_factor = 3.0;
+};
+
+template <gf::FieldPolicy F>
+class PriorityEncoder {
+ public:
+  using Symbol = typename F::Symbol;
+
+  /// `source` may be null for coefficient-only encoding (decoding-curve
+  /// simulations); when non-null it must outlive the encoder and have
+  /// spec.total() blocks.
+  PriorityEncoder(Scheme scheme, PrioritySpec spec, EncoderOptions options = {},
+                  const SourceData<F>* source = nullptr)
+      : scheme_(scheme), spec_(std::move(spec)), options_(options), source_(source) {
+    if (source_ != nullptr) {
+      PRLC_REQUIRE(source_->blocks() == spec_.total(),
+                   "source data size must match the priority spec");
+    }
+    PRLC_REQUIRE(options_.sparsity_factor > 0, "sparsity factor must be positive");
+  }
+
+  const PrioritySpec& spec() const { return spec_; }
+  Scheme scheme() const { return scheme_; }
+
+  /// Source-block index range [begin, end) a level-k coded block may mix.
+  std::pair<std::size_t, std::size_t> support(std::size_t level) const {
+    PRLC_REQUIRE(level < spec_.levels(), "level out of range");
+    switch (scheme_) {
+      case Scheme::kRlc:
+        return {0, spec_.total()};
+      case Scheme::kSlc:
+        return {spec_.level_begin(level), spec_.level_end(level)};
+      case Scheme::kPlc:
+        return {0, spec_.level_end(level)};
+    }
+    PRLC_ASSERT(false, "unknown scheme");
+  }
+
+  /// Produce one coded block of the given level.
+  CodedBlock<F> encode(std::size_t level, Rng& rng) const {
+    const auto [begin, end] = support(level);
+    CodedBlock<F> block;
+    block.level = level;
+    block.coeffs.assign(spec_.total(), Symbol{0});
+    draw_coefficients(block.coeffs, begin, end, rng);
+    if (source_ != nullptr) {
+      block.payload.assign(source_->block_size(), Symbol{0});
+      for (std::size_t j = begin; j < end; ++j) {
+        if (block.coeffs[j] != 0) {
+          F::axpy(std::span<Symbol>(block.payload), block.coeffs[j], source_->block(j));
+        }
+      }
+    }
+    return block;
+  }
+
+  /// Sample the block's level from `dist`, then encode.
+  CodedBlock<F> encode_random(const PriorityDistribution& dist, Rng& rng) const {
+    PRLC_REQUIRE(dist.levels() == spec_.levels(),
+                 "priority distribution and spec disagree on level count");
+    return encode(dist.sample_level(rng), rng);
+  }
+
+ private:
+  void draw_coefficients(std::vector<Symbol>& coeffs, std::size_t begin, std::size_t end,
+                         Rng& rng) const {
+    const std::size_t width = end - begin;
+    PRLC_ASSERT(width > 0, "empty coding support");
+    switch (options_.model) {
+      case CoefficientModel::kDenseUniform: {
+        bool any = false;
+        do {
+          for (std::size_t j = begin; j < end; ++j) {
+            coeffs[j] = static_cast<Symbol>(rng.uniform(F::order()));
+            any = any || coeffs[j] != 0;
+          }
+        } while (!any);
+        return;
+      }
+      case CoefficientModel::kDenseNonzero: {
+        for (std::size_t j = begin; j < end; ++j) {
+          coeffs[j] = static_cast<Symbol>(1 + rng.uniform(F::order() - 1));
+        }
+        return;
+      }
+      case CoefficientModel::kSparse: {
+        const double target =
+            std::ceil(options_.sparsity_factor * std::log(std::max<double>(2.0, width)));
+        const std::size_t nnz =
+            std::clamp<std::size_t>(static_cast<std::size_t>(target), 1, width);
+        for (std::size_t offset : rng.sample_without_replacement(width, nnz)) {
+          coeffs[begin + offset] = static_cast<Symbol>(1 + rng.uniform(F::order() - 1));
+        }
+        return;
+      }
+    }
+    PRLC_ASSERT(false, "unknown coefficient model");
+  }
+
+  Scheme scheme_;
+  PrioritySpec spec_;
+  EncoderOptions options_;
+  const SourceData<F>* source_;
+};
+
+}  // namespace prlc::codes

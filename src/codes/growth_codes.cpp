@@ -1,0 +1,50 @@
+#include "codes/growth_codes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prlc::codes {
+
+GrowthEncoder::GrowthEncoder(std::size_t total_blocks, const SourceData<gf::Gf256>* source)
+    : total_blocks_(total_blocks), source_(source) {
+  PRLC_REQUIRE(total_blocks > 0, "need at least one source block");
+  if (source_ != nullptr) {
+    PRLC_REQUIRE(source_->blocks() == total_blocks_, "source data size mismatch");
+  }
+}
+
+std::size_t GrowthEncoder::degree_for(std::size_t recovered) const {
+  PRLC_REQUIRE(recovered <= total_blocks_, "recovered count exceeds N");
+  if (recovered >= total_blocks_) return total_blocks_;
+  // Kamra et al.'s switch points: degree d is optimal while
+  // (d-1)/d <= r/N < d/(d+1), i.e. d = floor(N / (N - r)) — degree 1
+  // until half the data is recovered, then growing.
+  const double n = static_cast<double>(total_blocks_);
+  const double d = std::floor(n / (n - static_cast<double>(recovered)));
+  return std::clamp<std::size_t>(static_cast<std::size_t>(d), 1, total_blocks_);
+}
+
+GrowthSymbol GrowthEncoder::encode(std::size_t recovered, Rng& rng) const {
+  const std::size_t d = degree_for(recovered);
+  GrowthSymbol sym;
+  sym.indices = rng.sample_without_replacement(total_blocks_, d);
+  if (source_ != nullptr) {
+    sym.payload.assign(source_->block_size(), 0);
+    for (std::size_t i : sym.indices) {
+      const auto blk = source_->block(i);
+      for (std::size_t b = 0; b < blk.size(); ++b) sym.payload[b] ^= blk[b];
+    }
+  }
+  return sym;
+}
+
+GrowthSymbol GrowthEncoder::encode_auto(GrowthFeedback feedback, std::size_t true_recovered,
+                                        std::size_t emitted, Rng& rng) const {
+  if (feedback == GrowthFeedback::kOracle) return encode(true_recovered, rng);
+  const double n = static_cast<double>(total_blocks_);
+  const double r_hat = n * (1.0 - std::exp(-static_cast<double>(emitted) / n));
+  return encode(std::min<std::size_t>(static_cast<std::size_t>(r_hat), total_blocks_ - 1),
+                rng);
+}
+
+}  // namespace prlc::codes

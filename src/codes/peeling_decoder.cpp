@@ -1,0 +1,96 @@
+#include "codes/peeling_decoder.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace prlc::codes {
+
+PeelingDecoder::PeelingDecoder(std::size_t unknowns, std::size_t payload_size)
+    : payload_size_(payload_size),
+      decoded_(unknowns, false),
+      solutions_(unknowns),
+      waiters_(unknowns) {
+  PRLC_REQUIRE(unknowns > 0, "decoder needs at least one unknown");
+}
+
+std::size_t PeelingDecoder::add(std::span<const std::size_t> indices,
+                                std::span<const std::uint8_t> payload) {
+  PRLC_REQUIRE(!indices.empty(), "a symbol must cover at least one source block");
+  PRLC_REQUIRE(payload.size() == payload_size_, "payload width mismatch");
+  ++symbols_seen_;
+
+  Symbol sym;
+  sym.payload.assign(payload.begin(), payload.end());
+  for (std::size_t i : indices) {
+    PRLC_REQUIRE(i < decoded_.size(), "symbol index out of range");
+    if (decoded_[i]) {
+      // Subtract the known block immediately.
+      for (std::size_t b = 0; b < payload_size_; ++b) sym.payload[b] ^= solutions_[i][b];
+    } else {
+      sym.pending.push_back(i);
+    }
+  }
+  std::sort(sym.pending.begin(), sym.pending.end());
+  PRLC_REQUIRE(std::adjacent_find(sym.pending.begin(), sym.pending.end()) == sym.pending.end(),
+               "symbol indices must be distinct");
+
+  std::size_t newly = 0;
+  if (sym.pending.empty()) return 0;  // fully redundant
+  if (sym.pending.size() == 1) {
+    resolve(sym.pending[0], std::move(sym.payload), newly);
+    return newly;
+  }
+  const std::size_t id = symbols_.size();
+  for (std::size_t i : sym.pending) waiters_[i].push_back(id);
+  symbols_.push_back(std::move(sym));
+  ++buffered_;
+  return 0;
+}
+
+void PeelingDecoder::resolve(std::size_t first, std::vector<std::uint8_t> first_payload,
+                             std::size_t& newly) {
+  std::deque<std::pair<std::size_t, std::vector<std::uint8_t>>> queue;
+  queue.emplace_back(first, std::move(first_payload));
+  while (!queue.empty()) {
+    auto [i, payload] = std::move(queue.front());
+    queue.pop_front();
+    if (decoded_[i]) continue;
+    decoded_[i] = true;
+    solutions_[i] = std::move(payload);
+    ++decoded_count_;
+    ++newly;
+    // Reduce every buffered symbol waiting on i.
+    for (std::size_t id : waiters_[i]) {
+      Symbol& sym = symbols_[id];
+      if (sym.retired) continue;
+      const auto it = std::find(sym.pending.begin(), sym.pending.end(), i);
+      if (it == sym.pending.end()) continue;
+      sym.pending.erase(it);
+      for (std::size_t b = 0; b < payload_size_; ++b) sym.payload[b] ^= solutions_[i][b];
+      if (sym.pending.size() == 1) {
+        const std::size_t last = sym.pending[0];
+        sym.retired = true;
+        --buffered_;
+        if (!decoded_[last]) queue.emplace_back(last, sym.payload);
+      } else if (sym.pending.empty()) {
+        sym.retired = true;
+        --buffered_;
+      }
+    }
+    waiters_[i].clear();
+  }
+}
+
+std::size_t PeelingDecoder::decoded_prefix() const {
+  std::size_t k = 0;
+  while (k < decoded_.size() && decoded_[k]) ++k;
+  return k;
+}
+
+std::span<const std::uint8_t> PeelingDecoder::solution(std::size_t i) const {
+  PRLC_REQUIRE(payload_size_ > 0, "decoder was built without payloads");
+  PRLC_REQUIRE(is_decoded(i), "unknown is not decoded yet");
+  return solutions_[i];
+}
+
+}  // namespace prlc::codes

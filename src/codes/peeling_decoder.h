@@ -1,0 +1,70 @@
+// Iterative peeling decoder for XOR-based codes (Growth Codes, LT-style).
+//
+// Growth Codes (Kamra et al., SIGCOMM 2006 — the related work the paper
+// contrasts against in Sec. 6) XOR small sets of source blocks. Decoding
+// peels: any symbol whose unknowns reduce to one decodes that unknown,
+// which may unlock buffered symbols, cascading. Unlike Gauss-Jordan this
+// never solves coupled systems — degree-2 symbols over undecoded blocks
+// just wait — which is exactly the behaviour the Growth-Codes degree
+// schedule is designed around.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace prlc::codes {
+
+class PeelingDecoder {
+ public:
+  /// `payload_size` may be 0 for index-only (coverage) simulations.
+  explicit PeelingDecoder(std::size_t unknowns, std::size_t payload_size = 0);
+
+  std::size_t unknowns() const { return decoded_.size(); }
+  std::size_t payload_size() const { return payload_size_; }
+
+  /// Add a symbol: XOR of the source blocks listed in `indices` (distinct,
+  /// in range) with the XORed payload. Returns the number of source
+  /// blocks newly decoded by the resulting cascade (0 if none).
+  std::size_t add(std::span<const std::size_t> indices,
+                  std::span<const std::uint8_t> payload = {});
+
+  std::size_t decoded_count() const { return decoded_count_; }
+  bool is_decoded(std::size_t i) const {
+    PRLC_REQUIRE(i < decoded_.size(), "unknown index out of range");
+    return decoded_[i];
+  }
+
+  /// Longest decoded prefix (for priority comparisons).
+  std::size_t decoded_prefix() const;
+
+  /// Payload of a decoded unknown (payload mode only).
+  std::span<const std::uint8_t> solution(std::size_t i) const;
+
+  std::size_t symbols_seen() const { return symbols_seen_; }
+  /// Symbols currently buffered undecoded (memory the sink holds).
+  std::size_t buffered_symbols() const { return buffered_; }
+
+ private:
+  struct Symbol {
+    std::vector<std::size_t> pending;  ///< still-undecoded indices
+    std::vector<std::uint8_t> payload;
+    bool retired = false;
+  };
+
+  /// Mark unknown `i` decoded with `payload`; cascade through waiters.
+  void resolve(std::size_t i, std::vector<std::uint8_t> payload, std::size_t& newly);
+
+  std::size_t payload_size_;
+  std::vector<bool> decoded_;
+  std::vector<std::vector<std::uint8_t>> solutions_;
+  std::vector<Symbol> symbols_;
+  std::vector<std::vector<std::size_t>> waiters_;  ///< unknown -> symbol ids
+  std::size_t decoded_count_ = 0;
+  std::size_t symbols_seen_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace prlc::codes

@@ -1,0 +1,66 @@
+#include "codes/priority_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prlc::codes {
+
+PrioritySpec::PrioritySpec(std::vector<std::size_t> level_sizes)
+    : sizes_(std::move(level_sizes)) {
+  PRLC_REQUIRE(!sizes_.empty(), "a priority spec needs at least one level");
+  prefix_.reserve(sizes_.size());
+  std::size_t acc = 0;
+  for (std::size_t a : sizes_) {
+    PRLC_REQUIRE(a > 0, "every priority level must contain at least one block");
+    acc += a;
+    prefix_.push_back(acc);
+  }
+}
+
+PrioritySpec PrioritySpec::uniform(std::size_t levels, std::size_t per_level) {
+  PRLC_REQUIRE(levels > 0, "need at least one level");
+  PRLC_REQUIRE(per_level > 0, "need at least one block per level");
+  return PrioritySpec(std::vector<std::size_t>(levels, per_level));
+}
+
+std::size_t PrioritySpec::level_of_block(std::size_t j) const {
+  PRLC_REQUIRE(j < total(), "source block index out of range");
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), j);
+  return static_cast<std::size_t>(it - prefix_.begin());
+}
+
+std::size_t PrioritySpec::levels_covered_by_prefix(std::size_t blocks) const {
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), blocks);
+  // it points at the first prefix sum strictly greater than `blocks`;
+  // every level before it is fully covered.
+  return static_cast<std::size_t>(it - prefix_.begin());
+}
+
+PriorityDistribution::PriorityDistribution(std::vector<double> p)
+    : p_(std::move(p)), alias_((validate(p_), std::span<const double>(p_))) {}
+
+void PriorityDistribution::validate(std::vector<double>& p) {
+  PRLC_REQUIRE(!p.empty(), "a priority distribution needs at least one level");
+  double sum = 0.0;
+  for (double v : p) {
+    PRLC_REQUIRE(v >= -1e-12, "priority distribution entries must be nonnegative");
+    if (v < 0) v = 0;
+    sum += v;
+  }
+  PRLC_REQUIRE(std::abs(sum - 1.0) <= 1e-9, "priority distribution must sum to 1");
+  for (double& v : p) v /= sum;
+}
+
+PriorityDistribution PriorityDistribution::uniform(std::size_t levels) {
+  PRLC_REQUIRE(levels > 0, "need at least one level");
+  return PriorityDistribution(std::vector<double>(levels, 1.0 / static_cast<double>(levels)));
+}
+
+double PriorityDistribution::range_sum(std::size_t first, std::size_t last) const {
+  PRLC_REQUIRE(first <= last && last < p_.size(), "range out of bounds");
+  double s = 0.0;
+  for (std::size_t i = first; i <= last; ++i) s += p_[i];
+  return s;
+}
+
+}  // namespace prlc::codes

@@ -1,0 +1,102 @@
+// Priority structure of the source data (Sec. 2 of the paper).
+//
+// N source blocks are partitioned into n priority levels with sizes
+// a_1..a_n (descending importance). PrioritySpec owns that structure and
+// the derived prefix sums b_i = a_1 + ... + a_i; PriorityDistribution is
+// the per-level fraction p_i of coded blocks (Sec. 3.3), i.e. the knob the
+// design framework of Sec. 3.4 tunes.
+//
+// Everything here is 0-indexed: level i in code corresponds to level i+1
+// in the paper's notation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::codes {
+
+class PrioritySpec {
+ public:
+  /// `level_sizes[i]` = a_{i+1} > 0 (number of source blocks in level i).
+  explicit PrioritySpec(std::vector<std::size_t> level_sizes);
+
+  /// Convenience: `levels` equal levels of `per_level` blocks each.
+  static PrioritySpec uniform(std::size_t levels, std::size_t per_level);
+
+  /// n — the number of priority levels.
+  std::size_t levels() const { return sizes_.size(); }
+
+  /// a_{i+1} — source blocks in level i.
+  std::size_t level_size(std::size_t i) const {
+    PRLC_REQUIRE(i < sizes_.size(), "level index out of range");
+    return sizes_[i];
+  }
+
+  /// b_{i+1} — total source blocks in levels 0..i.
+  std::size_t prefix_size(std::size_t i) const {
+    PRLC_REQUIRE(i < prefix_.size(), "level index out of range");
+    return prefix_[i];
+  }
+
+  /// First source-block index of level i (b_i in paper notation).
+  std::size_t level_begin(std::size_t i) const {
+    PRLC_REQUIRE(i < sizes_.size(), "level index out of range");
+    return i == 0 ? 0 : prefix_[i - 1];
+  }
+
+  /// One-past-last source-block index of level i.
+  std::size_t level_end(std::size_t i) const { return prefix_size(i); }
+
+  /// N — total number of source blocks.
+  std::size_t total() const { return prefix_.empty() ? 0 : prefix_.back(); }
+
+  /// Level containing source block j (O(log n)).
+  std::size_t level_of_block(std::size_t j) const;
+
+  /// Largest k (block-prefix semantics): number of whole levels covered by
+  /// a decoded prefix of `blocks` source blocks, i.e. max k with b_k <=
+  /// blocks.
+  std::size_t levels_covered_by_prefix(std::size_t blocks) const;
+
+  bool operator==(const PrioritySpec& other) const { return sizes_ == other.sizes_; }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<std::size_t> prefix_;
+};
+
+/// Per-level coded-block fractions p_1..p_n: nonnegative, summing to 1.
+class PriorityDistribution {
+ public:
+  /// Validates and renormalizes (tolerating |sum-1| <= 1e-9 drift).
+  explicit PriorityDistribution(std::vector<double> p);
+
+  /// Uniform distribution over `levels` levels.
+  static PriorityDistribution uniform(std::size_t levels);
+
+  std::size_t levels() const { return p_.size(); }
+  double at(std::size_t i) const {
+    PRLC_REQUIRE(i < p_.size(), "level index out of range");
+    return p_[i];
+  }
+  std::span<const double> values() const { return p_; }
+
+  /// Sum of p_i over levels [first, last] inclusive (paper's P_{i,j}).
+  double range_sum(std::size_t first, std::size_t last) const;
+
+  /// Sample a level index (multinomial draw of one coded block's level).
+  std::size_t sample_level(Rng& rng) const { return alias_.sample(rng); }
+
+ private:
+  /// Clamps tiny negatives, checks the sum, renormalizes in place.
+  static void validate(std::vector<double>& p);
+
+  std::vector<double> p_;
+  AliasTable alias_;
+};
+
+}  // namespace prlc::codes

@@ -1,0 +1,108 @@
+// Replication baseline — storage without coding.
+//
+// Sec. 5.2 of the paper identifies plain replication as the degenerate
+// case of SLC with one source block per level: recovering everything
+// needs ~ N ln N random blocks (coupon collector). This module makes the
+// baseline explicit so benches can plot it next to RLC/SLC/PLC: each
+// "coded" block is a verbatim copy of one source block; the collector
+// just tracks which originals it has seen.
+#pragma once
+
+#include <vector>
+
+#include "codes/priority_spec.h"
+#include "codes/source_data.h"
+#include "gf/field_concept.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::codes {
+
+/// A replica: one source block stored verbatim.
+template <gf::FieldPolicy F>
+struct ReplicaBlock {
+  std::size_t source_index = 0;
+  std::size_t level = 0;
+  std::vector<typename F::Symbol> payload;  ///< empty in index-only mode
+};
+
+/// Emits replicas. The replica's level follows the priority distribution
+/// (like coded blocks); the source block is uniform within that level.
+template <gf::FieldPolicy F>
+class ReplicationEncoder {
+ public:
+  ReplicationEncoder(PrioritySpec spec, const SourceData<F>* source = nullptr)
+      : spec_(std::move(spec)), source_(source) {
+    if (source_ != nullptr) {
+      PRLC_REQUIRE(source_->blocks() == spec_.total(),
+                   "source data size must match the priority spec");
+    }
+  }
+
+  const PrioritySpec& spec() const { return spec_; }
+
+  ReplicaBlock<F> replicate(std::size_t level, Rng& rng) const {
+    PRLC_REQUIRE(level < spec_.levels(), "level out of range");
+    ReplicaBlock<F> block;
+    block.level = level;
+    block.source_index =
+        spec_.level_begin(level) + rng.uniform(spec_.level_size(level));
+    if (source_ != nullptr) {
+      const auto payload = source_->block(block.source_index);
+      block.payload.assign(payload.begin(), payload.end());
+    }
+    return block;
+  }
+
+  ReplicaBlock<F> replicate_random(const PriorityDistribution& dist, Rng& rng) const {
+    PRLC_REQUIRE(dist.levels() == spec_.levels(),
+                 "priority distribution and spec disagree on level count");
+    return replicate(dist.sample_level(rng), rng);
+  }
+
+ private:
+  PrioritySpec spec_;
+  const SourceData<F>* source_;
+};
+
+/// Tracks collected replicas; same reporting surface as PriorityDecoder.
+template <gf::FieldPolicy F>
+class ReplicationCollector {
+ public:
+  explicit ReplicationCollector(PrioritySpec spec)
+      : spec_(std::move(spec)), seen_(spec_.total(), false) {}
+
+  const PrioritySpec& spec() const { return spec_; }
+
+  /// Returns true when this replica was new.
+  bool add(const ReplicaBlock<F>& block) {
+    PRLC_REQUIRE(block.source_index < spec_.total(), "replica index out of range");
+    ++blocks_seen_;
+    if (seen_[block.source_index]) return false;
+    seen_[block.source_index] = true;
+    ++distinct_;
+    while (prefix_ < spec_.total() && seen_[prefix_]) ++prefix_;
+    return true;
+  }
+
+  std::size_t blocks_seen() const { return blocks_seen_; }
+  /// Number of distinct source blocks collected (any order).
+  std::size_t distinct_blocks() const { return distinct_; }
+  /// Longest collected prefix of source blocks.
+  std::size_t decoded_prefix_blocks() const { return prefix_; }
+  /// Strict-priority decoded levels (whole-level prefix).
+  std::size_t decoded_levels() const { return spec_.levels_covered_by_prefix(prefix_); }
+  bool is_block_decoded(std::size_t j) const {
+    PRLC_REQUIRE(j < spec_.total(), "source block index out of range");
+    return seen_[j];
+  }
+
+ private:
+  PrioritySpec spec_;
+  std::vector<bool> seen_;
+  std::size_t blocks_seen_ = 0;
+  std::size_t distinct_ = 0;
+  std::size_t prefix_ = 0;
+};
+
+}  // namespace prlc::codes

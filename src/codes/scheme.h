@@ -1,0 +1,36 @@
+// Coding-scheme selector shared across encoders, decoders and benches.
+#pragma once
+
+#include <string>
+
+#include "util/check.h"
+
+namespace prlc::codes {
+
+/// The three codes the paper compares (Fig. 1).
+enum class Scheme {
+  kRlc,  ///< classic random linear code: every block mixes all N sources
+  kSlc,  ///< stacked: level-k blocks mix only level-k sources
+  kPlc,  ///< progressive: level-k blocks mix all sources of levels 1..k
+};
+
+inline const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kRlc:
+      return "RLC";
+    case Scheme::kSlc:
+      return "SLC";
+    case Scheme::kPlc:
+      return "PLC";
+  }
+  PRLC_ASSERT(false, "unknown scheme");
+}
+
+inline Scheme scheme_from_string(const std::string& name) {
+  if (name == "RLC" || name == "rlc") return Scheme::kRlc;
+  if (name == "SLC" || name == "slc") return Scheme::kSlc;
+  if (name == "PLC" || name == "plc") return Scheme::kPlc;
+  PRLC_REQUIRE(false, "unknown scheme name: " + name);
+}
+
+}  // namespace prlc::codes

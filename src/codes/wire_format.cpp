@@ -1,0 +1,181 @@
+#include "codes/wire_format.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/crc32.h"
+
+namespace prlc::codes {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'P', 'R', 'L', 'C'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint32_t kDense = 0;
+constexpr std::uint32_t kSparse = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = static_cast<std::uint32_t>(bytes_[pos_]) |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8 |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16 |
+                            static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    need(n);
+    auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) {
+    if (remaining() < n) throw WireFormatError("truncated coded block");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::uint8_t scheme_byte(Scheme s) {
+  switch (s) {
+    case Scheme::kRlc:
+      return 0;
+    case Scheme::kSlc:
+      return 1;
+    case Scheme::kPlc:
+      return 2;
+  }
+  PRLC_ASSERT(false, "unknown scheme");
+}
+
+Scheme scheme_from_byte(std::uint8_t b) {
+  switch (b) {
+    case 0:
+      return Scheme::kRlc;
+    case 1:
+      return Scheme::kSlc;
+    case 2:
+      return Scheme::kPlc;
+    default:
+      throw WireFormatError("unknown scheme byte " + std::to_string(b));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_wire(Scheme scheme, const CodedBlock<gf::Gf256>& block) {
+  PRLC_REQUIRE(!block.coeffs.empty(), "cannot serialize a block with no coefficients");
+
+  std::size_t nnz = 0;
+  for (auto c : block.coeffs) nnz += c != 0 ? 1 : 0;
+  // Sparse entry costs 5 bytes vs 1 for dense; plus a 4-byte count.
+  const bool sparse = 4 + nnz * 5 < block.coeffs.size();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + (sparse ? 4 + nnz * 5 : block.coeffs.size()) + block.payload.size());
+  for (std::uint8_t m : kMagic) out.push_back(m);
+  out.push_back(kVersion);
+  out.push_back(scheme_byte(scheme));
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, static_cast<std::uint32_t>(block.level));
+  put_u32(out, static_cast<std::uint32_t>(block.coeffs.size()));
+  put_u32(out, static_cast<std::uint32_t>(block.payload.size()));
+  put_u32(out, sparse ? kSparse : kDense);
+  if (sparse) {
+    put_u32(out, static_cast<std::uint32_t>(nnz));
+    for (std::size_t j = 0; j < block.coeffs.size(); ++j) {
+      if (block.coeffs[j] != 0) {
+        put_u32(out, static_cast<std::uint32_t>(j));
+        out.push_back(block.coeffs[j]);
+      }
+    }
+  } else {
+    // memcpy instead of insert: sidesteps a GCC 12 -Wstringop-overflow
+    // false positive on vector range-insert after reserve.
+    const std::size_t base = out.size();
+    out.resize(base + block.coeffs.size());
+    std::memcpy(out.data() + base, block.coeffs.data(), block.coeffs.size());
+  }
+  if (!block.payload.empty()) {
+    const std::size_t base = out.size();
+    out.resize(base + block.payload.size());
+    std::memcpy(out.data() + base, block.payload.data(), block.payload.size());
+  }
+  put_u32(out, crc32(std::span<const std::uint8_t>(out)));
+  return out;
+}
+
+WireBlock decode_wire(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 28) throw WireFormatError("shorter than the minimal frame");
+  // CRC covers everything before the trailing 4 bytes.
+  const auto body = bytes.subspan(0, bytes.size() - 4);
+  Reader crc_reader(bytes.subspan(bytes.size() - 4));
+  const std::uint32_t want_crc = crc_reader.u32();
+  if (crc32(body) != want_crc) throw WireFormatError("CRC mismatch (corrupt block)");
+
+  Reader r(body);
+  for (std::uint8_t m : kMagic) {
+    if (r.u8() != m) throw WireFormatError("bad magic");
+  }
+  if (r.u8() != kVersion) throw WireFormatError("unsupported version");
+  WireBlock out;
+  out.scheme = scheme_from_byte(r.u8());
+  r.u8();  // reserved
+  r.u8();
+  out.block.level = r.u32();
+  const std::uint32_t n = r.u32();
+  const std::uint32_t payload_size = r.u32();
+  if (n == 0) throw WireFormatError("zero coefficient width");
+  // Allocation guard only — sparse frames legitimately describe widths
+  // far larger than the frame itself, and the CRC already vouches for
+  // integrity.
+  if (n > (1u << 24)) throw WireFormatError("implausible coefficient width");
+  const std::uint32_t encoding = r.u32();
+
+  out.block.coeffs.assign(n, 0);
+  if (encoding == kDense) {
+    const auto raw = r.raw(n);
+    std::memcpy(out.block.coeffs.data(), raw.data(), n);
+  } else if (encoding == kSparse) {
+    const std::uint32_t count = r.u32();
+    if (count > n) throw WireFormatError("sparse count exceeds width");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t idx = r.u32();
+      if (idx >= n) throw WireFormatError("sparse index out of range");
+      out.block.coeffs[idx] = r.u8();
+    }
+  } else {
+    throw WireFormatError("unknown coefficient encoding");
+  }
+
+  const auto payload = r.raw(payload_size);
+  out.block.payload.assign(payload.begin(), payload.end());
+  if (r.remaining() != 0) throw WireFormatError("trailing bytes after payload");
+  return out;
+}
+
+}  // namespace prlc::codes

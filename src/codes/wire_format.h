@@ -1,0 +1,54 @@
+// Wire format for coded blocks — what actually travels between nodes.
+//
+// A production deployment of the Sec.-4 protocol ships coded blocks over
+// the network and stores them on flash/disk; both need a self-describing,
+// integrity-checked byte layout. Format (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "PRLC"
+//   4       1     version (1)
+//   5       1     scheme (0 = RLC, 1 = SLC, 2 = PLC)
+//   6       2     reserved (0)
+//   8       4     level (0-indexed)
+//   12      4     N — total source blocks (coefficient vector width)
+//   16      4     payload size in bytes
+//   20      4     coefficient encoding: 0 = dense, 1 = sparse
+//   24      ...   coefficients:
+//                   dense:  N raw bytes
+//                   sparse: u32 count, then count x (u32 index, u8 value)
+//   ...     ...   payload bytes
+//   end-4   4     CRC-32 of everything before it
+//
+// The sparse encoding is chosen automatically when it is smaller — high-
+// priority PLC blocks and O(ln N) sparse blocks compress well. decode()
+// validates magic/version/CRC/bounds and throws WireFormatError on any
+// corruption (tested with byte-flip and truncation injection).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "codes/coded_block.h"
+#include "codes/scheme.h"
+#include "gf/gf256.h"
+
+namespace prlc::codes {
+
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct WireBlock {
+  Scheme scheme = Scheme::kPlc;
+  CodedBlock<gf::Gf256> block;
+};
+
+/// Serialize a coded block (GF(2^8) symbols are bytes on the wire).
+std::vector<std::uint8_t> encode_wire(Scheme scheme, const CodedBlock<gf::Gf256>& block);
+
+/// Parse and validate; throws WireFormatError on malformed input.
+WireBlock decode_wire(std::span<const std::uint8_t> bytes);
+
+}  // namespace prlc::codes

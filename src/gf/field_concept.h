@@ -1,0 +1,28 @@
+// Compile-time interface for finite fields of characteristic 2.
+//
+// All coding/linear-algebra code in this library is generic over a field
+// policy type so that the field-size ablation (GF(2), GF(16), GF(256)) can
+// exercise identical code paths. A field policy exposes static arithmetic
+// on an unsigned Symbol type; addition is XOR in every GF(2^m).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace prlc::gf {
+
+/// Field policy concept: static arithmetic over an unsigned symbol type.
+template <typename F>
+concept FieldPolicy = requires(typename F::Symbol a, typename F::Symbol b) {
+  requires std::unsigned_integral<typename F::Symbol>;
+  { F::add(a, b) } -> std::same_as<typename F::Symbol>;
+  { F::sub(a, b) } -> std::same_as<typename F::Symbol>;
+  { F::mul(a, b) } -> std::same_as<typename F::Symbol>;
+  { F::div(a, b) } -> std::same_as<typename F::Symbol>;
+  { F::inv(a) } -> std::same_as<typename F::Symbol>;
+  { F::order() } -> std::convertible_to<std::size_t>;
+  { F::name() } -> std::convertible_to<const char*>;
+};
+
+}  // namespace prlc::gf

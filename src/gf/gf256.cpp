@@ -1,0 +1,74 @@
+#include "gf/gf256.h"
+
+namespace prlc::gf {
+
+Gf256::Tables::Tables() {
+  // Build exp/log from the generator g = 2 over modulus 0x11D.
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[i] = static_cast<Symbol>(x);
+    log[x] = static_cast<Symbol>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= modulus();
+  }
+  for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0;  // never read; defined for determinism
+
+  inv[0] = 0;  // never read
+  for (int a = 1; a < 256; ++a) {
+    inv[a] = exp[255 - log[a]];
+  }
+
+  for (int a = 0; a < 256; ++a) {
+    mul[0][a] = 0;
+    mul[a][0] = 0;
+  }
+  for (int a = 1; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      mul[a][b] = exp[log[a] + log[b]];
+    }
+  }
+}
+
+const Gf256::Tables& Gf256::tables() {
+  static const Tables t;
+  return t;
+}
+
+Gf256::Symbol Gf256::pow(Symbol a, std::uint32_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const std::uint32_t le = (static_cast<std::uint32_t>(t.log[a]) * e) % 255u;
+  return t.exp[le];
+}
+
+void Gf256::axpy(std::span<Symbol> y, Symbol a, std::span<const Symbol> x) {
+  PRLC_REQUIRE(y.size() == x.size(), "axpy spans must have equal length");
+  if (a == 0) return;
+  const Symbol* row = mul_row(a);
+  if (a == 1) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] ^= x[i];
+    return;
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] ^= row[x[i]];
+}
+
+void Gf256::scale(std::span<Symbol> x, Symbol a) {
+  if (a == 1) return;
+  if (a == 0) {
+    for (Symbol& v : x) v = 0;
+    return;
+  }
+  const Symbol* row = mul_row(a);
+  for (Symbol& v : x) v = row[v];
+}
+
+Gf256::Symbol Gf256::dot(std::span<const Symbol> a, std::span<const Symbol> b) {
+  PRLC_REQUIRE(a.size() == b.size(), "dot spans must have equal length");
+  Symbol acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc ^= mul(a[i], b[i]);
+  return acc;
+}
+
+}  // namespace prlc::gf

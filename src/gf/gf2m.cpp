@@ -1,0 +1,63 @@
+#include "gf/gf2m.h"
+
+#include <string>
+
+namespace prlc::gf {
+
+std::uint32_t primitive_polynomial(unsigned m) {
+  // Standard primitive polynomials over GF(2), lowest-weight choices.
+  // Entry m includes the leading x^m bit.
+  static constexpr std::uint32_t kPolys[17] = {
+      0,        // m = 0 unused
+      0x3,      // x + 1
+      0x7,      // x^2 + x + 1
+      0xB,      // x^3 + x + 1
+      0x13,     // x^4 + x + 1
+      0x25,     // x^5 + x^2 + 1
+      0x43,     // x^6 + x + 1
+      0x89,     // x^7 + x^3 + 1
+      0x11D,    // x^8 + x^4 + x^3 + x^2 + 1
+      0x211,    // x^9 + x^4 + 1
+      0x409,    // x^10 + x^3 + 1
+      0x805,    // x^11 + x^2 + 1
+      0x1053,   // x^12 + x^6 + x^4 + x + 1
+      0x201B,   // x^13 + x^4 + x^3 + x + 1
+      0x4443,   // x^14 + x^10 + x^6 + x + 1
+      0x8003,   // x^15 + x + 1
+      0x1100B,  // x^16 + x^12 + x^3 + x + 1
+  };
+  PRLC_REQUIRE(m >= 1 && m <= 16, "primitive_polynomial supports m in [1,16]");
+  return kPolys[m];
+}
+
+template <unsigned M>
+Gf2m<M>::Tables::Tables() {
+  const std::size_t n = Gf2m<M>::order();
+  const std::uint32_t poly = primitive_polynomial(M);
+  exp.assign(2 * (n - 1), 0);
+  log.assign(n, 0);
+  std::uint32_t x = 1;
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    exp[i] = static_cast<Symbol>(x);
+    log[x] = static_cast<Symbol>(i);
+    x <<= 1;
+    if (x & n) x ^= poly;
+  }
+  PRLC_ASSERT(x == 1, "polynomial is not primitive: generator cycle != 2^m - 1");
+  for (std::size_t i = n - 1; i < exp.size(); ++i) exp[i] = exp[i - (n - 1)];
+}
+
+template <unsigned M>
+const char* Gf2m<M>::name() {
+  static const std::string n = "GF(2^" + std::to_string(M) + ")";
+  return n.c_str();
+}
+
+template class Gf2m<1>;
+template class Gf2m<2>;
+template class Gf2m<4>;
+template class Gf2m<8>;
+template class Gf2m<12>;
+template class Gf2m<16>;
+
+}  // namespace prlc::gf

@@ -1,0 +1,140 @@
+#include "net/chord_network.h"
+
+#include <algorithm>
+
+namespace prlc::net {
+
+ChordNetwork::ChordNetwork(const ChordParams& params) {
+  PRLC_REQUIRE(params.nodes >= 2, "a DHT needs at least two nodes");
+  PRLC_REQUIRE(params.locations >= 1, "need at least one storage location");
+
+  Rng rng(params.seed);
+  ring_ids_.resize(params.nodes);
+  for (auto& id : ring_ids_) id = rng();
+  // Regenerate on (astronomically unlikely) duplicates to keep ownership
+  // unambiguous.
+  std::sort(ring_ids_.begin(), ring_ids_.end());
+  for (std::size_t i = 1; i < ring_ids_.size(); ++i) {
+    while (ring_ids_[i] == ring_ids_[i - 1]) ring_ids_[i] = rng();
+  }
+  Rng shuffle_rng(params.seed ^ 0x1234abcdULL);
+  shuffle_rng.shuffle(std::span<std::uint64_t>(ring_ids_));
+
+  init_membership(params.nodes);
+  sorted_.resize(params.nodes);
+  for (NodeId v = 0; v < params.nodes; ++v) sorted_[v] = v;
+  std::sort(sorted_.begin(), sorted_.end(),
+            [&](NodeId a, NodeId b) { return ring_ids_[a] < ring_ids_[b]; });
+  sorted_ids_.resize(params.nodes);
+  for (std::size_t i = 0; i < params.nodes; ++i) sorted_ids_[i] = ring_ids_[sorted_[i]];
+
+  // Location keys from the common seed; two-choices picks the candidate
+  // whose successor carries the lighter deterministic load replay.
+  std::uint64_t loc_seed = params.seed ^ 0x0badc0ffee123456ULL;
+  const std::uint64_t base = splitmix64_next(loc_seed);
+  std::vector<std::size_t> load(params.nodes, 0);
+  location_keys_.reserve(params.locations);
+  for (std::uint32_t i = 0; i < params.locations; ++i) {
+    std::uint64_t s1 = base + 0x9e3779b97f4a7c15ULL * (2ULL * i + 1);
+    const std::uint64_t k1 = splitmix64_next(s1);
+    if (!params.two_choices) {
+      location_keys_.push_back(k1);
+      ++load[successor(k1)];
+      continue;
+    }
+    std::uint64_t s2 = base + 0x9e3779b97f4a7c15ULL * (2ULL * i + 2);
+    const std::uint64_t k2 = splitmix64_next(s2);
+    const NodeId n1 = successor(k1);
+    const NodeId n2 = successor(k2);
+    const bool second = load[n2] < load[n1];
+    location_keys_.push_back(second ? k2 : k1);
+    ++load[second ? n2 : n1];
+  }
+}
+
+std::uint64_t ChordNetwork::ring_id(NodeId node) const {
+  PRLC_REQUIRE(node < ring_ids_.size(), "node id out of range");
+  return ring_ids_[node];
+}
+
+std::uint64_t ChordNetwork::location_key(LocationId loc) const {
+  PRLC_REQUIRE(loc < location_keys_.size(), "location id out of range");
+  return location_keys_[loc];
+}
+
+std::size_t ChordNetwork::successor_index(std::uint64_t key) const {
+  const auto it = std::lower_bound(sorted_ids_.begin(), sorted_ids_.end(), key);
+  const auto idx = static_cast<std::size_t>(it - sorted_ids_.begin());
+  return idx == sorted_ids_.size() ? 0 : idx;  // wrap past the top of the ring
+}
+
+NodeId ChordNetwork::successor(std::uint64_t key) const {
+  const std::size_t start = successor_index(key);
+  for (std::size_t step = 0; step < sorted_.size(); ++step) {
+    const NodeId v = sorted_[(start + step) % sorted_.size()];
+    if (alive(v)) return v;
+  }
+  PRLC_REQUIRE(false, "no alive node in the ring");
+}
+
+std::vector<NodeId> ChordNetwork::successors(std::uint64_t key, std::size_t count) const {
+  std::vector<NodeId> out;
+  const std::size_t start = successor_index(key);
+  for (std::size_t step = 0; step < sorted_.size() && out.size() < count; ++step) {
+    const NodeId v = sorted_[(start + step) % sorted_.size()];
+    if (alive(v)) out.push_back(v);
+  }
+  return out;
+}
+
+NodeId ChordNetwork::owner_of(LocationId loc) const {
+  return successor(location_key(loc));
+}
+
+std::vector<NodeId> ChordNetwork::owner_candidates(LocationId loc, std::size_t count) const {
+  return successors(location_key(loc), count);
+}
+
+RouteResult ChordNetwork::route(NodeId from, LocationId loc) const {
+  PRLC_REQUIRE(from < ring_ids_.size(), "node id out of range");
+  PRLC_REQUIRE(alive(from), "routing from a failed node");
+  const std::uint64_t key = location_key(loc);
+  const NodeId owner = successor(key);
+
+  RouteResult result;
+  NodeId current = from;
+  while (current != owner) {
+    const std::uint64_t cur_id = ring_ids_[current];
+    const NodeId succ = successor(cur_id + 1);
+    // Chord delivery rule: when the key falls between current and its
+    // alive successor, that successor owns it — one final hop.
+    if (ring_in_interval(key, cur_id, ring_ids_[succ])) {
+      PRLC_ASSERT(succ == owner, "successor delivery disagrees with ownership");
+      ++result.hops;
+      current = succ;
+      break;
+    }
+    // Finger rule: the farthest power-of-two finger whose alive successor
+    // still lies strictly within (current, key); fall back to the plain
+    // successor when no finger qualifies.
+    NodeId next = succ;
+    for (int b = 63; b >= 0; --b) {
+      const std::uint64_t target = cur_id + (std::uint64_t{1} << b);
+      if (!ring_in_interval(target, cur_id, key)) continue;
+      const NodeId cand = successor(target);
+      if (cand != current && ring_in_interval(ring_ids_[cand], cur_id, key) &&
+          ring_ids_[cand] != key) {
+        next = cand;
+        break;
+      }
+    }
+    current = next;
+    ++result.hops;
+    if (result.hops > ring_ids_.size()) return result;  // safety net
+  }
+  result.delivered = true;
+  result.owner = owner;
+  return result;
+}
+
+}  // namespace prlc::net

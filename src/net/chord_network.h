@@ -1,0 +1,60 @@
+// Chord-style DHT overlay (Sec. 2: "each node has a unique ID in a
+// one-dimensional geometric space"), used as the P2P instantiation of the
+// pre-distribution protocol.
+//
+// Node IDs are 64-bit points on a ring; a key is owned by its alive
+// successor (first node clockwise). Lookup routing follows the classic
+// finger rule: each hop jumps to the latest node the current node knows
+// of that still precedes the key, halving the remaining ring distance, so
+// lookups take O(log W) hops. Fingers are resolved against the current
+// alive set, modelling a DHT whose stabilization has caught up with the
+// churn — the standard assumption for persistence analysis.
+#pragma once
+
+#include <vector>
+
+#include "net/geometry.h"
+#include "net/overlay.h"
+
+namespace prlc::net {
+
+struct ChordParams {
+  std::size_t nodes = 500;
+  std::size_t locations = 100;  ///< M seed-derived storage keys
+  std::uint64_t seed = 1;
+  bool two_choices = false;  ///< power-of-two-choices key selection
+};
+
+class ChordNetwork final : public Overlay {
+ public:
+  explicit ChordNetwork(const ChordParams& params);
+
+  std::size_t locations() const override { return location_keys_.size(); }
+  NodeId owner_of(LocationId loc) const override;
+  std::vector<NodeId> owner_candidates(LocationId loc, std::size_t count) const override;
+  RouteResult route(NodeId from, LocationId loc) const override;
+
+  /// Ring identifier of a node.
+  std::uint64_t ring_id(NodeId node) const;
+
+  /// Ring key a location resolved to (post two-choices selection).
+  std::uint64_t location_key(LocationId loc) const;
+
+  /// Alive successor of an arbitrary key (the owner rule).
+  NodeId successor(std::uint64_t key) const;
+
+  /// The `count` alive successors of a key, clockwise order.
+  std::vector<NodeId> successors(std::uint64_t key, std::size_t count) const;
+
+ private:
+  /// Index into sorted_ of the first ring id >= key (mod wrap), ignoring
+  /// liveness.
+  std::size_t successor_index(std::uint64_t key) const;
+
+  std::vector<std::uint64_t> ring_ids_;          // by NodeId
+  std::vector<NodeId> sorted_;                   // NodeIds sorted by ring id
+  std::vector<std::uint64_t> sorted_ids_;        // ring ids, sorted
+  std::vector<std::uint64_t> location_keys_;     // by LocationId
+};
+
+}  // namespace prlc::net

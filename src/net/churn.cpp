@@ -1,0 +1,65 @@
+#include "net/churn.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace prlc::net {
+
+std::vector<NodeId> kill_uniform_fraction(Overlay& overlay, double fraction, Rng& rng) {
+  PRLC_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "failure fraction must be in [0,1]");
+  std::vector<NodeId> alive_nodes;
+  for (NodeId v = 0; v < overlay.nodes(); ++v) {
+    if (overlay.alive(v)) alive_nodes.push_back(v);
+  }
+  const auto kills = static_cast<std::size_t>(fraction * static_cast<double>(alive_nodes.size()));
+  std::vector<NodeId> killed;
+  killed.reserve(kills);
+  for (std::size_t idx : rng.sample_without_replacement(alive_nodes.size(), kills)) {
+    const NodeId v = alive_nodes[idx];
+    overlay.fail_node(v);
+    killed.push_back(v);
+  }
+  return killed;
+}
+
+double exponential_death_probability(double mean_lifetime, double elapsed) {
+  PRLC_REQUIRE(mean_lifetime > 0.0, "mean lifetime must be positive");
+  PRLC_REQUIRE(elapsed >= 0.0, "elapsed time must be nonnegative");
+  return 1.0 - std::exp(-elapsed / mean_lifetime);
+}
+
+std::vector<NodeId> apply_exponential_churn(Overlay& overlay, double mean_lifetime,
+                                            double elapsed, Rng& rng) {
+  const double p = exponential_death_probability(mean_lifetime, elapsed);
+  std::vector<NodeId> killed;
+  for (NodeId v = 0; v < overlay.nodes(); ++v) {
+    if (overlay.alive(v) && rng.bernoulli(p)) {
+      overlay.fail_node(v);
+      killed.push_back(v);
+    }
+  }
+  return killed;
+}
+
+std::pair<std::size_t, std::size_t> apply_session_churn(Overlay& overlay, double leave_prob,
+                                                        double rejoin_prob, Rng& rng) {
+  PRLC_REQUIRE(leave_prob >= 0.0 && leave_prob <= 1.0, "leave probability must be in [0,1]");
+  PRLC_REQUIRE(rejoin_prob >= 0.0 && rejoin_prob <= 1.0, "rejoin probability must be in [0,1]");
+  std::size_t left = 0;
+  std::size_t rejoined = 0;
+  for (NodeId v = 0; v < overlay.nodes(); ++v) {
+    if (overlay.alive(v)) {
+      if (rng.bernoulli(leave_prob)) {
+        overlay.fail_node(v);
+        ++left;
+      }
+    } else if (rng.bernoulli(rejoin_prob)) {
+      overlay.revive_node(v);
+      ++rejoined;
+    }
+  }
+  return {left, rejoined};
+}
+
+}  // namespace prlc::net

@@ -1,0 +1,41 @@
+// Geometric primitives for the two overlay families of Sec. 2:
+// a 2-D unit square (sensor fields, GPSR-style routing) and a 1-D
+// circular key space (DHT overlays, Chord-style routing).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace prlc::net {
+
+struct Point2D {
+  double x = 0;
+  double y = 0;
+};
+
+/// Euclidean distance in the plane.
+inline double distance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared distance (comparison-only paths avoid the sqrt).
+inline double distance_sq(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Clockwise distance from `from` to `to` on the 2^64 ring: the number of
+/// steps forward (wrapping) to reach `to`. Chord's key-ownership metric.
+inline std::uint64_t ring_clockwise(std::uint64_t from, std::uint64_t to) {
+  return to - from;  // unsigned wrap-around is exactly the ring metric
+}
+
+/// True when `key` lies in the half-open clockwise interval (from, to].
+inline bool ring_in_interval(std::uint64_t key, std::uint64_t from, std::uint64_t to) {
+  return ring_clockwise(from, key) != 0 && ring_clockwise(from, key) <= ring_clockwise(from, to);
+}
+
+}  // namespace prlc::net

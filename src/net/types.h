@@ -1,0 +1,23 @@
+// Shared identifiers and small result types for the network substrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prlc::net {
+
+/// Dense node index within one overlay instance.
+using NodeId = std::uint32_t;
+
+/// Index into the common-seed location sequence (Sec. 4: "each node can
+/// use this random seed to generate the same set of M random points").
+using LocationId = std::uint32_t;
+
+/// Outcome of routing one message toward a location's owner.
+struct RouteResult {
+  bool delivered = false;
+  NodeId owner = 0;      ///< valid when delivered
+  std::size_t hops = 0;  ///< overlay hops traversed (0 = already at owner)
+};
+
+}  // namespace prlc::net

@@ -1,0 +1,62 @@
+#include "proto/collector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace prlc::proto {
+
+CollectionResult collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
+                         const CollectorOptions& options, Rng& rng, bool trace) {
+  PRLC_REQUIRE(decoder.scheme() == dist.params().scheme,
+               "decoder scheme must match the predistribution");
+  PRLC_REQUIRE(decoder.spec() == dist.spec(), "decoder spec must match the predistribution");
+
+  CollectionResult result;
+  std::vector<net::LocationId> order = dist.surviving_locations();
+  result.surviving_locations = order.size();
+  rng.shuffle(std::span<net::LocationId>(order));
+
+  for (net::LocationId loc : order) {
+    if (options.max_blocks.has_value() && result.blocks_retrieved >= *options.max_blocks) break;
+    const StoredBlock* slot = dist.stored(loc);
+    PRLC_ASSERT(slot != nullptr, "surviving location lost its block");
+    ++result.blocks_retrieved;
+    if (decoder.add(slot->block)) ++result.innovative_blocks;
+    if (trace) result.level_trace.push_back(decoder.decoded_levels());
+    if (options.target_levels.has_value() &&
+        decoder.decoded_levels() >= *options.target_levels) {
+      result.target_met = true;
+      break;
+    }
+  }
+
+  result.decoded_levels = decoder.decoded_levels();
+  result.decoded_blocks = decoder.decoded_prefix_blocks();
+  if (options.target_levels.has_value()) {
+    result.target_met = result.decoded_levels >= *options.target_levels;
+  }
+  return result;
+}
+
+std::pair<CollectionResult, bool> collect_and_verify(const Predistribution& dist,
+                                                     const codes::SourceData<Field>& original,
+                                                     Rng& rng) {
+  codes::PriorityDecoder<Field> decoder(dist.params().scheme, dist.spec(),
+                                        dist.params().block_size);
+  const CollectionResult result = collect(dist, decoder, {}, rng);
+
+  bool all_match = true;
+  for (std::size_t j = 0; j < dist.spec().total(); ++j) {
+    if (!decoder.is_block_decoded(j)) continue;
+    const auto got = decoder.recovered(j);
+    const auto want = original.block(j);
+    if (!std::equal(got.begin(), got.end(), want.begin(), want.end())) {
+      all_match = false;
+      break;
+    }
+  }
+  return {result, all_match};
+}
+
+}  // namespace prlc::proto

@@ -1,0 +1,51 @@
+// Data-collecting server (Sec. 3.2 / Sec. 5 retrieval model).
+//
+// At analysis time a collector contacts the network and retrieves coded
+// blocks from surviving locations in random order, feeding each into the
+// progressive decoder as it arrives and stopping early once the
+// application's requirement (a number of priority levels) is met — the
+// paper's "the data collecting server can stop collecting coded data once
+// the partially decoded data fulfill the application requirement".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "codes/decoder.h"
+#include "proto/predistribution.h"
+
+namespace prlc::proto {
+
+struct CollectorOptions {
+  /// Stop after decoding this many leading levels (nullopt = drain all).
+  std::optional<std::size_t> target_levels;
+  /// Retrieve at most this many blocks (nullopt = all surviving).
+  std::optional<std::size_t> max_blocks;
+};
+
+struct CollectionResult {
+  std::size_t surviving_locations = 0;  ///< retrievable blocks after churn
+  std::size_t blocks_retrieved = 0;     ///< blocks actually pulled
+  std::size_t innovative_blocks = 0;    ///< rank achieved
+  std::size_t decoded_levels = 0;       ///< X — leading levels recovered
+  std::size_t decoded_blocks = 0;       ///< leading source blocks recovered
+  bool target_met = false;              ///< target_levels reached
+  /// decoded-levels trajectory: entry i = levels after i+1 retrievals
+  /// (only filled when `trace` is set in collect()).
+  std::vector<std::size_t> level_trace;
+};
+
+/// Retrieve and decode. `decoder` must match the predistribution's scheme
+/// and spec; pass `trace=true` to record the per-retrieval progression.
+CollectionResult collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
+                         const CollectorOptions& options, Rng& rng, bool trace = false);
+
+/// Convenience: build a payload decoder, collect everything retrievable,
+/// and verify every decoded payload against `original`. Returns the
+/// result plus the verification verdict (all decoded payloads correct).
+std::pair<CollectionResult, bool> collect_and_verify(const Predistribution& dist,
+                                                     const codes::SourceData<Field>& original,
+                                                     Rng& rng);
+
+}  // namespace prlc::proto

@@ -1,0 +1,123 @@
+#include "proto/persistence_experiment.h"
+
+#include <memory>
+
+#include "codes/decoder.h"
+#include "net/chord_network.h"
+#include "proto/collector.h"
+#include "net/churn.h"
+#include "net/sensor_network.h"
+#include "util/check.h"
+
+namespace prlc::proto {
+
+const char* to_string(OverlayKind kind) {
+  switch (kind) {
+    case OverlayKind::kSensor:
+      return "sensor";
+    case OverlayKind::kChord:
+      return "chord";
+  }
+  PRLC_ASSERT(false, "unknown overlay kind");
+}
+
+namespace {
+
+std::unique_ptr<net::Overlay> make_overlay(const PersistenceParams& params,
+                                           std::size_t locations, std::uint64_t seed) {
+  switch (params.overlay) {
+    case OverlayKind::kSensor: {
+      net::SensorParams sp;
+      sp.nodes = params.nodes;
+      sp.locations = locations;
+      sp.seed = seed;
+      sp.two_choices = params.two_choices;
+      return std::make_unique<net::SensorNetwork>(sp);
+    }
+    case OverlayKind::kChord: {
+      net::ChordParams cp;
+      cp.nodes = params.nodes;
+      cp.locations = locations;
+      cp.seed = seed;
+      cp.two_choices = params.two_choices;
+      return std::make_unique<net::ChordNetwork>(cp);
+    }
+  }
+  PRLC_ASSERT(false, "unknown overlay kind");
+}
+
+}  // namespace
+
+std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams& params) {
+  PRLC_REQUIRE(!params.level_sizes.empty(), "persistence experiment needs a priority spec");
+  PRLC_REQUIRE(!params.failure_fractions.empty(), "need at least one failure fraction");
+  PRLC_REQUIRE(params.trials > 0, "need at least one trial");
+  for (std::size_t i = 1; i < params.failure_fractions.size(); ++i) {
+    PRLC_REQUIRE(params.failure_fractions[i - 1] <= params.failure_fractions[i],
+                 "failure fractions must be ascending");
+  }
+
+  const codes::PrioritySpec spec{std::vector<std::size_t>(params.level_sizes)};
+  const codes::PriorityDistribution dist =
+      params.priority_distribution.empty()
+          ? codes::PriorityDistribution::uniform(spec.levels())
+          : codes::PriorityDistribution{std::vector<double>(params.priority_distribution)};
+  const std::size_t locations =
+      params.locations > 0 ? params.locations : 2 * spec.total();
+
+  ProtocolParams proto = params.protocol;
+  proto.scheme = params.scheme;
+
+  const std::size_t points = params.failure_fractions.size();
+  std::vector<RunningStats> surviving(points);
+  std::vector<RunningStats> levels(points);
+  std::vector<RunningStats> blocks(points);
+  std::vector<RunningStats> hops(points);
+
+  Rng master(params.seed);
+  for (std::size_t t = 0; t < params.trials; ++t) {
+    Rng rng = master.split();
+    auto overlay = make_overlay(params, locations, rng());
+    Predistribution predist(*overlay, spec, dist, proto);
+    const auto source =
+        codes::SourceData<Field>::random(spec.total(), proto.block_size, rng);
+    const auto stats = predist.disseminate(source, rng);
+    const double hops_per_msg =
+        stats.messages > stats.failed_routes
+            ? static_cast<double>(stats.total_hops) /
+                  static_cast<double>(stats.messages - stats.failed_routes)
+            : 0.0;
+
+    double killed_so_far = 0.0;
+    for (std::size_t point = 0; point < points; ++point) {
+      // Cumulative kills: to reach fraction f of the *original* nodes,
+      // kill the increment relative to what this trial already killed.
+      const double f = params.failure_fractions[point];
+      const double remaining = 1.0 - killed_so_far;
+      if (f > killed_so_far && remaining > 0) {
+        const double incremental = (f - killed_so_far) / remaining;
+        net::kill_uniform_fraction(*overlay, incremental, rng);
+        killed_so_far = f;
+      }
+      codes::PriorityDecoder<Field> decoder(proto.scheme, spec, proto.block_size);
+      const auto result = collect(predist, decoder, {}, rng);
+      surviving[point].add(static_cast<double>(result.surviving_locations));
+      levels[point].add(static_cast<double>(result.decoded_levels));
+      blocks[point].add(static_cast<double>(result.decoded_blocks));
+      hops[point].add(hops_per_msg);
+    }
+  }
+
+  std::vector<PersistencePoint> out(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    out[i].failure_fraction = params.failure_fractions[i];
+    out[i].mean_surviving_blocks = surviving[i].mean();
+    out[i].mean_decoded_levels = levels[i].mean();
+    out[i].ci95_decoded_levels = levels[i].ci95_halfwidth();
+    out[i].mean_decoded_blocks = blocks[i].mean();
+    out[i].mean_dissemination_hops = hops[i].mean();
+  }
+  return out;
+}
+
+}  // namespace prlc::proto

@@ -1,0 +1,234 @@
+#include "proto/predistribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace prlc::proto {
+
+std::vector<std::size_t> apportion_largest_remainder(std::size_t total,
+                                                     std::span<const double> weights) {
+  PRLC_REQUIRE(!weights.empty(), "apportionment needs at least one weight");
+  double weight_sum = 0;
+  for (double w : weights) {
+    PRLC_REQUIRE(w >= 0, "weights must be nonnegative");
+    weight_sum += w;
+  }
+  PRLC_REQUIRE(weight_sum > 0, "weights must not all be zero");
+
+  std::vector<std::size_t> out(weights.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;  // (-remainder, index)
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total) * weights[i] / weight_sum;
+    out[i] = static_cast<std::size_t>(exact);
+    assigned += out[i];
+    remainders.emplace_back(-(exact - std::floor(exact)), i);
+  }
+  std::sort(remainders.begin(), remainders.end());
+  for (std::size_t j = 0; assigned < total; ++j) {
+    ++out[remainders[j % remainders.size()].second];
+    ++assigned;
+  }
+  return out;
+}
+
+Predistribution::Predistribution(net::Overlay& overlay, codes::PrioritySpec spec,
+                                 codes::PriorityDistribution dist, ProtocolParams params)
+    : overlay_(overlay), spec_(std::move(spec)), dist_(std::move(dist)), params_(params) {
+  PRLC_REQUIRE(spec_.levels() == dist_.levels(), "spec/distribution level mismatch");
+  PRLC_REQUIRE(overlay_.locations() >= spec_.levels(),
+               "need at least one storage location per priority level");
+  PRLC_REQUIRE(params_.sparsity_factor > 0, "sparsity factor must be positive");
+
+  // Step 2: partition the M locations into n parts sized ~ M * p_i.
+  // Zero-weight levels legitimately get zero locations (Table 1, Case 2).
+  const auto part_sizes = apportion_largest_remainder(overlay_.locations(), dist_.values());
+  location_level_.reserve(overlay_.locations());
+  for (std::size_t level = 0; level < part_sizes.size(); ++level) {
+    location_level_.insert(location_level_.end(), part_sizes[level], level);
+  }
+  PRLC_ASSERT(location_level_.size() == overlay_.locations(), "partition size mismatch");
+  storage_.assign(overlay_.locations(), std::nullopt);
+}
+
+std::pair<std::size_t, std::size_t> Predistribution::support_of_level(std::size_t level) const {
+  switch (params_.scheme) {
+    case codes::Scheme::kRlc:
+      return {0, spec_.total()};
+    case codes::Scheme::kSlc:
+      return {spec_.level_begin(level), spec_.level_end(level)};
+    case codes::Scheme::kPlc:
+      return {0, spec_.level_end(level)};
+  }
+  PRLC_ASSERT(false, "unknown scheme");
+}
+
+std::size_t Predistribution::level_of_location(net::LocationId loc) const {
+  PRLC_REQUIRE(loc < location_level_.size(), "location id out of range");
+  return location_level_[loc];
+}
+
+const StoredBlock* Predistribution::stored(net::LocationId loc) const {
+  PRLC_REQUIRE(loc < storage_.size(), "location id out of range");
+  return storage_[loc].has_value() ? &*storage_[loc] : nullptr;
+}
+
+DisseminationStats Predistribution::disseminate(const codes::SourceData<Field>& source,
+                                                Rng& rng) {
+  PRLC_REQUIRE(source.blocks() == spec_.total(), "source data does not match the spec");
+  PRLC_REQUIRE(source.block_size() == params_.block_size, "source block size mismatch");
+
+  storage_.assign(storage_.size(), std::nullopt);
+  DisseminationStats stats;
+
+  // Step 3 origin assignment: each source block is "measured" at a random
+  // alive node.
+  std::vector<net::NodeId> origin(spec_.total());
+  for (auto& node : origin) node = overlay_.random_alive_node(rng);
+
+  // Capacity-aware placement: resolve each location's hosting node up
+  // front, spilling past full nodes (paper: each node stores d blocks).
+  std::vector<std::size_t> node_load(overlay_.nodes(), 0);
+  std::vector<std::optional<net::NodeId>> host(storage_.size());
+  for (net::LocationId loc = 0; loc < storage_.size(); ++loc) {
+    if (params_.node_capacity == 0) {
+      host[loc] = overlay_.owner_of(loc);
+      continue;
+    }
+    // Geometric growth of the candidate window keeps this O(alive) total.
+    for (std::size_t window = 4; !host[loc].has_value(); window *= 2) {
+      const auto candidates = overlay_.owner_candidates(loc, window);
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (node_load[candidates[i]] < params_.node_capacity) {
+          host[loc] = candidates[i];
+          if (i > 0) ++stats.capacity_spills;
+          // Walking past full candidates costs one extra hop each.
+          stats.total_hops += i;
+          break;
+        }
+      }
+      if (candidates.size() < window) break;  // scanned every alive node
+    }
+    if (host[loc].has_value()) {
+      ++node_load[*host[loc]];
+    } else {
+      ++stats.capacity_overflows;  // M > W*d misconfiguration
+    }
+  }
+
+  // Per-location accumulation (step 4). For each location, decide which
+  // source blocks of its support arrive (all of them, or the sparse
+  // O(ln .) selection), then route each arrival and fold it in.
+  for (net::LocationId loc = 0; loc < storage_.size(); ++loc) {
+    if (!host[loc].has_value()) continue;  // dropped by capacity overflow
+    const std::size_t level = location_level_[loc];
+    const auto [begin, end] = support_of_level(level);
+    const std::size_t width = end - begin;
+    PRLC_ASSERT(width > 0, "empty support for a location");
+
+    std::vector<std::size_t> selected;
+    if (!params_.sparse) {
+      selected.resize(width);
+      std::iota(selected.begin(), selected.end(), begin);
+    } else {
+      const double target =
+          std::ceil(params_.sparsity_factor * std::log(std::max<double>(2.0, width)));
+      const std::size_t take =
+          std::clamp<std::size_t>(static_cast<std::size_t>(target), 1, width);
+      for (std::size_t offset : rng.sample_without_replacement(width, take)) {
+        selected.push_back(begin + offset);
+      }
+    }
+
+    StoredBlock entry;
+    entry.block.level = level;
+    entry.block.coeffs.assign(spec_.total(), 0);
+    entry.block.payload.assign(params_.block_size, 0);
+
+    bool placed = false;
+    for (std::size_t j : selected) {
+      const auto route = overlay_.route(origin[j], loc);
+      ++stats.messages;
+      if (!route.delivered) {
+        ++stats.failed_routes;
+        continue;
+      }
+      stats.total_hops += route.hops;
+      if (!placed) {
+        entry.owner = *host[loc];
+        entry.owner_generation = overlay_.generation(entry.owner);
+        placed = true;
+      }
+      // c <- c + beta * x with beta nonzero (a zero draw would waste the
+      // delivery; the paper's footnote-1 field-size assumption).
+      const auto beta = static_cast<Field::Symbol>(1 + rng.uniform(Field::order() - 1));
+      entry.block.coeffs[j] = Field::add(entry.block.coeffs[j], beta);
+      Field::axpy(std::span<Field::Symbol>(entry.block.payload), beta, source.block(j));
+      ++entry.arrivals;
+    }
+    if (placed) storage_[loc] = std::move(entry);
+  }
+
+  // Load accounting over placement-time owners.
+  std::vector<std::size_t> load(overlay_.nodes(), 0);
+  for (const auto& slot : storage_) {
+    if (slot.has_value()) ++load[slot->owner];
+  }
+  std::size_t loaded_nodes = 0;
+  std::size_t loaded_total = 0;
+  for (std::size_t l : load) {
+    stats.max_node_load = std::max(stats.max_node_load, l);
+    if (l > 0) {
+      ++loaded_nodes;
+      loaded_total += l;
+    }
+  }
+  stats.mean_node_load =
+      loaded_nodes == 0 ? 0.0
+                        : static_cast<double>(loaded_total) / static_cast<double>(loaded_nodes);
+  return stats;
+}
+
+std::vector<net::LocationId> Predistribution::lost_locations() const {
+  std::vector<net::LocationId> out;
+  for (net::LocationId loc = 0; loc < storage_.size(); ++loc) {
+    const auto& slot = storage_[loc];
+    if (!slot.has_value() || !overlay_.alive(slot->owner) ||
+        overlay_.generation(slot->owner) != slot->owner_generation) {
+      out.push_back(loc);
+    }
+  }
+  return out;
+}
+
+void Predistribution::store_rebuilt(net::LocationId loc, codes::CodedBlock<Field> block) {
+  PRLC_REQUIRE(loc < storage_.size(), "location id out of range");
+  PRLC_REQUIRE(block.level == location_level_[loc], "rebuilt block level mismatch");
+  PRLC_REQUIRE(block.coeffs.size() == spec_.total(), "rebuilt block width mismatch");
+  PRLC_REQUIRE(block.payload.size() == params_.block_size, "rebuilt block payload mismatch");
+  StoredBlock entry;
+  entry.owner = overlay_.owner_of(loc);
+  entry.owner_generation = overlay_.generation(entry.owner);
+  std::size_t nnz = 0;
+  for (auto c : block.coeffs) nnz += c != 0 ? 1 : 0;
+  entry.arrivals = nnz;
+  entry.block = std::move(block);
+  storage_[loc] = std::move(entry);
+}
+
+std::vector<net::LocationId> Predistribution::surviving_locations() const {
+  std::vector<net::LocationId> out;
+  for (net::LocationId loc = 0; loc < storage_.size(); ++loc) {
+    const auto& slot = storage_[loc];
+    if (slot.has_value() && overlay_.alive(slot->owner) &&
+        overlay_.generation(slot->owner) == slot->owner_generation) {
+      out.push_back(loc);
+    }
+  }
+  return out;
+}
+
+}  // namespace prlc::proto

@@ -1,0 +1,81 @@
+#include "proto/refresh.h"
+
+#include "codes/decoder.h"
+#include "proto/collector.h"
+#include "util/check.h"
+
+namespace prlc::proto {
+
+RefreshResult refresh(Predistribution& dist, net::NodeId maintainer, Rng& rng) {
+  net::Overlay& overlay = dist.overlay();
+  PRLC_REQUIRE(maintainer < overlay.nodes() && overlay.alive(maintainer),
+               "maintainer must be an alive node");
+
+  RefreshResult result;
+
+  // 1. Decode everything the surviving blocks determine.
+  codes::PriorityDecoder<Field> decoder(dist.params().scheme, dist.spec(),
+                                        dist.params().block_size);
+  collect(dist, decoder, {}, rng);
+  result.decoded_levels = decoder.decoded_levels();
+  result.decoded_blocks = decoder.decoded_prefix_blocks();
+
+  // 2. Rebuild repairable lost locations from the recovered payloads.
+  const auto& spec = dist.spec();
+  for (net::LocationId loc : dist.lost_locations()) {
+    ++result.lost_locations;
+    const std::size_t level = dist.level_of_location(loc);
+
+    // Support of this location's coded block under the scheme.
+    std::size_t begin = 0;
+    std::size_t end = spec.total();
+    if (dist.params().scheme == codes::Scheme::kSlc) {
+      begin = spec.level_begin(level);
+      end = spec.level_end(level);
+    } else if (dist.params().scheme == codes::Scheme::kPlc) {
+      end = spec.level_end(level);
+    }
+    // Repairable only when every supported source block is decoded. For
+    // SLC that means the whole level; for PLC/RLC the prefix covers it.
+    bool repairable = true;
+    for (std::size_t j = begin; j < end && repairable; ++j) {
+      repairable = decoder.is_block_decoded(j);
+    }
+    if (!repairable) {
+      ++result.unrecoverable;
+      continue;
+    }
+
+    // Fresh random combination over the support — identically distributed
+    // to an original dense coded block.
+    codes::CodedBlock<Field> block;
+    block.level = level;
+    block.coeffs.assign(spec.total(), 0);
+    block.payload.assign(dist.params().block_size, 0);
+    bool any = false;
+    for (std::size_t j = begin; j < end; ++j) {
+      const auto beta = static_cast<Field::Symbol>(rng.uniform(Field::order()));
+      if (beta == 0) continue;
+      any = true;
+      block.coeffs[j] = beta;
+      Field::axpy(std::span<Field::Symbol>(block.payload), beta, decoder.recovered(j));
+    }
+    if (!any) {
+      // All-zero draw (possible only for width-1 supports): force one.
+      const auto beta = static_cast<Field::Symbol>(1 + rng.uniform(Field::order() - 1));
+      block.coeffs[begin] = beta;
+      Field::axpy(std::span<Field::Symbol>(block.payload), beta, decoder.recovered(begin));
+    }
+
+    // Ship it from the maintainer to the location's current owner.
+    const auto route = overlay.route(maintainer, loc);
+    ++result.messages;
+    if (!route.delivered) continue;  // partitioned; stays lost this round
+    result.total_hops += route.hops;
+    dist.store_rebuilt(loc, std::move(block));
+    ++result.rebuilt_locations;
+  }
+  return result;
+}
+
+}  // namespace prlc::proto

@@ -1,0 +1,41 @@
+// Maintenance refresh — restoring redundancy after churn.
+//
+// The paper stores data once and measures what survives; a deployed
+// system would periodically *repair*: some maintainer (a collector node,
+// or the operator's gateway) decodes whatever the surviving blocks still
+// determine, then re-disseminates fresh coded blocks to the storage
+// locations whose owners died, so the redundancy level recovers before
+// the next churn wave. This module implements that natural extension:
+//
+//   1. collect all surviving coded blocks and run the progressive decoder;
+//   2. for every lost location whose coding support lies inside the
+//      decoded prefix (PLC: level <= X; SLC: its level decoded), draw a
+//      fresh random coded block from the recovered payloads and ship it
+//      to the location's current owner;
+//   3. locations above the decoded prefix stay lost — data the network
+//      already forgot cannot be repaired, only its redundancy protected
+//      while it still decodes.
+//
+// The abl_refresh bench shows the resulting survivability gap across
+// repeated churn epochs.
+#pragma once
+
+#include "proto/predistribution.h"
+
+namespace prlc::proto {
+
+struct RefreshResult {
+  std::size_t decoded_levels = 0;     ///< what the maintainer could decode
+  std::size_t decoded_blocks = 0;     ///< decoded source-block prefix
+  std::size_t lost_locations = 0;     ///< locations without a live block
+  std::size_t rebuilt_locations = 0;  ///< lost locations repaired
+  std::size_t unrecoverable = 0;      ///< lost locations above the prefix
+  std::size_t messages = 0;           ///< re-dissemination deliveries
+  std::size_t total_hops = 0;         ///< overlay hops for those deliveries
+};
+
+/// Run one refresh round. `maintainer` must be an alive node (the
+/// collector/gateway that performs the decode and re-dissemination).
+RefreshResult refresh(Predistribution& dist, net::NodeId maintainer, Rng& rng);
+
+}  // namespace prlc::proto

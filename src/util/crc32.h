@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for wire-format integrity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace prlc {
+
+/// CRC-32 of `data`, optionally continuing from a previous value
+/// (pass the previous return value as `seed` to chain).
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace prlc

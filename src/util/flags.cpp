@@ -1,0 +1,114 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace prlc {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    PRLC_REQUIRE(!body.empty(), "bare '--' is not a valid flag");
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" form; a following token starting with "--" means the
+    // flag was boolean-style ("--verbose").
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  PRLC_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+               "flag --" + name + " expects an integer, got '" + it->second + "'");
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  PRLC_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+               "flag --" + name + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  PRLC_REQUIRE(false, "flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<double> Flags::get_double_list(const std::string& name,
+                                           std::vector<double> fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    PRLC_REQUIRE(end != nullptr && *end == '\0' && !item.empty(),
+                 "flag --" + name + " has a non-numeric element '" + item + "'");
+    out.push_back(v);
+  }
+  PRLC_REQUIRE(!out.empty(), "flag --" + name + " expects a nonempty list");
+  return out;
+}
+
+std::vector<std::size_t> Flags::get_size_list(const std::string& name,
+                                              std::vector<std::size_t> fallback) const {
+  const auto doubles = get_double_list(
+      name, std::vector<double>(fallback.begin(), fallback.end()));
+  std::vector<std::size_t> out;
+  for (double v : doubles) {
+    PRLC_REQUIRE(v >= 0 && v == static_cast<double>(static_cast<std::size_t>(v)),
+                 "flag --" + name + " expects nonnegative integers");
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!read_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace prlc

@@ -1,0 +1,75 @@
+#include "util/random.h"
+
+#include <unordered_set>
+
+namespace prlc {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  PRLC_REQUIRE(k <= n, "cannot sample more items than the population size");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // For dense samples a shuffle prefix is cheaper and avoids hash overhead.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + uniform(n - i);
+      std::swap(all[i], all[j]);
+    }
+    out.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+    return out;
+  }
+  // Floyd's subset-sampling algorithm for sparse samples.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = uniform(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  PRLC_REQUIRE(!weights.empty(), "AliasTable needs at least one weight");
+  const std::size_t n = weights.size();
+  double total = 0;
+  for (double w : weights) {
+    PRLC_REQUIRE(w >= 0.0, "AliasTable weights must be nonnegative");
+    total += w;
+  }
+  PRLC_REQUIRE(total > 0.0, "AliasTable weights must not all be zero");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Whatever remains is numerically 1.0.
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;
+}
+
+}  // namespace prlc

@@ -1,0 +1,87 @@
+// Streaming statistics and confidence intervals for experiment outputs.
+//
+// Every data point in the paper's figures is "the average and the 95%
+// confidence intervals from 100 independent experiments"; RunningStats
+// provides exactly that (Welford accumulation, normal-approximation CI).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace prlc {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  /// Sample mean; 0 when empty.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean; 0 when empty.
+  double stderr_mean() const {
+    return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+  }
+  /// Half-width of the 95% confidence interval for the mean
+  /// (normal approximation, z = 1.96 — matches the paper's methodology).
+  double ci95_halfwidth() const { return 1.96 * stderr_mean(); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics). `q` in [0,1]. Copies and sorts: O(n log n).
+double quantile(std::span<const double> sample, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus
+/// out-of-range counters; used for load-balance experiments.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace prlc

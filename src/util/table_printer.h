@@ -1,0 +1,47 @@
+// Console table / CSV emission for benchmark binaries.
+//
+// Every bench/* binary reproduces one table or figure of the paper and
+// prints it as an aligned text table; when the PRLC_BENCH_CSV_DIR
+// environment variable is set the same rows are mirrored to a CSV file so
+// plots can be regenerated offline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prlc {
+
+/// Collects rows of string cells and renders them aligned to stdout
+/// and/or CSV. Cells are formatted by the caller (see fmt_double).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render an aligned ASCII table.
+  std::string to_text() const;
+
+  /// Render RFC-4180-ish CSV (cells containing comma/quote get quoted).
+  std::string to_csv() const;
+
+  /// Print to stdout, and — if PRLC_BENCH_CSV_DIR is set — also write
+  /// `<dir>/<name>.csv`. Returns the CSV path if one was written.
+  std::optional<std::string> emit(const std::string& name) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.4f" style) without iostream fuss.
+std::string fmt_double(double value, int precision = 4);
+
+/// "mean ± ci" cell used across benches.
+std::string fmt_mean_ci(double mean, double ci, int precision = 3);
+
+}  // namespace prlc

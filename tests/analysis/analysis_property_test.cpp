@@ -1,0 +1,118 @@
+// Parameterized property sweeps over the analysis engine: invariants the
+// exact backends must satisfy for arbitrary priority structures.
+#include <gtest/gtest.h>
+
+#include "analysis/count_model.h"
+#include "analysis/plc_analysis.h"
+#include "analysis/slc_analysis.h"
+
+namespace prlc::analysis {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+using codes::Scheme;
+
+struct AnalysisCase {
+  const char* name;
+  std::vector<std::size_t> levels;
+  std::vector<double> dist;
+};
+
+std::ostream& operator<<(std::ostream& os, const AnalysisCase& c) { return os << c.name; }
+
+class AnalysisProperties : public ::testing::TestWithParam<AnalysisCase> {
+ protected:
+  PrioritySpec spec() const { return PrioritySpec(std::vector<std::size_t>(GetParam().levels)); }
+  PriorityDistribution dist() const {
+    return PriorityDistribution(std::vector<double>(GetParam().dist));
+  }
+  std::vector<std::size_t> m_grid() const {
+    const std::size_t n = spec().total();
+    return {1, n / 2 + 1, n, 2 * n, 3 * n};
+  }
+};
+
+TEST_P(AnalysisProperties, PlcPmfIsAProbabilityDistribution) {
+  PlcAnalysis plc(spec(), dist());
+  for (std::size_t m : m_grid()) {
+    const auto pmf = plc.level_pmf(m);
+    double sum = 0;
+    for (double p : pmf) {
+      ASSERT_GE(p, -1e-12);
+      ASSERT_LE(p, 1 + 1e-12);
+      sum += p;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-7) << "M=" << m;
+  }
+}
+
+TEST_P(AnalysisProperties, ExpectedLevelsMonotoneInBlocks) {
+  PlcAnalysis plc(spec(), dist());
+  SlcAnalysis slc(spec(), dist());
+  double last_plc = 0;
+  double last_slc = 0;
+  for (std::size_t m = 1; m <= 2 * spec().total(); m += std::max<std::size_t>(1, spec().total() / 6)) {
+    const double e_plc = plc.expected_levels(m);
+    const double e_slc = slc.expected_levels(m);
+    ASSERT_GE(e_plc, last_plc - 1e-9);
+    ASSERT_GE(e_slc, last_slc - 1e-9);
+    last_plc = e_plc;
+    last_slc = e_slc;
+  }
+}
+
+TEST_P(AnalysisProperties, PlcDominatesSlcEverywhere) {
+  PlcAnalysis plc(spec(), dist());
+  SlcAnalysis slc(spec(), dist());
+  for (std::size_t m : m_grid()) {
+    ASSERT_GE(plc.expected_levels(m) + 1e-9, slc.expected_levels(m)) << "M=" << m;
+  }
+}
+
+TEST_P(AnalysisProperties, PrefixProbabilitiesAgreeWithPmfTails) {
+  PlcAnalysis plc(spec(), dist());
+  for (std::size_t m : {spec().total(), 2 * spec().total()}) {
+    const auto pmf = plc.level_pmf(m);
+    for (std::size_t k = 1; k <= spec().levels(); ++k) {
+      double tail = 0;
+      for (std::size_t j = k; j < pmf.size(); ++j) tail += pmf[j];
+      ASSERT_NEAR(plc.prob_at_least(k, m), std::min(tail, 1.0), 1e-7)
+          << "M=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST_P(AnalysisProperties, ExactMatchesCountModelMonteCarlo) {
+  PlcAnalysis plc(spec(), dist());
+  const std::size_t m = spec().total();
+  const auto mc = mc_expected_levels(Scheme::kPlc, spec(), dist(), m, 20000, 17);
+  ASSERT_NEAR(plc.expected_levels(m), mc.mean_levels, 4 * mc.ci95_levels + 0.02);
+}
+
+TEST_P(AnalysisProperties, SaturationReachesAllLevels) {
+  // With every level positively weighted, enough blocks decode everything.
+  bool all_positive = true;
+  for (double p : GetParam().dist) all_positive = all_positive && p > 0;
+  if (!all_positive) GTEST_SKIP() << "zero-weight level never decodes";
+  PlcAnalysis plc(spec(), dist());
+  ASSERT_NEAR(plc.expected_levels(20 * spec().total()),
+              static_cast<double>(spec().levels()), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AnalysisProperties,
+    ::testing::Values(
+        AnalysisCase{"uniform3", {4, 6, 10}, {1. / 3, 1. / 3, 1. / 3}},
+        AnalysisCase{"two_levels", {5, 15}, {0.5, 0.5}},
+        AnalysisCase{"one_level", {10}, {1.0}},
+        AnalysisCase{"front_heavy", {4, 6, 10}, {0.7, 0.2, 0.1}},
+        AnalysisCase{"tail_heavy", {4, 6, 10}, {0.1, 0.2, 0.7}},
+        AnalysisCase{"zero_middle", {3, 3, 3}, {0.5, 0.0, 0.5}},
+        AnalysisCase{"many_levels", {2, 2, 2, 2, 2, 2, 2, 2},
+                     {.125, .125, .125, .125, .125, .125, .125, .125}},
+        AnalysisCase{"uneven", {1, 9, 2, 8}, {0.3, 0.2, 0.3, 0.2}}),
+    [](const ::testing::TestParamInfo<AnalysisCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace prlc::analysis

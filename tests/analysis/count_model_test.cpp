@@ -1,0 +1,155 @@
+#include "analysis/count_model.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "gf/gf256.h"
+#include "util/check.h"
+
+namespace prlc::analysis {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+using codes::Scheme;
+using F = gf::Gf256;
+
+TEST(CountModel, SlcPrefixRule) {
+  const PrioritySpec spec({2, 3, 4});
+  using V = std::vector<std::size_t>;
+  EXPECT_EQ(slc_levels_from_counts(spec, V{0, 0, 0}), 0u);
+  EXPECT_EQ(slc_levels_from_counts(spec, V{2, 0, 0}), 1u);
+  EXPECT_EQ(slc_levels_from_counts(spec, V{1, 3, 4}), 0u);  // gap at level 0
+  EXPECT_EQ(slc_levels_from_counts(spec, V{2, 3, 3}), 2u);
+  EXPECT_EQ(slc_levels_from_counts(spec, V{5, 9, 4}), 3u);
+}
+
+TEST(CountModel, PlcTheorem1Cases) {
+  const PrioritySpec spec({2, 3, 4});  // b = 2, 5, 9
+  using V = std::vector<std::size_t>;
+  // Exactly level 1: two level-0 blocks.
+  EXPECT_EQ(plc_levels_from_counts(spec, V{2, 0, 0}), 1u);
+  // One level-0 block alone decodes nothing (needs b_1 = 2).
+  EXPECT_EQ(plc_levels_from_counts(spec, V{1, 0, 0}), 0u);
+  // D = (1,4,0): D_{1,2} = 5 >= 5, D_{2,2} = 4 >= 3 -> two levels.
+  EXPECT_EQ(plc_levels_from_counts(spec, V{1, 4, 0}), 2u);
+  // D = (0,5,0): D_{2,2} = 5 >= 3 but D_{1,2} = 5 >= 5 -> decodes both!
+  EXPECT_EQ(plc_levels_from_counts(spec, V{0, 5, 0}), 2u);
+  // D = (0,4,0): 4 < b_2 = 5 -> nothing.
+  EXPECT_EQ(plc_levels_from_counts(spec, V{0, 4, 0}), 0u);
+  // Level-2 blocks only: 9 of them decode everything.
+  EXPECT_EQ(plc_levels_from_counts(spec, V{0, 0, 9}), 3u);
+  EXPECT_EQ(plc_levels_from_counts(spec, V{0, 0, 8}), 0u);
+  // Two-stage greedy: (2,0,7): level 0 decodes; then 7 level-2 blocks
+  // must cover b_3 - b_1 = 7 unknowns -> all three levels.
+  EXPECT_EQ(plc_levels_from_counts(spec, V{2, 0, 7}), 3u);
+  // (2,0,6): level 0 only; 6 < 7 remaining unknowns.
+  EXPECT_EQ(plc_levels_from_counts(spec, V{2, 0, 6}), 1u);
+}
+
+TEST(CountModel, RlcAllOrNothing) {
+  const PrioritySpec spec({2, 3, 4});
+  using V = std::vector<std::size_t>;
+  EXPECT_EQ(rlc_levels_from_counts(spec, V{3, 3, 2}), 0u);
+  EXPECT_EQ(rlc_levels_from_counts(spec, V{3, 3, 3}), 3u);
+}
+
+TEST(CountModel, DispatchMatchesSpecificFunctions) {
+  const PrioritySpec spec({1, 2});
+  const std::vector<std::size_t> counts = {1, 2};
+  EXPECT_EQ(levels_from_counts(Scheme::kSlc, spec, counts),
+            slc_levels_from_counts(spec, counts));
+  EXPECT_EQ(levels_from_counts(Scheme::kPlc, spec, counts),
+            plc_levels_from_counts(spec, counts));
+  EXPECT_EQ(levels_from_counts(Scheme::kRlc, spec, counts),
+            rlc_levels_from_counts(spec, counts));
+}
+
+TEST(CountModel, WidthChecked) {
+  const PrioritySpec spec({1, 2});
+  const std::vector<std::size_t> wrong = {1, 2, 3};
+  EXPECT_THROW(slc_levels_from_counts(spec, wrong), PreconditionError);
+  EXPECT_THROW(plc_levels_from_counts(spec, wrong), PreconditionError);
+}
+
+/// Ground truth: run the real GF(2^8) machinery on blocks with the given
+/// per-level counts and report decoded levels.
+std::size_t gf_levels(Scheme scheme, const PrioritySpec& spec,
+                      const std::vector<std::size_t>& counts, Rng& rng) {
+  const codes::PriorityEncoder<F> enc(scheme, spec);
+  codes::PriorityDecoder<F> dec(scheme, spec);
+  for (std::size_t level = 0; level < counts.size(); ++level) {
+    for (std::size_t i = 0; i < counts[level]; ++i) dec.add(enc.encode(level, rng));
+  }
+  return dec.decoded_levels();
+}
+
+TEST(CountModel, AgreesWithGaloisFieldSimulationPlc) {
+  // The count model must match real decoding except for O(1/256) rank
+  // defects; across 300 random count vectors a handful of mismatches is
+  // already generous.
+  Rng rng(131);
+  const PrioritySpec spec({3, 4, 5, 8});
+  std::size_t mismatches = 0;
+  for (int t = 0; t < 300; ++t) {
+    std::vector<std::size_t> counts(4);
+    for (auto& c : counts) c = rng.uniform(9);
+    const std::size_t predicted = plc_levels_from_counts(spec, counts);
+    const std::size_t actual = gf_levels(Scheme::kPlc, spec, counts, rng);
+    EXPECT_LE(actual, predicted);  // field defects only lose information
+    if (predicted != actual) ++mismatches;
+  }
+  EXPECT_LE(mismatches, 12u);
+}
+
+TEST(CountModel, AgreesWithGaloisFieldSimulationSlc) {
+  Rng rng(132);
+  const PrioritySpec spec({3, 4, 5});
+  std::size_t mismatches = 0;
+  for (int t = 0; t < 300; ++t) {
+    std::vector<std::size_t> counts(3);
+    for (auto& c : counts) c = rng.uniform(8);
+    const std::size_t predicted = slc_levels_from_counts(spec, counts);
+    const std::size_t actual = gf_levels(Scheme::kSlc, spec, counts, rng);
+    EXPECT_LE(actual, predicted);
+    if (predicted != actual) ++mismatches;
+  }
+  EXPECT_LE(mismatches, 12u);
+}
+
+TEST(CountModel, McCurveMatchesDirectAverage) {
+  const PrioritySpec spec({2, 3});
+  const auto dist = PriorityDistribution::uniform(2);
+  const std::vector<std::size_t> ms = {4, 8, 16};
+  const auto curve = mc_count_curve(Scheme::kPlc, spec, dist, ms, 5000, 9);
+  ASSERT_EQ(curve.size(), 3u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].mean_levels, curve[i - 1].mean_levels);
+  }
+  // With 16 blocks for 5 unknowns decoding both levels is near-certain.
+  EXPECT_GT(curve[2].mean_levels, 1.9);
+  EXPECT_LE(curve[2].mean_levels, 2.0);
+}
+
+TEST(CountModel, McExpectedLevelsDeterministicPerSeed) {
+  const PrioritySpec spec({2, 3});
+  const auto dist = PriorityDistribution::uniform(2);
+  const auto a = mc_expected_levels(Scheme::kSlc, spec, dist, 10, 2000, 5);
+  const auto b = mc_expected_levels(Scheme::kSlc, spec, dist, 10, 2000, 5);
+  EXPECT_DOUBLE_EQ(a.mean_levels, b.mean_levels);
+}
+
+TEST(CountModel, McValidatesArguments) {
+  const PrioritySpec spec({2, 3});
+  const auto dist = PriorityDistribution::uniform(2);
+  const std::vector<std::size_t> empty;
+  EXPECT_THROW(mc_count_curve(Scheme::kPlc, spec, dist, empty, 10, 1), PreconditionError);
+  const std::vector<std::size_t> unsorted = {5, 5};
+  EXPECT_THROW(mc_count_curve(Scheme::kPlc, spec, dist, unsorted, 10, 1), PreconditionError);
+  const std::vector<std::size_t> ok = {5};
+  EXPECT_THROW(mc_count_curve(Scheme::kPlc, spec, dist, ok, 0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::analysis

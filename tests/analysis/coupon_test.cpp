@@ -1,0 +1,81 @@
+#include "analysis/coupon.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::analysis {
+namespace {
+
+TEST(Coupon, ExpectedDrawsHarmonic) {
+  EXPECT_DOUBLE_EQ(coupon_expected_draws(1), 1.0);
+  EXPECT_NEAR(coupon_expected_draws(2), 3.0, 1e-12);              // 2*(1+1/2)
+  EXPECT_NEAR(coupon_expected_draws(3), 5.5, 1e-12);              // 3*(1+1/2+1/3)
+  EXPECT_NEAR(coupon_expected_draws(100), 100 * 5.1873775, 1e-3); // H_100
+}
+
+TEST(Coupon, ExpectedDistinctExactFormula) {
+  EXPECT_DOUBLE_EQ(coupon_expected_distinct(10, 0), 0.0);
+  EXPECT_NEAR(coupon_expected_distinct(10, 1), 1.0, 1e-12);
+  // Large M saturates at N.
+  EXPECT_NEAR(coupon_expected_distinct(10, 10000), 10.0, 1e-9);
+}
+
+TEST(Coupon, ExpectedDistinctMatchesSimulation) {
+  Rng rng(141);
+  const std::size_t n = 20;
+  const std::size_t m = 30;
+  double total = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<bool> seen(n, false);
+    std::size_t distinct = 0;
+    for (std::size_t d = 0; d < m; ++d) {
+      const std::size_t c = rng.uniform(n);
+      if (!seen[c]) {
+        seen[c] = true;
+        ++distinct;
+      }
+    }
+    total += static_cast<double>(distinct);
+  }
+  EXPECT_NEAR(total / trials, coupon_expected_distinct(n, m), 0.05);
+}
+
+TEST(Coupon, ProbAllCollectedMonotoneAndBounded) {
+  double last = 0;
+  for (std::size_t m = 0; m <= 2000; m += 100) {
+    const double p = coupon_prob_all_collected(50, m);
+    EXPECT_GE(p, last - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    last = p;
+  }
+  EXPECT_LT(coupon_prob_all_collected(50, 50), 0.01);
+  EXPECT_GT(coupon_prob_all_collected(50, 1000), 0.95);
+}
+
+TEST(Coupon, ExpectedPrefixBounds) {
+  EXPECT_NEAR(coupon_expected_prefix(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(coupon_expected_prefix(10, 100000), 10.0, 1e-6);
+  const double mid = coupon_expected_prefix(10, 10);
+  EXPECT_GT(mid, 0.5);
+  EXPECT_LT(mid, 5.0);
+}
+
+TEST(Coupon, PrefixAtMostDistinct) {
+  for (std::size_t m : {5u, 20u, 80u}) {
+    EXPECT_LE(coupon_expected_prefix(30, m), coupon_expected_distinct(30, m) + 0.5);
+  }
+}
+
+TEST(Coupon, RejectsZeroCoupons) {
+  EXPECT_THROW(coupon_expected_draws(0), PreconditionError);
+  EXPECT_THROW(coupon_expected_distinct(0, 5), PreconditionError);
+  EXPECT_THROW(coupon_prob_all_collected(0, 5), PreconditionError);
+  EXPECT_THROW(coupon_expected_prefix(0, 5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::analysis

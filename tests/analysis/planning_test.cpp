@@ -1,0 +1,123 @@
+#include "analysis/planning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/count_model.h"
+#include "analysis/plc_analysis.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace prlc::analysis {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+using codes::Scheme;
+
+TEST(Planning, BlocksNeededIsExactThreshold) {
+  const PrioritySpec spec({5, 10});
+  const auto dist = PriorityDistribution::uniform(2);
+  PlcAnalysis plc(spec, dist);
+  for (double conf : {0.5, 0.9, 0.99}) {
+    const auto m = blocks_needed(Scheme::kPlc, spec, dist, 1, conf, 500);
+    ASSERT_TRUE(m.has_value()) << conf;
+    EXPECT_GE(plc.prob_at_least(1, *m), conf);
+    if (*m > 1) {
+      EXPECT_LT(plc.prob_at_least(1, *m - 1), conf);
+    }
+  }
+}
+
+TEST(Planning, BlocksNeededRespectsLowerBound) {
+  // Fewer than b_k blocks can never decode k levels.
+  const PrioritySpec spec({5, 10});
+  const auto dist = PriorityDistribution::uniform(2);
+  const auto m = blocks_needed(Scheme::kPlc, spec, dist, 2, 0.5, 500);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_GE(*m, 15u);
+}
+
+TEST(Planning, BlocksNeededMonotoneInConfidenceAndLevel) {
+  const PrioritySpec spec({5, 10, 15});
+  const auto dist = PriorityDistribution::uniform(3);
+  const auto m50 = blocks_needed(Scheme::kPlc, spec, dist, 1, 0.5, 1000);
+  const auto m99 = blocks_needed(Scheme::kPlc, spec, dist, 1, 0.99, 1000);
+  const auto m2 = blocks_needed(Scheme::kPlc, spec, dist, 2, 0.5, 1000);
+  ASSERT_TRUE(m50 && m99 && m2);
+  EXPECT_LE(*m50, *m99);
+  EXPECT_LE(*m50, *m2);
+}
+
+TEST(Planning, UnreachableTargetReturnsNullopt) {
+  const PrioritySpec spec({5, 10});
+  // No level-1 coded blocks: level 1 of SLC can never decode.
+  const PriorityDistribution dist({0.0, 1.0});
+  EXPECT_EQ(blocks_needed(Scheme::kSlc, spec, dist, 1, 0.5, 2000), std::nullopt);
+}
+
+TEST(Planning, RlcNeedsExactlyN) {
+  const PrioritySpec spec({5, 10});
+  const auto dist = PriorityDistribution::uniform(2);
+  const auto m = blocks_needed(Scheme::kRlc, spec, dist, 2, 0.9, 100);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 15u);
+}
+
+TEST(Planning, ValidatesArguments) {
+  const PrioritySpec spec({5, 10});
+  const auto dist = PriorityDistribution::uniform(2);
+  EXPECT_THROW(blocks_needed(Scheme::kPlc, spec, dist, 0, 0.5, 100), PreconditionError);
+  EXPECT_THROW(blocks_needed(Scheme::kPlc, spec, dist, 3, 0.5, 100), PreconditionError);
+  EXPECT_THROW(blocks_needed(Scheme::kPlc, spec, dist, 1, 1.0, 100), PreconditionError);
+  EXPECT_THROW(blocks_needed(Scheme::kPlc, spec, dist, 1, 0.5, 0), PreconditionError);
+}
+
+TEST(Planning, TolerableLossConsistentWithBlocksNeeded) {
+  const PrioritySpec spec({5, 10});
+  const auto dist = PriorityDistribution::uniform(2);
+  const std::size_t stored = 60;
+  const double f = tolerable_loss(Scheme::kPlc, spec, dist, 1, 0.9, stored);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 1.0);
+  const auto needed = blocks_needed(Scheme::kPlc, spec, dist, 1, 0.9, stored);
+  ASSERT_TRUE(needed.has_value());
+  EXPECT_NEAR(f, 1.0 - static_cast<double>(*needed) / 60.0, 1e-12);
+}
+
+TEST(Planning, TolerableLossZeroWhenStoreTooSmall) {
+  const PrioritySpec spec({5, 10});
+  const auto dist = PriorityDistribution::uniform(2);
+  // 10 stored blocks cannot decode both levels (b_2 = 15) at any loss.
+  EXPECT_DOUBLE_EQ(tolerable_loss(Scheme::kPlc, spec, dist, 2, 0.9, 10), 0.0);
+}
+
+TEST(Planning, VarianceMatchesMonteCarlo) {
+  const PrioritySpec spec({4, 6, 8});
+  const PriorityDistribution dist({0.3, 0.3, 0.4});
+  for (std::size_t m : {8u, 18u, 30u}) {
+    const double analytic = variance_levels(Scheme::kPlc, spec, dist, m);
+    // Monte-Carlo variance of the count model.
+    Rng rng(91);
+    RunningStats xs;
+    for (int t = 0; t < 30000; ++t) {
+      std::vector<std::size_t> counts(3, 0);
+      for (std::size_t i = 0; i < m; ++i) ++counts[dist.sample_level(rng)];
+      xs.add(static_cast<double>(plc_levels_from_counts(spec, counts)));
+    }
+    EXPECT_NEAR(analytic, xs.variance(), 0.05 + 0.05 * xs.variance()) << "M=" << m;
+  }
+}
+
+TEST(Planning, VarianceZeroAtExtremes) {
+  const PrioritySpec spec({4, 6});
+  const auto dist = PriorityDistribution::uniform(2);
+  EXPECT_NEAR(variance_levels(Scheme::kPlc, spec, dist, 0), 0.0, 1e-12);
+  // Saturated: everything decodes almost surely -> variance ~ 0.
+  EXPECT_LT(variance_levels(Scheme::kPlc, spec, dist, 200), 1e-3);
+}
+
+}  // namespace
+}  // namespace prlc::analysis

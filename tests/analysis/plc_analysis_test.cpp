@@ -1,0 +1,156 @@
+#include "analysis/plc_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "analysis/count_model.h"
+#include "analysis/slc_analysis.h"
+#include "util/logprob.h"
+
+namespace prlc::analysis {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+
+/// Brute-force Pr(X = k) by enumerating all multinomial count vectors and
+/// applying the Theorem-1 count model (tiny instances only).
+double brute_force_exactly(const PrioritySpec& spec, const PriorityDistribution& dist,
+                           std::size_t k, std::size_t M) {
+  LogFactorialTable lfact;
+  const std::size_t n = spec.levels();
+  std::vector<std::size_t> counts(n, 0);
+  double total = 0;
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t level,
+                                                          std::size_t remaining) {
+    if (level + 1 == n) {
+      counts[level] = remaining;
+      if (plc_levels_from_counts(spec, counts) == k) {
+        double logp = lfact(M);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (counts[i] > 0 && dist.at(i) == 0.0) return;
+          logp -= lfact(counts[i]);
+          if (dist.at(i) > 0) logp += static_cast<double>(counts[i]) * std::log(dist.at(i));
+        }
+        total += std::exp(logp);
+      }
+      return;
+    }
+    for (std::size_t c = 0; c <= remaining; ++c) {
+      counts[level] = c;
+      rec(level + 1, remaining - c);
+    }
+  };
+  rec(0, M);
+  return total;
+}
+
+TEST(PlcAnalysis, MatchesBruteForceTwoLevels) {
+  const PrioritySpec spec({2, 3});
+  const PriorityDistribution dist({0.35, 0.65});
+  PlcAnalysis plc(spec, dist);
+  for (std::size_t M : {1u, 2u, 4u, 6u, 10u}) {
+    for (std::size_t k : {0u, 1u, 2u}) {
+      EXPECT_NEAR(plc.prob_exactly(k, M), brute_force_exactly(spec, dist, k, M), 1e-9)
+          << "M=" << M << " k=" << k;
+    }
+  }
+}
+
+TEST(PlcAnalysis, MatchesBruteForceThreeLevels) {
+  const PrioritySpec spec({1, 2, 3});
+  const PriorityDistribution dist({0.2, 0.35, 0.45});
+  PlcAnalysis plc(spec, dist);
+  for (std::size_t M : {1u, 3u, 6u, 9u, 12u}) {
+    for (std::size_t k : {0u, 1u, 2u, 3u}) {
+      EXPECT_NEAR(plc.prob_exactly(k, M), brute_force_exactly(spec, dist, k, M), 1e-9)
+          << "M=" << M << " k=" << k;
+    }
+  }
+}
+
+TEST(PlcAnalysis, PmfSumsToOne) {
+  const PrioritySpec spec({3, 5, 7, 9});
+  const PriorityDistribution dist({0.1, 0.2, 0.3, 0.4});
+  PlcAnalysis plc(spec, dist);
+  for (std::size_t M : {0u, 5u, 12u, 24u, 48u}) {
+    const auto pmf = plc.level_pmf(M);
+    double sum = 0;
+    for (double p : pmf) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-8) << "M=" << M;
+  }
+}
+
+TEST(PlcAnalysis, AgreesWithMonteCarlo) {
+  const PrioritySpec spec({10, 20, 30});
+  const PriorityDistribution dist({0.3, 0.3, 0.4});
+  PlcAnalysis plc(spec, dist);
+  for (std::size_t M : {30u, 60u, 90u, 150u}) {
+    const auto mc = mc_expected_levels(codes::Scheme::kPlc, spec, dist, M, 40000, 11);
+    EXPECT_NEAR(plc.expected_levels(M), mc.mean_levels, 4 * mc.ci95_levels + 0.01)
+        << "M=" << M;
+  }
+}
+
+TEST(PlcAnalysis, DominatesSlc) {
+  // Theorem 1 of the tech report: PLC needs no more blocks than SLC for
+  // the same recovery, so E_PLC(X_M) >= E_SLC(X_M) everywhere.
+  const PrioritySpec spec({5, 10, 15});
+  const PriorityDistribution dist = PriorityDistribution::uniform(3);
+  PlcAnalysis plc(spec, dist);
+  SlcAnalysis slc(spec, dist);
+  for (std::size_t M = 5; M <= 90; M += 5) {
+    EXPECT_GE(plc.expected_levels(M) + 1e-9, slc.expected_levels(M)) << "M=" << M;
+  }
+}
+
+TEST(PlcAnalysis, MonotoneInBlocks) {
+  const PrioritySpec spec({4, 8});
+  PlcAnalysis plc(spec, PriorityDistribution::uniform(2));
+  double last = 0;
+  for (std::size_t M = 1; M <= 40; M += 3) {
+    const double e = plc.expected_levels(M);
+    EXPECT_GE(e, last - 1e-9);
+    last = e;
+  }
+}
+
+TEST(PlcAnalysis, EdgeCases) {
+  const PrioritySpec spec({2, 4});
+  PlcAnalysis plc(spec, PriorityDistribution::uniform(2));
+  EXPECT_DOUBLE_EQ(plc.prob_exactly(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(plc.prob_exactly(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(plc.prob_exactly(2, 5), 0.0);  // b_2 = 6 > 5
+  EXPECT_DOUBLE_EQ(plc.prob_at_least(0, 3), 1.0);
+  EXPECT_THROW(plc.prob_exactly(3, 5), PreconditionError);
+}
+
+TEST(PlcAnalysis, LastLevelOnlyDistributionStillDecodes) {
+  // All coded blocks at the last level: PLC mixes everything, so decoding
+  // is all-or-nothing at M >= N, like RLC.
+  const PrioritySpec spec({2, 3});
+  PlcAnalysis plc(spec, PriorityDistribution({0.0, 1.0}));
+  EXPECT_NEAR(plc.expected_levels(4), 0.0, 1e-9);
+  EXPECT_NEAR(plc.expected_levels(5), 2.0, 1e-9);
+}
+
+TEST(PlcAnalysis, FirstLevelOnlyDistributionCapsAtOneLevel) {
+  const PrioritySpec spec({2, 3});
+  PlcAnalysis plc(spec, PriorityDistribution({1.0, 0.0}));
+  EXPECT_NEAR(plc.expected_levels(1), 0.0, 1e-9);
+  EXPECT_NEAR(plc.expected_levels(2), 1.0, 1e-9);
+  EXPECT_NEAR(plc.expected_levels(50), 1.0, 1e-9);
+  EXPECT_NEAR(plc.prob_decode_all(50), 0.0, 1e-12);
+}
+
+TEST(PlcAnalysis, ProbDecodeAllGrowsWithBlocks) {
+  const PrioritySpec spec({3, 3});
+  PlcAnalysis plc(spec, PriorityDistribution::uniform(2));
+  EXPECT_LT(plc.prob_decode_all(6), plc.prob_decode_all(12));
+  EXPECT_GT(plc.prob_decode_all(30), 0.95);
+}
+
+}  // namespace
+}  // namespace prlc::analysis

@@ -1,0 +1,84 @@
+#include "analysis/plc_approx.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/plc_analysis.h"
+#include "util/check.h"
+
+namespace prlc::analysis {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+
+TEST(PlcApprox, PmfIsNormalized) {
+  const PrioritySpec spec({5, 10, 15});
+  PlcApproxAnalysis approx(spec, PriorityDistribution::uniform(3));
+  for (std::size_t m : {0u, 10u, 30u, 60u}) {
+    const auto pmf = approx.level_pmf(m);
+    double sum = 0;
+    for (double p : pmf) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << m;
+  }
+}
+
+TEST(PlcApprox, TrivialCasesExact) {
+  const PrioritySpec spec({3, 5});
+  PlcApproxAnalysis approx(spec, PriorityDistribution::uniform(2));
+  EXPECT_DOUBLE_EQ(approx.prob_exactly(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(approx.prob_exactly(1, 2), 0.0);  // b_1 = 3 > 2
+  EXPECT_DOUBLE_EQ(approx.prob_exactly(2, 7), 0.0);  // b_2 = 8 > 7
+}
+
+TEST(PlcApprox, CloseToExactAtFewLevels) {
+  // The independence error is small for a handful of levels — the
+  // regime where the paper's Fig. 4(a) shows agreement.
+  const PrioritySpec spec({10, 10, 10});
+  const auto dist = PriorityDistribution::uniform(3);
+  PlcApproxAnalysis approx(spec, dist);
+  PlcAnalysis exact(spec, dist);
+  for (std::size_t m = 5; m <= 60; m += 5) {
+    EXPECT_NEAR(approx.expected_levels(m), exact.expected_levels(m), 0.25) << "M=" << m;
+  }
+}
+
+TEST(PlcApprox, DeviatesMoreWithManyLevels) {
+  // The qualitative property of the paper's approximation: error grows
+  // with the level count. Compare total absolute curve error at 3 vs 12
+  // levels (same N).
+  auto curve_error = [](std::size_t levels) {
+    const std::size_t per = 36 / levels;
+    const PrioritySpec spec(std::vector<std::size_t>(levels, per));
+    const auto dist = PriorityDistribution::uniform(levels);
+    PlcApproxAnalysis approx(spec, dist);
+    PlcAnalysis exact(spec, dist);
+    double err = 0;
+    for (std::size_t m = 6; m <= 54; m += 6) {
+      err += std::abs(approx.expected_levels(m) - exact.expected_levels(m)) /
+             static_cast<double>(levels);
+    }
+    return err;
+  };
+  EXPECT_LT(curve_error(3), curve_error(12));
+}
+
+TEST(PlcApprox, MonotoneExpectedLevels) {
+  const PrioritySpec spec({4, 8, 12});
+  PlcApproxAnalysis approx(spec, PriorityDistribution::uniform(3));
+  double last = 0;
+  for (std::size_t m = 1; m <= 50; m += 4) {
+    const double e = approx.expected_levels(m);
+    EXPECT_GE(e, last - 0.02);  // approximation may wobble slightly
+    last = e;
+  }
+}
+
+TEST(PlcApprox, Validation) {
+  EXPECT_THROW(PlcApproxAnalysis(PrioritySpec({2, 2}), PriorityDistribution::uniform(3)),
+               PreconditionError);
+  PlcApproxAnalysis approx(PrioritySpec({2, 2}), PriorityDistribution::uniform(2));
+  EXPECT_THROW(approx.prob_exactly(3, 5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::analysis

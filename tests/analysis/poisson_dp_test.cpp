@@ -1,0 +1,139 @@
+#include "analysis/poisson_dp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prlc::analysis {
+namespace {
+
+TEST(SupportPoly, Delta0) {
+  const auto d = SupportPoly::delta0();
+  EXPECT_FALSE(d.is_zero());
+  EXPECT_EQ(d.lo(), 0u);
+  EXPECT_DOUBLE_EQ(d.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.at(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.sum(), 1.0);
+}
+
+TEST(SupportPoly, PoissonPmfSums) {
+  LogFactorialTable lfact;
+  for (double mu : {0.0, 0.3, 5.0, 100.0}) {
+    const auto p = SupportPoly::poisson(mu, 500, lfact);
+    EXPECT_NEAR(p.sum(), 1.0, 1e-9) << "mu=" << mu;
+  }
+}
+
+TEST(SupportPoly, PoissonTrimsTails) {
+  LogFactorialTable lfact;
+  const auto p = SupportPoly::poisson(1000.0, 2000, lfact);
+  // The pmf around 0 underflows; the window must not start at 0.
+  EXPECT_GT(p.lo(), 100u);
+  EXPECT_LT(p.lo(), 1000u);
+  EXPECT_NEAR(p.sum(), 1.0, 1e-9);
+  // Mode value ~ 1/sqrt(2 pi mu).
+  EXPECT_NEAR(p.at(1000), 1.0 / std::sqrt(2 * M_PI * 1000.0), 1e-5);
+}
+
+TEST(SupportPoly, ZeroBelowMask) {
+  LogFactorialTable lfact;
+  auto p = SupportPoly::poisson(4.0, 100, lfact);
+  double tail = 0;
+  for (std::size_t k = 6; k <= 100; ++k) tail += p.at(k);
+  p.zero_below(6);
+  EXPECT_DOUBLE_EQ(p.at(5), 0.0);
+  EXPECT_NEAR(p.sum(), tail, 1e-12);
+  p.zero_below(1000);
+  EXPECT_TRUE(p.is_zero());
+}
+
+TEST(SupportPoly, ZeroAboveMask) {
+  LogFactorialTable lfact;
+  auto p = SupportPoly::poisson(4.0, 100, lfact);
+  double head = 0;
+  for (std::size_t k = 0; k <= 3; ++k) head += p.at(k);
+  p.zero_above(3);
+  EXPECT_DOUBLE_EQ(p.at(4), 0.0);
+  EXPECT_NEAR(p.sum(), head, 1e-12);
+}
+
+TEST(SupportPoly, ZeroAboveBelowLoEmpties) {
+  LogFactorialTable lfact;
+  // Poisson(1000) underflows near zero, so the trimmed window starts well
+  // above degree 2; masking to <= 1 must empty the polynomial.
+  auto p = SupportPoly::poisson(1000.0, 2000, lfact);
+  ASSERT_GT(p.lo(), 2u);
+  p.zero_above(1);
+  EXPECT_TRUE(p.is_zero());
+}
+
+TEST(SupportPoly, ConvolutionIsPoissonAdditivity) {
+  // Pois(a) * Pois(b) = Pois(a+b).
+  LogFactorialTable lfact;
+  const auto a = SupportPoly::poisson(3.0, 300, lfact);
+  const auto b = SupportPoly::poisson(7.0, 300, lfact);
+  const auto ab = SupportPoly::convolve(a, b, 300);
+  const auto direct = SupportPoly::poisson(10.0, 300, lfact);
+  for (std::size_t k = 0; k <= 60; ++k) {
+    EXPECT_NEAR(ab.at(k), direct.at(k), 1e-10) << k;
+  }
+}
+
+TEST(SupportPoly, ConvolveRespectsCap) {
+  LogFactorialTable lfact;
+  const auto a = SupportPoly::poisson(5.0, 100, lfact);
+  const auto b = SupportPoly::poisson(5.0, 100, lfact);
+  const auto ab = SupportPoly::convolve(a, b, 12);
+  EXPECT_LE(ab.hi(), 13u);
+}
+
+TEST(SupportPoly, ConvolveWithZeroIsZero) {
+  LogFactorialTable lfact;
+  const auto a = SupportPoly::poisson(5.0, 100, lfact);
+  const SupportPoly zero;
+  EXPECT_TRUE(SupportPoly::convolve(a, zero, 100).is_zero());
+  EXPECT_TRUE(SupportPoly::convolve(zero, a, 100).is_zero());
+}
+
+TEST(SupportPoly, ConvolveAtMatchesFullConvolution) {
+  LogFactorialTable lfact;
+  const auto a = SupportPoly::poisson(4.0, 200, lfact);
+  const auto b = SupportPoly::poisson(9.0, 200, lfact);
+  const auto full = SupportPoly::convolve(a, b, 200);
+  for (std::size_t target : {0u, 5u, 13u, 40u, 200u}) {
+    EXPECT_NEAR(SupportPoly::convolve_at(a, b, target), full.at(target), 1e-12) << target;
+  }
+}
+
+TEST(Normalizer, MatchesPoissonIdentity) {
+  // C(M) = 1 / Pr(Pois(M) = M).
+  LogFactorialTable lfact;
+  for (std::size_t m : {1u, 10u, 100u, 1000u}) {
+    const auto p = SupportPoly::poisson(static_cast<double>(m), m + 1, lfact);
+    EXPECT_NEAR(std::exp(log_multinomial_normalizer(m, lfact)) * p.at(m), 1.0, 1e-8)
+        << "M=" << m;
+  }
+  EXPECT_DOUBLE_EQ(log_multinomial_normalizer(0, lfact), 0.0);
+}
+
+TEST(Normalizer, MultinomialSanityTwoLevels) {
+  // Pr(D1 = k) for D ~ Multinomial(M, {p, 1-p}) must equal Binomial pmf
+  // when computed through the Poissonization identity.
+  LogFactorialTable lfact;
+  const std::size_t M = 20;
+  const double p = 0.3;
+  const auto a = SupportPoly::poisson(M * p, M, lfact);
+  const auto b = SupportPoly::poisson(M * (1 - p), M, lfact);
+  const double c = std::exp(log_multinomial_normalizer(M, lfact));
+  for (std::size_t k = 0; k <= M; ++k) {
+    // Mask level 1 to exactly k.
+    auto ak = a;
+    ak.zero_below(k);
+    ak.zero_above(k);
+    const double prob = c * SupportPoly::convolve_at(ak, b, M);
+    EXPECT_NEAR(prob, lfact.binomial_pmf(M, p, k), 1e-10) << k;
+  }
+}
+
+}  // namespace
+}  // namespace prlc::analysis

@@ -1,0 +1,148 @@
+#include "analysis/slc_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "analysis/count_model.h"
+#include "util/logprob.h"
+
+namespace prlc::analysis {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+
+/// Brute-force Pr(X >= k) by enumerating all multinomial count vectors
+/// (tiny instances only).
+double brute_force_at_least(const PrioritySpec& spec, const PriorityDistribution& dist,
+                            std::size_t k, std::size_t M) {
+  LogFactorialTable lfact;
+  const std::size_t n = spec.levels();
+  std::vector<std::size_t> counts(n, 0);
+  double total = 0;
+  // Odometer over compositions of M into n parts.
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t level,
+                                                          std::size_t remaining) {
+    if (level + 1 == n) {
+      counts[level] = remaining;
+      if (slc_levels_from_counts(spec, counts) >= k) {
+        double logp = lfact(M);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (counts[i] > 0 && dist.at(i) == 0.0) return;
+          logp -= lfact(counts[i]);
+          if (dist.at(i) > 0) logp += static_cast<double>(counts[i]) * std::log(dist.at(i));
+        }
+        total += std::exp(logp);
+      }
+      return;
+    }
+    for (std::size_t c = 0; c <= remaining; ++c) {
+      counts[level] = c;
+      rec(level + 1, remaining - c);
+    }
+  };
+  rec(0, M);
+  return total;
+}
+
+TEST(SlcAnalysis, MatchesBruteForceSmall) {
+  const PrioritySpec spec({2, 3});
+  const PriorityDistribution dist({0.4, 0.6});
+  SlcAnalysis slc(spec, dist);
+  for (std::size_t M : {1u, 3u, 5u, 9u, 14u}) {
+    for (std::size_t k : {1u, 2u}) {
+      EXPECT_NEAR(slc.prob_at_least(k, M), brute_force_at_least(spec, dist, k, M), 1e-9)
+          << "M=" << M << " k=" << k;
+    }
+  }
+}
+
+TEST(SlcAnalysis, MatchesBruteForceThreeLevels) {
+  const PrioritySpec spec({1, 2, 2});
+  const PriorityDistribution dist({0.25, 0.3, 0.45});
+  SlcAnalysis slc(spec, dist);
+  for (std::size_t M : {2u, 6u, 12u}) {
+    for (std::size_t k : {1u, 2u, 3u}) {
+      EXPECT_NEAR(slc.prob_at_least(k, M), brute_force_at_least(spec, dist, k, M), 1e-9)
+          << "M=" << M << " k=" << k;
+    }
+  }
+}
+
+TEST(SlcAnalysis, AgreesWithMonteCarlo) {
+  const PrioritySpec spec({10, 20, 30});
+  const PriorityDistribution dist({0.3, 0.3, 0.4});
+  SlcAnalysis slc(spec, dist);
+  for (std::size_t M : {30u, 60u, 120u}) {
+    const auto mc =
+        mc_expected_levels(codes::Scheme::kSlc, spec, dist, M, 40000, 7);
+    EXPECT_NEAR(slc.expected_levels(M), mc.mean_levels, 4 * mc.ci95_levels + 0.01)
+        << "M=" << M;
+  }
+}
+
+TEST(SlcAnalysis, PrefixProbabilitiesMonotoneInK) {
+  const PrioritySpec spec({5, 5, 5, 5});
+  SlcAnalysis slc(spec, PriorityDistribution::uniform(4));
+  const auto probs = slc.prefix_probabilities(30);
+  for (std::size_t i = 1; i < probs.size(); ++i) EXPECT_LE(probs[i], probs[i - 1] + 1e-12);
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(SlcAnalysis, MonotoneInBlocks) {
+  const PrioritySpec spec({5, 10});
+  SlcAnalysis slc(spec, PriorityDistribution::uniform(2));
+  double last = 0;
+  for (std::size_t M = 1; M <= 60; M += 5) {
+    const double e = slc.expected_levels(M);
+    EXPECT_GE(e, last - 1e-9);
+    last = e;
+  }
+}
+
+TEST(SlcAnalysis, EdgeCases) {
+  const PrioritySpec spec({3, 4});
+  SlcAnalysis slc(spec, PriorityDistribution::uniform(2));
+  EXPECT_DOUBLE_EQ(slc.prob_at_least(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(slc.expected_levels(0), 0.0);
+  // Fewer blocks than the first level can never decode anything.
+  EXPECT_DOUBLE_EQ(slc.expected_levels(2), 0.0);
+  EXPECT_THROW(slc.prob_at_least(3, 5), PreconditionError);
+}
+
+TEST(SlcAnalysis, ZeroWeightLevelBlocksEverythingBehindIt) {
+  const PrioritySpec spec({2, 2, 2});
+  SlcAnalysis slc(spec, PriorityDistribution({0.0, 0.5, 0.5}));
+  // Level 0 gets no coded blocks: Pr(X >= 1) = 0 at any M.
+  EXPECT_DOUBLE_EQ(slc.prob_at_least(1, 100), 0.0);
+  EXPECT_DOUBLE_EQ(slc.expected_levels(100), 0.0);
+}
+
+TEST(SlcAnalysis, ProbDecodeAllApproachesOne) {
+  const PrioritySpec spec({5, 5});
+  SlcAnalysis slc(spec, PriorityDistribution::uniform(2));
+  EXPECT_LT(slc.prob_decode_all(10), 0.5);
+  EXPECT_GT(slc.prob_decode_all(60), 0.99);
+}
+
+TEST(SlcAnalysis, SingleLevelIsRlcThreshold) {
+  // One level of size 10 with all mass: decodes iff M >= 10 (idealized).
+  const PrioritySpec spec({10});
+  SlcAnalysis slc(spec, PriorityDistribution::uniform(1));
+  EXPECT_NEAR(slc.expected_levels(9), 0.0, 1e-12);
+  EXPECT_NEAR(slc.expected_levels(10), 1.0, 1e-9);
+  EXPECT_NEAR(slc.expected_levels(25), 1.0, 1e-9);
+}
+
+TEST(SlcAnalysis, RejectsMismatchedDistribution) {
+  EXPECT_THROW(SlcAnalysis(PrioritySpec({1, 2}), PriorityDistribution::uniform(3)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::analysis

@@ -1,0 +1,117 @@
+#include "codes/decoding_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+#include "util/check.h"
+
+namespace prlc::codes {
+namespace {
+
+using F = gf::Gf256;
+
+TEST(MakeBlockCounts, EvenSpacingAndDedup) {
+  const auto counts = make_block_counts(10, 100, 10);
+  EXPECT_EQ(counts.front(), 10u);
+  EXPECT_EQ(counts.back(), 100u);
+  for (std::size_t i = 1; i < counts.size(); ++i) EXPECT_LT(counts[i - 1], counts[i]);
+  const auto tight = make_block_counts(5, 7, 10);  // more points than range
+  EXPECT_EQ(tight, (std::vector<std::size_t>{5, 6, 7}));
+}
+
+TEST(MakeBlockCounts, SinglePoint) {
+  EXPECT_EQ(make_block_counts(42, 42, 1), (std::vector<std::size_t>{42}));
+  EXPECT_EQ(make_block_counts(10, 50, 1), (std::vector<std::size_t>{50}));
+}
+
+TEST(MakeBlockCounts, RejectsBadRanges) {
+  EXPECT_THROW(make_block_counts(0, 10, 3), PreconditionError);
+  EXPECT_THROW(make_block_counts(10, 9, 3), PreconditionError);
+  EXPECT_THROW(make_block_counts(1, 10, 0), PreconditionError);
+}
+
+TEST(DecodingCurve, MonotoneAndBounded) {
+  const auto spec = PrioritySpec::uniform(4, 10);  // N = 40
+  const auto dist = PriorityDistribution::uniform(4);
+  CurveOptions opt;
+  opt.block_counts = make_block_counts(5, 100, 8);
+  opt.trials = 20;
+  opt.seed = 3;
+  const auto curve = simulate_decoding_curve<F>(Scheme::kPlc, spec, dist, opt);
+  ASSERT_EQ(curve.size(), 8u);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].mean_levels, 0.0);
+    EXPECT_LE(curve[i].mean_levels, 4.0);
+    EXPECT_LE(curve[i].mean_blocks, 40.0);
+    if (i > 0) {
+      // Decoded prefix is monotone within each trial, hence in the mean.
+      EXPECT_GE(curve[i].mean_levels, curve[i - 1].mean_levels - 1e-12);
+      EXPECT_GE(curve[i].mean_blocks, curve[i - 1].mean_blocks - 1e-12);
+    }
+  }
+  // With 100 blocks for 40 unknowns everything decodes.
+  EXPECT_NEAR(curve.back().mean_levels, 4.0, 1e-9);
+  EXPECT_NEAR(curve.back().mean_blocks, 40.0, 1e-9);
+}
+
+TEST(DecodingCurve, RlcIsAllOrNothingAroundN) {
+  const auto spec = PrioritySpec::uniform(2, 15);  // N = 30
+  const auto dist = PriorityDistribution::uniform(2);
+  CurveOptions opt;
+  opt.block_counts = {15, 29, 31, 60};
+  opt.trials = 15;
+  opt.seed = 4;
+  const auto curve = simulate_decoding_curve<F>(Scheme::kRlc, spec, dist, opt);
+  EXPECT_DOUBLE_EQ(curve[0].mean_levels, 0.0);
+  EXPECT_DOUBLE_EQ(curve[1].mean_levels, 0.0);
+  EXPECT_GT(curve[2].mean_levels, 1.5);   // 31 blocks: usually both levels
+  EXPECT_NEAR(curve[3].mean_levels, 2.0, 1e-9);
+}
+
+TEST(DecodingCurve, PlcBeatsRlcOnFirstLevel) {
+  const auto spec = PrioritySpec({5, 35});
+  const auto dist = PriorityDistribution::uniform(2);
+  CurveOptions opt;
+  opt.block_counts = {12};
+  opt.trials = 30;
+  opt.seed = 5;
+  const auto plc = simulate_decoding_curve<F>(Scheme::kPlc, spec, dist, opt);
+  const auto rlc = simulate_decoding_curve<F>(Scheme::kRlc, spec, dist, opt);
+  EXPECT_GT(plc[0].mean_levels, 0.3);
+  EXPECT_DOUBLE_EQ(rlc[0].mean_levels, 0.0);
+}
+
+TEST(DecodingCurve, DeterministicPerSeed) {
+  const auto spec = PrioritySpec::uniform(3, 5);
+  const auto dist = PriorityDistribution::uniform(3);
+  CurveOptions opt;
+  opt.block_counts = {5, 15, 25};
+  opt.trials = 10;
+  opt.seed = 77;
+  const auto a = simulate_decoding_curve<F>(Scheme::kSlc, spec, dist, opt);
+  const auto b = simulate_decoding_curve<F>(Scheme::kSlc, spec, dist, opt);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean_levels, b[i].mean_levels);
+    EXPECT_DOUBLE_EQ(a[i].ci95_levels, b[i].ci95_levels);
+  }
+}
+
+TEST(DecodingCurve, ValidatesOptions) {
+  const auto spec = PrioritySpec::uniform(2, 5);
+  const auto dist = PriorityDistribution::uniform(2);
+  CurveOptions opt;
+  opt.trials = 5;
+  EXPECT_THROW(simulate_decoding_curve<F>(Scheme::kPlc, spec, dist, opt), PreconditionError);
+  opt.block_counts = {10, 10};
+  EXPECT_THROW(simulate_decoding_curve<F>(Scheme::kPlc, spec, dist, opt), PreconditionError);
+  opt.block_counts = {10};
+  opt.trials = 0;
+  EXPECT_THROW(simulate_decoding_curve<F>(Scheme::kPlc, spec, dist, opt), PreconditionError);
+  opt.trials = 1;
+  const auto wrong_dist = PriorityDistribution::uniform(3);
+  EXPECT_THROW(simulate_decoding_curve<F>(Scheme::kPlc, spec, wrong_dist, opt),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::codes

@@ -1,0 +1,160 @@
+#include "codes/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gf/gf256.h"
+#include "util/check.h"
+
+namespace prlc::codes {
+namespace {
+
+using F = gf::Gf256;
+
+PrioritySpec small_spec() { return PrioritySpec({2, 3, 4}); }
+
+TEST(Encoder, SupportPerScheme) {
+  const auto spec = small_spec();
+  const PriorityEncoder<F> rlc(Scheme::kRlc, spec);
+  const PriorityEncoder<F> slc(Scheme::kSlc, spec);
+  const PriorityEncoder<F> plc(Scheme::kPlc, spec);
+  EXPECT_EQ(rlc.support(0), (std::pair<std::size_t, std::size_t>{0, 9}));
+  EXPECT_EQ(rlc.support(2), (std::pair<std::size_t, std::size_t>{0, 9}));
+  EXPECT_EQ(slc.support(0), (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(slc.support(1), (std::pair<std::size_t, std::size_t>{2, 5}));
+  EXPECT_EQ(slc.support(2), (std::pair<std::size_t, std::size_t>{5, 9}));
+  EXPECT_EQ(plc.support(0), (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(plc.support(1), (std::pair<std::size_t, std::size_t>{0, 5}));
+  EXPECT_EQ(plc.support(2), (std::pair<std::size_t, std::size_t>{0, 9}));
+}
+
+TEST(Encoder, CoefficientsStayInsideSupport) {
+  Rng rng(91);
+  const auto spec = small_spec();
+  for (Scheme scheme : {Scheme::kRlc, Scheme::kSlc, Scheme::kPlc}) {
+    const PriorityEncoder<F> enc(scheme, spec);
+    for (std::size_t level = 0; level < spec.levels(); ++level) {
+      for (int t = 0; t < 50; ++t) {
+        const auto block = enc.encode(level, rng);
+        EXPECT_EQ(block.level, level);
+        ASSERT_EQ(block.coeffs.size(), spec.total());
+        const auto [begin, end] = enc.support(level);
+        for (std::size_t j = 0; j < spec.total(); ++j) {
+          if (j < begin || j >= end) {
+            ASSERT_EQ(block.coeffs[j], 0)
+                << to_string(scheme) << " level " << level << " col " << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Encoder, DenseUniformNeverAllZero) {
+  Rng rng(92);
+  const PriorityEncoder<F> enc(Scheme::kSlc, PrioritySpec({1, 1}));
+  for (int t = 0; t < 2000; ++t) {
+    const auto block = enc.encode(0, rng);
+    // Support width 1: dense-uniform redraws until nonzero.
+    EXPECT_NE(block.coeffs[0], 0);
+  }
+}
+
+TEST(Encoder, DenseNonzeroModelHasNoZerosInSupport) {
+  Rng rng(93);
+  EncoderOptions opt;
+  opt.model = CoefficientModel::kDenseNonzero;
+  const auto spec = small_spec();
+  const PriorityEncoder<F> enc(Scheme::kPlc, spec, opt);
+  for (int t = 0; t < 100; ++t) {
+    const auto block = enc.encode(2, rng);
+    for (std::size_t j = 0; j < spec.total(); ++j) EXPECT_NE(block.coeffs[j], 0);
+  }
+}
+
+TEST(Encoder, SparseModelRowWeight) {
+  Rng rng(94);
+  EncoderOptions opt;
+  opt.model = CoefficientModel::kSparse;
+  opt.sparsity_factor = 3.0;
+  const auto spec = PrioritySpec::uniform(4, 100);  // N = 400
+  const PriorityEncoder<F> enc(Scheme::kPlc, spec, opt);
+  for (std::size_t level = 0; level < 4; ++level) {
+    const std::size_t width = spec.level_end(level);
+    const auto expected =
+        std::min<std::size_t>(width, static_cast<std::size_t>(std::ceil(3.0 * std::log(width))));
+    for (int t = 0; t < 20; ++t) {
+      const auto block = enc.encode(level, rng);
+      std::size_t nnz = 0;
+      for (auto c : block.coeffs) nnz += c != 0 ? 1 : 0;
+      EXPECT_EQ(nnz, expected) << "level " << level;
+    }
+  }
+}
+
+TEST(Encoder, SparseWeightClampedToSupport) {
+  Rng rng(95);
+  EncoderOptions opt;
+  opt.model = CoefficientModel::kSparse;
+  opt.sparsity_factor = 100.0;  // would exceed support
+  const PriorityEncoder<F> enc(Scheme::kSlc, small_spec(), opt);
+  const auto block = enc.encode(0, rng);
+  std::size_t nnz = 0;
+  for (auto c : block.coeffs) nnz += c != 0 ? 1 : 0;
+  EXPECT_EQ(nnz, 2u);  // level-0 support is 2 wide
+}
+
+TEST(Encoder, PayloadIsLinearCombination) {
+  Rng rng(96);
+  const auto spec = small_spec();
+  const auto source = SourceData<F>::random(spec.total(), 7, rng);
+  const PriorityEncoder<F> enc(Scheme::kPlc, spec, {}, &source);
+  for (std::size_t level = 0; level < spec.levels(); ++level) {
+    const auto block = enc.encode(level, rng);
+    ASSERT_EQ(block.payload.size(), 7u);
+    std::vector<std::uint8_t> expect(7, 0);
+    for (std::size_t j = 0; j < spec.total(); ++j) {
+      F::axpy(std::span<std::uint8_t>(expect), block.coeffs[j], source.block(j));
+    }
+    EXPECT_EQ(block.payload, expect);
+  }
+}
+
+TEST(Encoder, NoSourceMeansNoPayload) {
+  Rng rng(97);
+  const PriorityEncoder<F> enc(Scheme::kRlc, small_spec());
+  EXPECT_TRUE(enc.encode(0, rng).payload.empty());
+}
+
+TEST(Encoder, EncodeRandomUsesDistribution) {
+  Rng rng(98);
+  const auto spec = small_spec();
+  const PriorityEncoder<F> enc(Scheme::kSlc, spec);
+  const PriorityDistribution dist({0.0, 1.0, 0.0});
+  for (int t = 0; t < 100; ++t) EXPECT_EQ(enc.encode_random(dist, rng).level, 1u);
+}
+
+TEST(Encoder, RejectsMismatchedInputs) {
+  Rng rng(99);
+  const auto spec = small_spec();
+  const auto wrong_source = SourceData<F>::random(spec.total() + 1, 4, rng);
+  EXPECT_THROW(PriorityEncoder<F>(Scheme::kPlc, spec, {}, &wrong_source), PreconditionError);
+  const PriorityEncoder<F> enc(Scheme::kPlc, spec);
+  EXPECT_THROW(enc.encode(3, rng), PreconditionError);
+  const PriorityDistribution bad = PriorityDistribution::uniform(4);
+  EXPECT_THROW(enc.encode_random(bad, rng), PreconditionError);
+}
+
+TEST(SourceData, RandomAndAccessors) {
+  Rng rng(100);
+  auto d = SourceData<F>::random(5, 3, rng);
+  EXPECT_EQ(d.blocks(), 5u);
+  EXPECT_EQ(d.block_size(), 3u);
+  d.block(2)[1] = 42;
+  EXPECT_EQ(d.block(2)[1], 42);
+  EXPECT_THROW(d.block(5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::codes

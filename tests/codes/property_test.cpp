@@ -1,0 +1,182 @@
+// Parameterized property sweeps over (scheme x priority structure x
+// priority distribution): the cross-cutting invariants every coding
+// configuration must satisfy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analysis/count_model.h"
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "codes/wire_format.h"
+#include "gf/gf256.h"
+#include "util/random.h"
+
+namespace prlc::codes {
+namespace {
+
+using F = gf::Gf256;
+
+struct PropertyCase {
+  const char* name;
+  Scheme scheme;
+  std::vector<std::size_t> levels;
+  std::vector<double> dist;
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const PropertyCase& c) { return os << c.name; }
+
+class CodingProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  PrioritySpec spec() const { return PrioritySpec(std::vector<std::size_t>(GetParam().levels)); }
+  PriorityDistribution dist() const {
+    return PriorityDistribution(std::vector<double>(GetParam().dist));
+  }
+};
+
+TEST_P(CodingProperties, DecodedLevelsMonotoneInBlocks) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  const auto s = spec();
+  const auto d = dist();
+  const PriorityEncoder<F> enc(param.scheme, s);
+  PriorityDecoder<F> dec(param.scheme, s);
+  std::size_t last = 0;
+  for (std::size_t m = 0; m < 2 * s.total() + 10; ++m) {
+    dec.add(enc.encode_random(d, rng));
+    const std::size_t now = dec.decoded_levels();
+    ASSERT_GE(now, last) << "decoded levels went backwards at block " << m;
+    last = now;
+  }
+  ASSERT_LE(last, s.levels());
+  // Top up each level explicitly: decoding must then complete regardless
+  // of how skewed the random stream was.
+  for (std::size_t level = 0; level < s.levels(); ++level) {
+    for (std::size_t i = 0; i < s.level_size(level) + 5; ++i) {
+      dec.add(enc.encode(level, rng));
+    }
+  }
+  ASSERT_EQ(dec.decoded_levels(), s.levels());
+}
+
+TEST_P(CodingProperties, PayloadRoundTripAtSaturation) {
+  const auto& param = GetParam();
+  Rng rng(param.seed + 1);
+  const auto s = spec();
+  const auto d = dist();
+  const auto source = SourceData<F>::random(s.total(), 5, rng);
+  const PriorityEncoder<F> enc(param.scheme, s, {}, &source);
+  PriorityDecoder<F> dec(param.scheme, s, 5);
+  // Per-level saturation: a_i + 5 blocks of every level decodes all
+  // schemes deterministically (up to negligible GF(256) rank defects).
+  for (std::size_t level = 0; level < s.levels(); ++level) {
+    for (std::size_t i = 0; i < s.level_size(level) + 5; ++i) {
+      dec.add(enc.encode(level, rng));
+    }
+  }
+  (void)d;
+  ASSERT_EQ(dec.decoded_levels(), s.levels());
+  for (std::size_t j = 0; j < s.total(); ++j) {
+    const auto got = dec.recovered(j);
+    const auto want = source.block(j);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end())) << "block " << j;
+  }
+}
+
+TEST_P(CodingProperties, CountModelNeverUnderestimatesRealDecoding) {
+  // Field-rank defects can only make the real decoder do *worse* than the
+  // idealized count model, never better.
+  const auto& param = GetParam();
+  Rng rng(param.seed + 2);
+  const auto s = spec();
+  const auto d = dist();
+  const PriorityEncoder<F> enc(param.scheme, s);
+  for (int trial = 0; trial < 10; ++trial) {
+    PriorityDecoder<F> dec(param.scheme, s);
+    std::vector<std::size_t> counts(s.levels(), 0);
+    const std::size_t m = 1 + rng.uniform(2 * s.total());
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto block = enc.encode_random(d, rng);
+      ++counts[block.level];
+      dec.add(block);
+    }
+    const std::size_t predicted =
+        analysis::levels_from_counts(param.scheme, s, counts);
+    ASSERT_LE(dec.decoded_levels(), predicted);
+    // Over GF(256), defects are ~1/256 per opportunity: equality is the
+    // overwhelmingly common case, but don't assert it per-trial.
+  }
+}
+
+TEST_P(CodingProperties, RankNeverExceedsBlocksOrUnknowns) {
+  const auto& param = GetParam();
+  Rng rng(param.seed + 3);
+  const auto s = spec();
+  const auto d = dist();
+  const PriorityEncoder<F> enc(param.scheme, s);
+  PriorityDecoder<F> dec(param.scheme, s);
+  for (std::size_t m = 1; m <= s.total() + 5; ++m) {
+    dec.add(enc.encode_random(d, rng));
+    ASSERT_LE(dec.rank(), std::min(m, s.total()));
+  }
+}
+
+TEST_P(CodingProperties, WireFormatRoundTripsEveryBlock) {
+  const auto& param = GetParam();
+  Rng rng(param.seed + 4);
+  const auto s = spec();
+  const auto source = SourceData<F>::random(s.total(), 3, rng);
+  const PriorityEncoder<F> enc(param.scheme, s, {}, &source);
+  for (std::size_t level = 0; level < s.levels(); ++level) {
+    const auto block = enc.encode(level, rng);
+    const auto round = decode_wire(encode_wire(param.scheme, block));
+    ASSERT_EQ(round.scheme, param.scheme);
+    ASSERT_EQ(round.block.level, block.level);
+    ASSERT_EQ(round.block.coeffs, block.coeffs);
+    ASSERT_EQ(round.block.payload, block.payload);
+  }
+}
+
+TEST_P(CodingProperties, SparseVariantDecodesWithOverprovisioning) {
+  const auto& param = GetParam();
+  Rng rng(param.seed + 5);
+  const auto s = spec();
+  const auto d = dist();
+  EncoderOptions opt;
+  opt.model = CoefficientModel::kSparse;
+  opt.sparsity_factor = 4.0;
+  const PriorityEncoder<F> enc(param.scheme, s, opt);
+  PriorityDecoder<F> dec(param.scheme, s);
+  // Sparse coding trades a little decodability for dissemination cost;
+  // with 4x per-level overprovisioning everything must still come back.
+  for (std::size_t level = 0; level < s.levels(); ++level) {
+    for (std::size_t i = 0; i < 4 * s.level_size(level) + 12; ++i) {
+      dec.add(enc.encode(level, rng));
+    }
+  }
+  (void)d;
+  ASSERT_EQ(dec.decoded_levels(), s.levels());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndShapes, CodingProperties,
+    ::testing::Values(
+        PropertyCase{"rlc_uniform", Scheme::kRlc, {4, 6, 10}, {1. / 3, 1. / 3, 1. / 3}, 11},
+        PropertyCase{"slc_uniform", Scheme::kSlc, {4, 6, 10}, {1. / 3, 1. / 3, 1. / 3}, 12},
+        PropertyCase{"plc_uniform", Scheme::kPlc, {4, 6, 10}, {1. / 3, 1. / 3, 1. / 3}, 13},
+        PropertyCase{"plc_two_levels", Scheme::kPlc, {5, 20}, {0.5, 0.5}, 14},
+        PropertyCase{"slc_two_levels", Scheme::kSlc, {5, 20}, {0.5, 0.5}, 15},
+        PropertyCase{"plc_single_level", Scheme::kPlc, {12}, {1.0}, 16},
+        PropertyCase{"plc_many_tiny_levels", Scheme::kPlc, {1, 1, 1, 1, 1, 1, 1, 1},
+                     {.125, .125, .125, .125, .125, .125, .125, .125}, 17},
+        PropertyCase{"slc_many_tiny_levels", Scheme::kSlc, {2, 2, 2, 2, 2, 2},
+                     {1. / 6, 1. / 6, 1. / 6, 1. / 6, 1. / 6, 1. / 6}, 18},
+        PropertyCase{"plc_skewed_dist", Scheme::kPlc, {6, 6, 6}, {0.7, 0.2, 0.1}, 19},
+        PropertyCase{"plc_tail_heavy", Scheme::kPlc, {3, 5, 30}, {0.1, 0.1, 0.8}, 20},
+        PropertyCase{"slc_skewed_dist", Scheme::kSlc, {6, 6, 6}, {0.2, 0.3, 0.5}, 21},
+        PropertyCase{"plc_wide_first", Scheme::kPlc, {30, 5, 3}, {0.6, 0.2, 0.2}, 22}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace prlc::codes

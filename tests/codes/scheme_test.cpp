@@ -1,0 +1,29 @@
+#include "codes/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace prlc::codes {
+namespace {
+
+TEST(Scheme, ToStringRoundTrip) {
+  for (Scheme s : {Scheme::kRlc, Scheme::kSlc, Scheme::kPlc}) {
+    EXPECT_EQ(scheme_from_string(to_string(s)), s);
+  }
+}
+
+TEST(Scheme, ParsesLowercase) {
+  EXPECT_EQ(scheme_from_string("rlc"), Scheme::kRlc);
+  EXPECT_EQ(scheme_from_string("slc"), Scheme::kSlc);
+  EXPECT_EQ(scheme_from_string("plc"), Scheme::kPlc);
+}
+
+TEST(Scheme, RejectsUnknownNames) {
+  EXPECT_THROW(scheme_from_string(""), PreconditionError);
+  EXPECT_THROW(scheme_from_string("ldpc"), PreconditionError);
+  EXPECT_THROW(scheme_from_string("PLC "), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::codes

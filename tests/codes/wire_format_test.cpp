@@ -1,0 +1,129 @@
+#include "codes/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "util/random.h"
+
+namespace prlc::codes {
+namespace {
+
+using F = gf::Gf256;
+
+CodedBlock<F> make_block(Scheme scheme, std::size_t level, bool with_payload, Rng& rng,
+                         EncoderOptions opt = {}) {
+  const auto spec = PrioritySpec({4, 6, 10});
+  static SourceData<F>* source = nullptr;
+  if (with_payload) {
+    static SourceData<F> s = SourceData<F>::random(20, 16, rng);
+    source = &s;
+  }
+  const PriorityEncoder<F> enc(scheme, spec, opt, with_payload ? source : nullptr);
+  return enc.encode(level, rng);
+}
+
+TEST(WireFormat, RoundTripDense) {
+  Rng rng(201);
+  for (Scheme scheme : {Scheme::kRlc, Scheme::kSlc, Scheme::kPlc}) {
+    for (std::size_t level : {0u, 1u, 2u}) {
+      const auto block = make_block(scheme, level, true, rng);
+      const auto wire = encode_wire(scheme, block);
+      const auto decoded = decode_wire(wire);
+      EXPECT_EQ(decoded.scheme, scheme);
+      EXPECT_EQ(decoded.block.level, level);
+      EXPECT_EQ(decoded.block.coeffs, block.coeffs);
+      EXPECT_EQ(decoded.block.payload, block.payload);
+    }
+  }
+}
+
+TEST(WireFormat, RoundTripSparse) {
+  Rng rng(202);
+  EncoderOptions opt;
+  opt.model = CoefficientModel::kSparse;
+  const auto block = make_block(Scheme::kPlc, 2, true, rng, opt);
+  const auto wire = encode_wire(Scheme::kPlc, block);
+  // Sparse encoding should beat 20 dense coefficient bytes? Not at N=20 —
+  // just verify the round trip; size economics are covered below.
+  const auto decoded = decode_wire(wire);
+  EXPECT_EQ(decoded.block.coeffs, block.coeffs);
+  EXPECT_EQ(decoded.block.payload, block.payload);
+}
+
+TEST(WireFormat, SparseEncodingSavesSpaceForNarrowSupport) {
+  Rng rng(203);
+  // A level-0 SLC block over a large spec: 4 nonzeros out of 1000.
+  const auto spec = PrioritySpec({4, 496, 500});
+  const PriorityEncoder<F> enc(Scheme::kSlc, spec);
+  const auto block = enc.encode(0, rng);
+  const auto wire = encode_wire(Scheme::kSlc, block);
+  EXPECT_LT(wire.size(), 28u + 4 + 4 * 5 + 8);  // header + count + entries + crc slack
+  EXPECT_EQ(decode_wire(wire).block.coeffs, block.coeffs);
+}
+
+TEST(WireFormat, EmptyPayloadAllowed) {
+  Rng rng(204);
+  const auto block = make_block(Scheme::kPlc, 1, false, rng);
+  const auto decoded = decode_wire(encode_wire(Scheme::kPlc, block));
+  EXPECT_TRUE(decoded.block.payload.empty());
+  EXPECT_EQ(decoded.block.coeffs, block.coeffs);
+}
+
+TEST(WireFormat, DetectsEveryByteFlip) {
+  Rng rng(205);
+  const auto block = make_block(Scheme::kPlc, 2, true, rng);
+  const auto wire = encode_wire(Scheme::kPlc, block);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    auto corrupt = wire;
+    corrupt[i] ^= 0x40;
+    EXPECT_THROW(decode_wire(corrupt), WireFormatError) << "byte " << i;
+  }
+}
+
+TEST(WireFormat, DetectsTruncation) {
+  Rng rng(206);
+  const auto block = make_block(Scheme::kSlc, 1, true, rng);
+  const auto wire = encode_wire(Scheme::kSlc, block);
+  for (std::size_t keep : {0u, 5u, 27u}) {
+    const std::vector<std::uint8_t> cut(wire.begin(), wire.begin() + keep);
+    EXPECT_THROW(decode_wire(cut), WireFormatError) << keep;
+  }
+  // Cutting a suffix (but keeping >= 28 bytes) must fail the CRC.
+  const std::vector<std::uint8_t> cut(wire.begin(), wire.end() - 3);
+  EXPECT_THROW(decode_wire(cut), WireFormatError);
+}
+
+TEST(WireFormat, DetectsTrailingGarbage) {
+  Rng rng(207);
+  const auto block = make_block(Scheme::kPlc, 0, true, rng);
+  auto wire = encode_wire(Scheme::kPlc, block);
+  wire.push_back(0xAB);
+  EXPECT_THROW(decode_wire(wire), WireFormatError);
+}
+
+TEST(WireFormat, RejectsEmptyBlock) {
+  CodedBlock<F> empty;
+  EXPECT_THROW(encode_wire(Scheme::kPlc, empty), PreconditionError);
+}
+
+TEST(WireFormat, DecodedBlockFeedsDecoder) {
+  // End-to-end: serialize, parse, decode data.
+  Rng rng(208);
+  const auto spec = PrioritySpec({4, 6, 10});
+  const auto source = SourceData<F>::random(spec.total(), 16, rng);
+  const PriorityEncoder<F> enc(Scheme::kPlc, spec, {}, &source);
+  PriorityDecoder<F> dec(Scheme::kPlc, spec, 16);
+  while (dec.decoded_levels() < 3) {
+    const auto wire = encode_wire(Scheme::kPlc, enc.encode(2, rng));
+    dec.add(decode_wire(wire).block);
+  }
+  for (std::size_t j = 0; j < spec.total(); ++j) {
+    const auto got = dec.recovered(j);
+    const auto want = source.block(j);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()));
+  }
+}
+
+}  // namespace
+}  // namespace prlc::codes

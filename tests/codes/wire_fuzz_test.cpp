@@ -1,0 +1,81 @@
+// Fuzz-style robustness battery for the wire format: arbitrary and
+// mutated byte streams must either parse to a valid block or throw
+// WireFormatError — never crash, hang, or return garbage silently.
+#include <gtest/gtest.h>
+
+#include "codes/encoder.h"
+#include "codes/wire_format.h"
+#include "util/random.h"
+
+namespace prlc::codes {
+namespace {
+
+using F = gf::Gf256;
+
+TEST(WireFuzz, RandomBuffersNeverCrash) {
+  Rng rng(301);
+  for (int t = 0; t < 3000; ++t) {
+    const std::size_t len = rng.uniform(200);
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(256));
+    try {
+      const auto block = decode_wire(buf);
+      // A random buffer passing a CRC-32 is a ~2^-32 event per trial;
+      // reaching here at all is effectively impossible, but if it ever
+      // happens the result must still be structurally sound.
+      EXPECT_FALSE(block.block.coeffs.empty());
+    } catch (const WireFormatError&) {
+      // expected
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedValidFramesNeverCrash) {
+  Rng rng(302);
+  const auto spec = PrioritySpec({4, 6, 10});
+  const auto source = SourceData<F>::random(spec.total(), 8, rng);
+  const PriorityEncoder<F> enc(Scheme::kPlc, spec, {}, &source);
+  const auto wire = encode_wire(Scheme::kPlc, enc.encode(2, rng));
+  std::size_t parsed = 0;
+  for (int t = 0; t < 3000; ++t) {
+    auto buf = wire;
+    // 1-4 random byte mutations.
+    const std::size_t mutations = 1 + rng.uniform(4);
+    for (std::size_t i = 0; i < mutations; ++i) {
+      buf[rng.uniform(buf.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    }
+    try {
+      decode_wire(buf);
+      ++parsed;  // mutations that cancel out (possible when an even
+                 // number hit the same byte) re-create the original
+    } catch (const WireFormatError&) {
+    }
+  }
+  EXPECT_LE(parsed, 60);  // overwhelming majority must be rejected
+}
+
+TEST(WireFuzz, RandomTruncationsNeverCrash) {
+  Rng rng(303);
+  const auto spec = PrioritySpec({4, 6, 10});
+  const PriorityEncoder<F> enc(Scheme::kSlc, spec);
+  const auto wire = encode_wire(Scheme::kSlc, enc.encode(1, rng));
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    const std::vector<std::uint8_t> cut(wire.begin(),
+                                        wire.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(decode_wire(cut), WireFormatError) << keep;
+  }
+}
+
+TEST(WireFuzz, ConcatenatedFramesRejected) {
+  // Two frames glued together must not silently parse as one.
+  Rng rng(304);
+  const auto spec = PrioritySpec({4, 6, 10});
+  const PriorityEncoder<F> enc(Scheme::kPlc, spec);
+  auto a = encode_wire(Scheme::kPlc, enc.encode(0, rng));
+  const auto b = encode_wire(Scheme::kPlc, enc.encode(1, rng));
+  a.insert(a.end(), b.begin(), b.end());
+  EXPECT_THROW(decode_wire(a), WireFormatError);
+}
+
+}  // namespace
+}  // namespace prlc::codes

@@ -1,0 +1,133 @@
+#include "design/feasibility.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace prlc::design {
+namespace {
+
+using codes::PrioritySpec;
+using codes::Scheme;
+
+TEST(Feasibility, EvaluateConstraintsReportsAchievedValues) {
+  FeasibilityProblem problem;
+  problem.scheme = Scheme::kPlc;
+  problem.spec = PrioritySpec({2, 3});
+  problem.decoding = {{4, 1.0}, {10, 2.0}};
+  const auto report = evaluate_constraints(problem, {0.5, 0.5});
+  ASSERT_EQ(report.achieved_levels.size(), 2u);
+  EXPECT_GE(report.achieved_levels[0], 0.0);
+  EXPECT_LE(report.achieved_levels[0], 2.0);
+  EXPECT_GT(report.achieved_levels[1], report.achieved_levels[0]);
+  EXPECT_FALSE(report.achieved_full_recovery.has_value());
+}
+
+TEST(Feasibility, ViolationZeroWhenTriviallySatisfied) {
+  FeasibilityProblem problem;
+  problem.scheme = Scheme::kPlc;
+  problem.spec = PrioritySpec({2, 3});
+  problem.decoding = {{20, 0.5}};  // 20 blocks for 5 unknowns: easy
+  const auto report = evaluate_constraints(problem, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(report.violation, 0.0);
+}
+
+TEST(Feasibility, SolvesEasyProblemFromUniformStart) {
+  // Feasible by construction: p = (0.45, 0.15, 0.40) satisfies both
+  // constraints with slack (checked against the exact analysis).
+  FeasibilityProblem problem;
+  problem.scheme = Scheme::kPlc;
+  problem.spec = PrioritySpec({5, 10, 15});
+  problem.decoding = {{14, 0.7}, {60, 2.4}};
+  FeasibilityOptions opt;
+  opt.restarts = 2;
+  const auto result = solve_feasibility(problem, opt);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(std::accumulate(result.distribution.begin(), result.distribution.end(), 0.0),
+              1.0, 1e-9);
+  for (double p : result.distribution) EXPECT_GE(p, 0.0);
+  ASSERT_EQ(result.report.achieved_levels.size(), 2u);
+  EXPECT_GE(result.report.achieved_levels[0] + 1e-6, 0.7);
+  EXPECT_GE(result.report.achieved_levels[1] + 1e-6, 2.4);
+}
+
+TEST(Feasibility, SolvesWithFullRecoveryConstraint) {
+  FeasibilityProblem problem;
+  problem.scheme = Scheme::kPlc;
+  problem.spec = PrioritySpec({5, 10, 15});  // N = 30
+  problem.decoding = {{14, 0.7}};
+  problem.full_recovery = FullRecoveryConstraint{2.0, 0.1};
+  FeasibilityOptions opt;
+  opt.restarts = 3;
+  const auto result = solve_feasibility(problem, opt);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_TRUE(result.report.achieved_full_recovery.has_value());
+  EXPECT_GT(*result.report.achieved_full_recovery + 1e-6, 0.9);
+}
+
+TEST(Feasibility, DetectsInfeasibleProblem) {
+  FeasibilityProblem problem;
+  problem.scheme = Scheme::kPlc;
+  problem.spec = PrioritySpec({5, 10});
+  // Impossible: decode the whole first level from 2 blocks (b_1 = 5).
+  problem.decoding = {{2, 1.0}};
+  FeasibilityOptions opt;
+  opt.restarts = 1;
+  opt.max_evaluations_per_start = 100;
+  const auto result = solve_feasibility(problem, opt);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_GT(result.report.violation, 0.0);
+}
+
+TEST(Feasibility, WorksForSlcScheme) {
+  FeasibilityProblem problem;
+  problem.scheme = Scheme::kSlc;
+  problem.spec = PrioritySpec({5, 10, 15});
+  problem.decoding = {{15, 1.0}};
+  const auto result = solve_feasibility(problem);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(Feasibility, SingleLevelProblem) {
+  FeasibilityProblem problem;
+  problem.scheme = Scheme::kPlc;
+  problem.spec = PrioritySpec({4});
+  problem.decoding = {{6, 0.9}};
+  const auto result = solve_feasibility(problem);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_EQ(result.distribution.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.distribution[0], 1.0);
+}
+
+TEST(Feasibility, ValidatesProblem) {
+  FeasibilityProblem problem;
+  problem.spec = PrioritySpec({2, 2});
+  EXPECT_THROW(solve_feasibility(problem), PreconditionError);  // no constraints
+  problem.decoding = {{5, 3.0}};  // asks for 3 levels of a 2-level spec
+  EXPECT_THROW(solve_feasibility(problem), PreconditionError);
+}
+
+TEST(Feasibility, EvaluateChecksDistributionWidth) {
+  FeasibilityProblem problem;
+  problem.spec = PrioritySpec({2, 2});
+  problem.decoding = {{5, 1.0}};
+  EXPECT_THROW(evaluate_constraints(problem, {1.0}), PreconditionError);
+}
+
+TEST(Feasibility, DeterministicAcrossRuns) {
+  FeasibilityProblem problem;
+  problem.scheme = Scheme::kPlc;
+  problem.spec = PrioritySpec({5, 10, 15});
+  problem.decoding = {{12, 1.0}};
+  const auto a = solve_feasibility(problem);
+  const auto b = solve_feasibility(problem);
+  ASSERT_EQ(a.distribution.size(), b.distribution.size());
+  for (std::size_t i = 0; i < a.distribution.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.distribution[i], b.distribution[i]);
+  }
+}
+
+}  // namespace
+}  // namespace prlc::design

@@ -1,0 +1,93 @@
+#include "design/nelder_mead.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace prlc::design {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic) {
+  const auto f = [](const std::vector<double>& x) {
+    double s = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i + 1);
+      s += d * d;
+    }
+    return s;
+  };
+  const auto result = nelder_mead(f, {0.0, 0.0, 0.0});
+  EXPECT_LT(result.value, 1e-8);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-3);
+  EXPECT_NEAR(result.x[2], 3.0, 1e-3);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2D) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opt;
+  opt.max_evaluations = 5000;
+  const auto result = nelder_mead(f, {-1.2, 1.0}, opt);
+  EXPECT_NEAR(result.x[0], 1.0, 0.01);
+  EXPECT_NEAR(result.x[1], 1.0, 0.02);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto f = [](const std::vector<double>& x) { return std::cos(x[0]) + 2.0; };
+  const auto result = nelder_mead(f, {2.5});
+  EXPECT_NEAR(result.value, 1.0, 1e-6);
+  EXPECT_NEAR(result.x[0], M_PI, 1e-3);
+}
+
+TEST(NelderMead, EarlyStopPredicateFires) {
+  const auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  const auto result =
+      nelder_mead(f, {10.0}, {}, [](double best) { return best < 1.0; });
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_LT(result.value, 1.0);
+  // Early stop should save most of the evaluation budget.
+  EXPECT_LT(result.evaluations, 100u);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  std::size_t calls = 0;
+  const auto f = [&](const std::vector<double>& x) {
+    ++calls;
+    return x[0] * x[0] + x[1] * x[1];
+  };
+  NelderMeadOptions opt;
+  opt.max_evaluations = 40;
+  const auto result = nelder_mead(f, {5.0, -3.0}, opt);
+  EXPECT_LE(result.evaluations, 40u + 3u);  // a step may finish in flight
+  EXPECT_EQ(calls, result.evaluations);
+}
+
+TEST(NelderMead, ReturnsBestEverSeen) {
+  // A function where later steps could wander: the reported value must be
+  // the global best of all evaluations.
+  std::vector<double> seen;
+  const auto f = [&](const std::vector<double>& x) {
+    const double v = std::abs(x[0] - 3.0);
+    seen.push_back(v);
+    return v;
+  };
+  const auto result = nelder_mead(f, {0.0});
+  double best = seen[0];
+  for (double v : seen) best = std::min(best, v);
+  EXPECT_DOUBLE_EQ(result.value, best);
+}
+
+TEST(NelderMead, ValidatesInputs) {
+  EXPECT_THROW(nelder_mead(nullptr, {1.0}), PreconditionError);
+  const auto f = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_THROW(nelder_mead(f, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::design

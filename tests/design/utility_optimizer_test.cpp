@@ -1,0 +1,120 @@
+#include "design/utility_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace prlc::design {
+namespace {
+
+using codes::PrioritySpec;
+using codes::Scheme;
+
+UtilityProblem base_problem() {
+  UtilityProblem p;
+  p.scheme = Scheme::kPlc;
+  p.spec = PrioritySpec({5, 10, 15});
+  p.marginal_utility = {10.0, 3.0, 1.0};
+  p.scenarios = {{12, 0.5}, {35, 0.5}};
+  return p;
+}
+
+TEST(UtilityOptimizer, ExpectedUtilityBounds) {
+  const auto p = base_problem();
+  const double u = expected_utility(p, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 14.0);  // sum of marginal utilities
+}
+
+TEST(UtilityOptimizer, UtilityIncreasesWithMoreSurvivors) {
+  auto p = base_problem();
+  p.scenarios = {{10, 1.0}};
+  const double low = expected_utility(p, {0.4, 0.3, 0.3});
+  p.scenarios = {{40, 1.0}};
+  const double high = expected_utility(p, {0.4, 0.3, 0.3});
+  EXPECT_GT(high, low);
+}
+
+TEST(UtilityOptimizer, OptimizerBeatsUniform) {
+  const auto p = base_problem();
+  const double uniform = expected_utility(p, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  const auto result = maximize_utility(p);
+  EXPECT_GE(result.expected_utility, uniform - 1e-9);
+  EXPECT_NEAR(std::accumulate(result.distribution.begin(), result.distribution.end(), 0.0),
+              1.0, 1e-9);
+}
+
+TEST(UtilityOptimizer, SkewedUtilityPullsMassToLevelOne) {
+  // When only level 1 has utility and the severe scenario dominates, the
+  // optimum parks (almost) all coded blocks on level 1.
+  UtilityProblem p;
+  p.scheme = Scheme::kPlc;
+  p.spec = PrioritySpec({5, 10, 15});
+  p.marginal_utility = {1.0, 0.0, 0.0};
+  p.scenarios = {{10, 1.0}};
+  const auto result = maximize_utility(p);
+  EXPECT_GT(result.distribution[0], 0.8);
+}
+
+TEST(UtilityOptimizer, FlatUtilityGenerousScenarioDecodesEverything) {
+  // Equal utilities with 2N survivors: PLC can decode everything whp
+  // (e.g. by weighting the last level, whose blocks span all sources), so
+  // the optimum utility approaches the total. The optimal distribution is
+  // not unique — assert the achieved utility, not the point.
+  UtilityProblem p;
+  p.scheme = Scheme::kPlc;
+  p.spec = PrioritySpec({10, 10, 10});
+  p.marginal_utility = {1.0, 1.0, 1.0};
+  p.scenarios = {{60, 1.0}};
+  const auto result = maximize_utility(p);
+  EXPECT_GT(result.expected_utility, 2.8);
+}
+
+TEST(UtilityOptimizer, WorksForSlc) {
+  auto p = base_problem();
+  p.scheme = Scheme::kSlc;
+  const auto result = maximize_utility(p);
+  EXPECT_GT(result.expected_utility, 0.0);
+}
+
+TEST(UtilityOptimizer, SingleLevelShortCircuits) {
+  UtilityProblem p;
+  p.scheme = Scheme::kPlc;
+  p.spec = PrioritySpec({8});
+  p.marginal_utility = {1.0};
+  p.scenarios = {{10, 1.0}};
+  const auto result = maximize_utility(p);
+  ASSERT_EQ(result.distribution.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.distribution[0], 1.0);
+  EXPECT_GT(result.expected_utility, 0.9);
+}
+
+TEST(UtilityOptimizer, Validation) {
+  auto p = base_problem();
+  p.marginal_utility = {1.0};  // wrong width
+  EXPECT_THROW(expected_utility(p, {0.3, 0.3, 0.4}), PreconditionError);
+  p = base_problem();
+  p.marginal_utility[1] = -1.0;
+  EXPECT_THROW(maximize_utility(p), PreconditionError);
+  p = base_problem();
+  p.scenarios.clear();
+  EXPECT_THROW(maximize_utility(p), PreconditionError);
+  p = base_problem();
+  p.scenarios = {{10, 0.0}};
+  EXPECT_THROW(maximize_utility(p), PreconditionError);
+  p = base_problem();
+  EXPECT_THROW(expected_utility(p, {0.5, 0.5}), PreconditionError);
+}
+
+TEST(UtilityOptimizer, PlcDominatesSlcInUtilityToo) {
+  auto plc = base_problem();
+  auto slc = base_problem();
+  slc.scheme = Scheme::kSlc;
+  const std::vector<double> dist = {0.4, 0.3, 0.3};
+  EXPECT_GE(expected_utility(plc, dist) + 1e-9, expected_utility(slc, dist));
+}
+
+}  // namespace
+}  // namespace prlc::design

@@ -1,0 +1,174 @@
+#include "gf/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::gf {
+namespace {
+
+/// Reference carry-less multiply mod 0x11D, bit by bit.
+std::uint8_t slow_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint16_t acc = 0;
+  std::uint16_t aa = a;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (b & (1 << bit)) acc ^= static_cast<std::uint16_t>(aa << bit);
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if (acc & (1 << bit)) acc ^= static_cast<std::uint16_t>(Gf256::modulus() << (bit - 8));
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(Gf256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(Gf256::sub(0x53, 0xCA), 0x53 ^ 0xCA);
+}
+
+TEST(Gf256, MulMatchesBitwiseReferenceExhaustively) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(Gf256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                slow_mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto s = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(Gf256::mul(s, 1), s);
+    EXPECT_EQ(Gf256::mul(1, s), s);
+    EXPECT_EQ(Gf256::mul(s, 0), 0);
+    EXPECT_EQ(Gf256::mul(0, s), 0);
+  }
+}
+
+TEST(Gf256, EveryNonzeroHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto s = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(Gf256::mul(s, Gf256::inv(s)), 1) << a;
+  }
+}
+
+TEST(Gf256, InverseOfZeroThrows) { EXPECT_THROW(Gf256::inv(0), PreconditionError); }
+
+TEST(Gf256, DivisionDefinition) {
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    EXPECT_EQ(Gf256::mul(Gf256::div(a, b), b), a);
+  }
+  EXPECT_THROW(Gf256::div(5, 0), PreconditionError);
+  EXPECT_EQ(Gf256::div(0, 7), 0);
+}
+
+TEST(Gf256, MulCommutativeAssociativeSampled) {
+  Rng rng(32);
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+    EXPECT_EQ(Gf256::mul(Gf256::mul(a, b), c), Gf256::mul(a, Gf256::mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributivitySampled) {
+  Rng rng(33);
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(Gf256::mul(a, Gf256::add(b, c)),
+              Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c)));
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 0; a < 256; ++a) {
+    std::uint8_t acc = 1;
+    for (std::uint32_t e = 0; e < 20; ++e) {
+      EXPECT_EQ(Gf256::pow(static_cast<std::uint8_t>(a), e), acc) << a << "^" << e;
+      acc = Gf256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(Gf256, PowZeroConventions) {
+  EXPECT_EQ(Gf256::pow(0, 0), 1);
+  EXPECT_EQ(Gf256::pow(0, 5), 0);
+}
+
+TEST(Gf256, FermatOrder) {
+  // a^255 == 1 for every nonzero a (multiplicative group order 255).
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(Gf256::pow(static_cast<std::uint8_t>(a), 255), 1) << a;
+  }
+}
+
+TEST(Gf256, AxpyMatchesScalarLoop) {
+  Rng rng(34);
+  std::vector<std::uint8_t> x(257);
+  std::vector<std::uint8_t> y(257);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto& v : y) v = static_cast<std::uint8_t>(rng.uniform(256));
+  for (std::uint8_t a : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{0x1D}, std::uint8_t{255}}) {
+    auto expect = y;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      expect[i] = Gf256::add(expect[i], Gf256::mul(a, x[i]));
+    }
+    auto got = y;
+    Gf256::axpy(std::span<std::uint8_t>(got), a, std::span<const std::uint8_t>(x));
+    EXPECT_EQ(got, expect) << "a=" << int(a);
+  }
+}
+
+TEST(Gf256, AxpyLengthMismatchThrows) {
+  std::vector<std::uint8_t> x(4);
+  std::vector<std::uint8_t> y(5);
+  EXPECT_THROW(
+      Gf256::axpy(std::span<std::uint8_t>(y), 3, std::span<const std::uint8_t>(x)),
+      PreconditionError);
+}
+
+TEST(Gf256, ScaleMatchesScalarLoop) {
+  Rng rng(35);
+  std::vector<std::uint8_t> x(100);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform(256));
+  for (std::uint8_t a : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{77}}) {
+    auto expect = x;
+    for (auto& v : expect) v = Gf256::mul(a, v);
+    auto got = x;
+    Gf256::scale(std::span<std::uint8_t>(got), a);
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(Gf256, DotMatchesScalarLoop) {
+  Rng rng(36);
+  std::vector<std::uint8_t> a(63);
+  std::vector<std::uint8_t> b(63);
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.uniform(256));
+  std::uint8_t expect = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) expect ^= Gf256::mul(a[i], b[i]);
+  EXPECT_EQ(Gf256::dot(a, b), expect);
+}
+
+TEST(Gf256, MulRowConsistent) {
+  for (int a = 0; a < 256; ++a) {
+    const auto* row = Gf256::mul_row(static_cast<std::uint8_t>(a));
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(row[b], Gf256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prlc::gf

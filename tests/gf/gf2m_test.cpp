@@ -1,0 +1,154 @@
+#include "gf/gf2m.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gf/field_concept.h"
+#include "gf/gf256.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::gf {
+namespace {
+
+static_assert(FieldPolicy<Gf256>);
+static_assert(FieldPolicy<Gf2m<1>>);
+static_assert(FieldPolicy<Gf2m<4>>);
+static_assert(FieldPolicy<Gf2m<16>>);
+
+template <typename F>
+class Gf2mTypedTest : public ::testing::Test {};
+
+using SmallFields = ::testing::Types<Gf2m<1>, Gf2m<2>, Gf2m<4>, Gf2m<8>>;
+TYPED_TEST_SUITE(Gf2mTypedTest, SmallFields);
+
+TYPED_TEST(Gf2mTypedTest, AdditiveGroup) {
+  using F = TypeParam;
+  for (std::size_t a = 0; a < F::order(); ++a) {
+    const auto sa = static_cast<typename F::Symbol>(a);
+    EXPECT_EQ(F::add(sa, 0), sa);
+    EXPECT_EQ(F::add(sa, sa), 0);  // characteristic 2
+  }
+}
+
+TYPED_TEST(Gf2mTypedTest, MultiplicativeGroupExhaustive) {
+  using F = TypeParam;
+  for (std::size_t a = 1; a < F::order(); ++a) {
+    const auto sa = static_cast<typename F::Symbol>(a);
+    EXPECT_EQ(F::mul(sa, 1), sa);
+    EXPECT_EQ(F::mul(sa, F::inv(sa)), 1) << "a=" << a;
+  }
+}
+
+TYPED_TEST(Gf2mTypedTest, DistributivityExhaustiveOrSampled) {
+  using F = TypeParam;
+  const std::size_t n = F::order();
+  const std::size_t stride = n <= 16 ? 1 : 7;  // full for tiny fields
+  for (std::size_t a = 0; a < n; a += stride) {
+    for (std::size_t b = 0; b < n; b += stride) {
+      for (std::size_t c = 0; c < n; c += stride) {
+        const auto sa = static_cast<typename F::Symbol>(a);
+        const auto sb = static_cast<typename F::Symbol>(b);
+        const auto sc = static_cast<typename F::Symbol>(c);
+        ASSERT_EQ(F::mul(sa, F::add(sb, sc)), F::add(F::mul(sa, sb), F::mul(sa, sc)));
+      }
+    }
+  }
+}
+
+TYPED_TEST(Gf2mTypedTest, MultiplicationClosedAndCommutative) {
+  using F = TypeParam;
+  for (std::size_t a = 0; a < F::order(); ++a) {
+    for (std::size_t b = 0; b < F::order(); ++b) {
+      const auto sa = static_cast<typename F::Symbol>(a);
+      const auto sb = static_cast<typename F::Symbol>(b);
+      const auto ab = F::mul(sa, sb);
+      ASSERT_LT(ab, F::order());
+      ASSERT_EQ(ab, F::mul(sb, sa));
+    }
+  }
+}
+
+TYPED_TEST(Gf2mTypedTest, GeneratorPowersCoverNonzeroElements) {
+  using F = TypeParam;
+  // 2 is the generator used to build the tables (for m=1 the generator is 1).
+  const auto g = static_cast<typename F::Symbol>(F::order() > 2 ? 2 : 1);
+  std::set<typename F::Symbol> seen;
+  typename F::Symbol x = 1;
+  for (std::size_t i = 0; i + 1 < F::order(); ++i) {
+    seen.insert(x);
+    x = F::mul(x, g);
+  }
+  EXPECT_EQ(x, 1);  // full multiplicative cycle
+  EXPECT_EQ(seen.size(), F::order() - 1);
+}
+
+TYPED_TEST(Gf2mTypedTest, PowMatchesRepeatedMul) {
+  using F = TypeParam;
+  for (std::size_t a = 0; a < F::order(); ++a) {
+    typename F::Symbol acc = 1;
+    for (std::uint32_t e = 0; e < 8; ++e) {
+      ASSERT_EQ(F::pow(static_cast<typename F::Symbol>(a), e), acc);
+      acc = F::mul(acc, static_cast<typename F::Symbol>(a));
+    }
+  }
+}
+
+TEST(Gf2m, Gf2IsBooleanField) {
+  EXPECT_EQ(Gf2::add(1, 1), 0);
+  EXPECT_EQ(Gf2::mul(1, 1), 1);
+  EXPECT_EQ(Gf2::mul(1, 0), 0);
+  EXPECT_EQ(Gf2::inv(1), 1);
+  EXPECT_THROW(Gf2::inv(0), PreconditionError);
+}
+
+TEST(Gf2m, Gf2m8MatchesGf256) {
+  // Same primitive polynomial 0x11D, so arithmetic must agree exactly.
+  Rng rng(41);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    ASSERT_EQ(Gf2m<8>::mul(a, b), Gf256::mul(a, b));
+  }
+  for (int a = 1; a < 256; ++a) {
+    ASSERT_EQ(Gf2m<8>::inv(static_cast<std::uint16_t>(a)),
+              Gf256::inv(static_cast<std::uint8_t>(a)));
+  }
+}
+
+TEST(Gf2m, LargeFieldInverses) {
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint16_t>(1 + rng.uniform(Gf2m<16>::order() - 1));
+    ASSERT_EQ(Gf2m<16>::mul(a, Gf2m<16>::inv(a)), 1);
+  }
+}
+
+TEST(Gf2m, AxpyAndDotGenericKernels) {
+  using F = Gf16;
+  Rng rng(43);
+  std::vector<std::uint16_t> x(50);
+  std::vector<std::uint16_t> y(50);
+  for (auto& v : x) v = static_cast<std::uint16_t>(rng.uniform(F::order()));
+  for (auto& v : y) v = static_cast<std::uint16_t>(rng.uniform(F::order()));
+  const auto a = static_cast<std::uint16_t>(7);
+  auto expect = y;
+  for (std::size_t i = 0; i < x.size(); ++i) expect[i] ^= F::mul(a, x[i]);
+  auto got = y;
+  F::axpy(std::span<std::uint16_t>(got), a, std::span<const std::uint16_t>(x));
+  EXPECT_EQ(got, expect);
+
+  std::uint16_t dot_expect = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) dot_expect ^= F::mul(x[i], y[i]);
+  EXPECT_EQ(F::dot(x, y), dot_expect);
+}
+
+TEST(Gf2m, PrimitivePolynomialBounds) {
+  EXPECT_THROW(primitive_polynomial(0), PreconditionError);
+  EXPECT_THROW(primitive_polynomial(17), PreconditionError);
+  EXPECT_EQ(primitive_polynomial(8), 0x11Du);
+}
+
+}  // namespace
+}  // namespace prlc::gf

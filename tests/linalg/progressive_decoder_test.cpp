@@ -1,0 +1,208 @@
+#include "linalg/progressive_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "gf/gf2m.h"
+#include "gf/gf256.h"
+#include "linalg/gauss_jordan.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace prlc::linalg {
+namespace {
+
+using F = gf::Gf256;
+
+std::vector<std::uint8_t> random_row(std::size_t n, Rng& rng, std::size_t width = 0) {
+  std::vector<std::uint8_t> row(n, 0);
+  const std::size_t w = width == 0 ? n : width;
+  for (std::size_t i = 0; i < w; ++i) row[i] = static_cast<std::uint8_t>(rng.uniform(256));
+  return row;
+}
+
+TEST(ProgressiveDecoder, RejectsZeroUnknowns) {
+  EXPECT_THROW(ProgressiveDecoder<F>(0), PreconditionError);
+}
+
+TEST(ProgressiveDecoder, RankGrowsOnlyOnInnovativeRows) {
+  Rng rng(71);
+  ProgressiveDecoder<F> d(5);
+  const auto r1 = random_row(5, rng);
+  EXPECT_TRUE(d.add(r1));
+  EXPECT_EQ(d.rank(), 1u);
+  // The same row again is dependent.
+  EXPECT_FALSE(d.add(r1));
+  EXPECT_EQ(d.rank(), 1u);
+  // A scalar multiple is dependent too.
+  auto scaled = r1;
+  F::scale(std::span<std::uint8_t>(scaled), 7);
+  EXPECT_FALSE(d.add(scaled));
+  EXPECT_EQ(d.rank(), 1u);
+  EXPECT_EQ(d.equations_seen(), 3u);
+}
+
+TEST(ProgressiveDecoder, ZeroRowIsNotInnovative) {
+  ProgressiveDecoder<F> d(4);
+  const std::vector<std::uint8_t> zero(4, 0);
+  EXPECT_FALSE(d.add(zero));
+  EXPECT_EQ(d.rank(), 0u);
+}
+
+TEST(ProgressiveDecoder, WidthMismatchThrows) {
+  ProgressiveDecoder<F> d(4);
+  const std::vector<std::uint8_t> bad(3, 1);
+  EXPECT_THROW(d.add(bad), PreconditionError);
+}
+
+TEST(ProgressiveDecoder, FullSystemDecodesAllUnknowns) {
+  Rng rng(72);
+  const std::size_t n = 30;
+  ProgressiveDecoder<F> d(n);
+  std::size_t added = 0;
+  while (d.rank() < n) {
+    d.add(random_row(n, rng));
+    ++added;
+    ASSERT_LT(added, 3 * n);  // random rows reach full rank quickly
+  }
+  EXPECT_EQ(d.decoded_prefix(), n);
+  EXPECT_EQ(d.decoded_count(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(d.is_decoded(i));
+}
+
+TEST(ProgressiveDecoder, PayloadRecoversSolution) {
+  // Build a known solution x; feed rows (a_i, a_i . x); decoded payloads
+  // must equal x_i for every solved unknown.
+  Rng rng(73);
+  const std::size_t n = 12;
+  const std::size_t payload = 5;
+  std::vector<std::vector<std::uint8_t>> x(n);
+  for (auto& blk : x) {
+    blk.resize(payload);
+    for (auto& v : blk) v = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  ProgressiveDecoder<F> d(n, payload);
+  while (d.rank() < n) {
+    const auto coeffs = random_row(n, rng);
+    std::vector<std::uint8_t> rhs(payload, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      F::axpy(std::span<std::uint8_t>(rhs), coeffs[j], x[j]);
+    }
+    d.add(coeffs, rhs);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(d.is_decoded(i));
+    const auto got = d.solution(i);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), x[i].begin(), x[i].end())) << i;
+  }
+}
+
+TEST(ProgressiveDecoder, PartialPayloadRecoveryOnTriangularRows) {
+  // Rows restricted to prefixes: width-1 row solves x0 immediately.
+  Rng rng(74);
+  const std::size_t n = 6;
+  const std::size_t payload = 3;
+  std::vector<std::vector<std::uint8_t>> x(n);
+  for (auto& blk : x) {
+    blk.resize(payload);
+    for (auto& v : blk) v = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  auto make = [&](std::size_t width) {
+    auto coeffs = random_row(n, rng, width);
+    coeffs[width - 1] = static_cast<std::uint8_t>(1 + rng.uniform(255));  // ensure width
+    std::vector<std::uint8_t> rhs(payload, 0);
+    for (std::size_t j = 0; j < n; ++j) F::axpy(std::span<std::uint8_t>(rhs), coeffs[j], x[j]);
+    return std::pair{coeffs, rhs};
+  };
+  ProgressiveDecoder<F> d(n, payload);
+  auto [c1, r1] = make(1);
+  d.add(c1, r1);
+  EXPECT_EQ(d.decoded_prefix(), 1u);
+  const auto got = d.solution(0);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), x[0].begin(), x[0].end()));
+  // A width-3 row alone cannot decode x1 or x2.
+  auto [c3, r3] = make(3);
+  d.add(c3, r3);
+  EXPECT_EQ(d.decoded_prefix(), 1u);
+  // Adding a width-2 row completes the 3x3 triangle: all of x0..x2 decode.
+  auto [c2, r2] = make(2);
+  d.add(c2, r2);
+  EXPECT_EQ(d.decoded_prefix(), 3u);
+}
+
+TEST(ProgressiveDecoder, MatchesBatchRrefSolvedPrefix) {
+  // Online and batch Gauss-Jordan must agree on the decoded prefix at
+  // every step (RREF uniqueness).
+  Rng rng(75);
+  const std::size_t n = 15;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProgressiveDecoder<F> online(n);
+    Matrix<F> batch;
+    for (std::size_t step = 0; step < 2 * n; ++step) {
+      // Rows with random prefix widths exercise the triangular paths.
+      const std::size_t width = 1 + rng.uniform(n);
+      auto row = random_row(n, rng, width);
+      row[width - 1] = static_cast<std::uint8_t>(1 + rng.uniform(255));
+      online.add(row);
+      batch.append_row(row);
+      Matrix<F> copy = batch;
+      const auto info = rref(copy);
+      ASSERT_EQ(online.rank(), info.rank);
+      ASSERT_EQ(online.decoded_prefix(), solved_prefix(copy, info))
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(ProgressiveDecoder, DecodedPrefixIsMonotone) {
+  Rng rng(76);
+  const std::size_t n = 20;
+  ProgressiveDecoder<F> d(n);
+  std::size_t last = 0;
+  for (std::size_t step = 0; step < 3 * n; ++step) {
+    const std::size_t width = 1 + rng.uniform(n);
+    auto row = random_row(n, rng, width);
+    d.add(row);
+    EXPECT_GE(d.decoded_prefix(), last);
+    last = d.decoded_prefix();
+  }
+}
+
+TEST(ProgressiveDecoder, DecodedCountCanExceedPrefix) {
+  // Solve unknown 2 without unknowns 0,1: prefix stays 0 but count is 1.
+  ProgressiveDecoder<F> d(3);
+  std::vector<std::uint8_t> row = {0, 0, 1};
+  d.add(row);
+  EXPECT_EQ(d.decoded_prefix(), 0u);
+  EXPECT_EQ(d.decoded_count(), 1u);
+  EXPECT_TRUE(d.is_decoded(2));
+  EXPECT_FALSE(d.is_decoded(0));
+}
+
+TEST(ProgressiveDecoder, SolutionRequiresPayloadsAndDecodedState) {
+  ProgressiveDecoder<F> no_payload(3);
+  std::vector<std::uint8_t> row = {1, 0, 0};
+  no_payload.add(row);
+  EXPECT_THROW(no_payload.solution(0), PreconditionError);
+
+  ProgressiveDecoder<F> with_payload(3, 2);
+  EXPECT_THROW(with_payload.solution(0), PreconditionError);  // nothing decoded yet
+}
+
+TEST(ProgressiveDecoder, WorksOverGf16) {
+  using F16 = gf::Gf16;
+  Rng rng(77);
+  const std::size_t n = 10;
+  ProgressiveDecoder<F16> d(n);
+  std::size_t added = 0;
+  while (d.rank() < n && added < 200) {
+    std::vector<std::uint16_t> row(n);
+    for (auto& v : row) v = static_cast<std::uint16_t>(rng.uniform(F16::order()));
+    d.add(row);
+    ++added;
+  }
+  EXPECT_EQ(d.rank(), n);
+  EXPECT_EQ(d.decoded_prefix(), n);
+}
+
+}  // namespace
+}  // namespace prlc::linalg

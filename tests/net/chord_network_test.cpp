@@ -1,0 +1,178 @@
+#include "net/chord_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace prlc::net {
+namespace {
+
+ChordParams make_params(std::size_t nodes = 200, std::size_t locations = 50,
+                        std::uint64_t seed = 5) {
+  ChordParams p;
+  p.nodes = nodes;
+  p.locations = locations;
+  p.seed = seed;
+  return p;
+}
+
+/// Reference owner rule: alive node with the minimal clockwise distance
+/// from the key.
+NodeId linear_successor(const ChordNetwork& net, std::uint64_t key) {
+  NodeId best = 0;
+  std::uint64_t best_d = std::numeric_limits<std::uint64_t>::max();
+  for (NodeId v = 0; v < net.nodes(); ++v) {
+    if (!net.alive(v)) continue;
+    const std::uint64_t d = ring_clockwise(key, net.ring_id(v));
+    if (d <= best_d) {
+      // Prefer the node exactly at `key` (distance 0) then nearest cw.
+      if (d < best_d) {
+        best = v;
+        best_d = d;
+      }
+    }
+  }
+  return best;
+}
+
+TEST(ChordNetwork, ConstructionBasics) {
+  const ChordNetwork net(make_params());
+  EXPECT_EQ(net.nodes(), 200u);
+  EXPECT_EQ(net.locations(), 50u);
+  EXPECT_EQ(net.alive_count(), 200u);
+}
+
+TEST(ChordNetwork, RingIdsAreUnique) {
+  const ChordNetwork net(make_params(500, 10, 9));
+  std::set<std::uint64_t> ids;
+  for (NodeId v = 0; v < net.nodes(); ++v) ids.insert(net.ring_id(v));
+  EXPECT_EQ(ids.size(), net.nodes());
+}
+
+TEST(ChordNetwork, SuccessorMatchesLinearScan) {
+  const ChordNetwork net(make_params());
+  Rng rng(81);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t key = rng();
+    EXPECT_EQ(net.successor(key), linear_successor(net, key));
+  }
+}
+
+TEST(ChordNetwork, SuccessorOfOwnIdIsSelf) {
+  const ChordNetwork net(make_params());
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(net.successor(net.ring_id(v)), v);
+  }
+}
+
+TEST(ChordNetwork, OwnerMatchesSuccessorOfKey) {
+  const ChordNetwork net(make_params());
+  for (LocationId loc = 0; loc < net.locations(); ++loc) {
+    EXPECT_EQ(net.owner_of(loc), net.successor(net.location_key(loc)));
+  }
+}
+
+TEST(ChordNetwork, RouteDeliversToOwner) {
+  const ChordNetwork net(make_params(300, 40, 13));
+  Rng rng(82);
+  for (LocationId loc = 0; loc < net.locations(); ++loc) {
+    const NodeId from = net.random_alive_node(rng);
+    const auto result = net.route(from, loc);
+    ASSERT_TRUE(result.delivered);
+    EXPECT_EQ(result.owner, net.owner_of(loc));
+  }
+}
+
+TEST(ChordNetwork, RouteHopsAreLogarithmic) {
+  const ChordNetwork net(make_params(1000, 100, 17));
+  Rng rng(83);
+  std::size_t max_hops = 0;
+  double total = 0;
+  for (LocationId loc = 0; loc < net.locations(); ++loc) {
+    const auto result = net.route(net.random_alive_node(rng), loc);
+    ASSERT_TRUE(result.delivered);
+    max_hops = std::max(max_hops, result.hops);
+    total += static_cast<double>(result.hops);
+  }
+  // Chord: ~ (1/2) log2 W average, log2 W + O(1) whp. Generous bounds.
+  EXPECT_LE(max_hops, 2 * static_cast<std::size_t>(std::log2(1000)) + 4);
+  EXPECT_LE(total / static_cast<double>(net.locations()), std::log2(1000) + 1);
+}
+
+TEST(ChordNetwork, RouteFromOwnerIsZeroHops) {
+  const ChordNetwork net(make_params());
+  const NodeId owner = net.owner_of(0);
+  const auto result = net.route(owner, 0);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_EQ(result.hops, 0u);
+}
+
+TEST(ChordNetwork, FailuresShiftOwnershipToNextSuccessor) {
+  ChordNetwork net(make_params(100, 10, 19));
+  const LocationId loc = 4;
+  const NodeId owner = net.owner_of(loc);
+  net.fail_node(owner);
+  const NodeId next = net.owner_of(loc);
+  EXPECT_NE(next, owner);
+  EXPECT_TRUE(net.alive(next));
+  EXPECT_EQ(next, linear_successor(net, net.location_key(loc)));
+}
+
+TEST(ChordNetwork, RoutingSurvivesHeavyChurn) {
+  ChordNetwork net(make_params(400, 30, 23));
+  Rng rng(84);
+  for (NodeId v = 0; v < net.nodes(); v += 2) net.fail_node(v);  // 50% churn
+  for (LocationId loc = 0; loc < net.locations(); ++loc) {
+    const NodeId from = net.random_alive_node(rng);
+    const auto result = net.route(from, loc);
+    ASSERT_TRUE(result.delivered);
+    EXPECT_TRUE(net.alive(result.owner));
+    EXPECT_EQ(result.owner, net.owner_of(loc));
+  }
+}
+
+TEST(ChordNetwork, RouteFromDeadNodeRejected) {
+  ChordNetwork net(make_params());
+  net.fail_node(3);
+  EXPECT_THROW(net.route(3, 0), PreconditionError);
+}
+
+TEST(ChordNetwork, TwoChoicesReducesMaxLoad) {
+  ChordParams one = make_params(150, 3000, 29);
+  ChordParams two = one;
+  two.two_choices = true;
+  const ChordNetwork net1(one);
+  const ChordNetwork net2(two);
+  auto max_load = [](const ChordNetwork& net) {
+    std::vector<std::size_t> load(net.nodes(), 0);
+    for (LocationId loc = 0; loc < net.locations(); ++loc) ++load[net.owner_of(loc)];
+    std::size_t mx = 0;
+    for (std::size_t l : load) mx = std::max(mx, l);
+    return mx;
+  };
+  EXPECT_LT(max_load(net2), max_load(net1));
+}
+
+TEST(ChordNetwork, DeterministicPerSeed) {
+  const ChordNetwork a(make_params(80, 12, 31));
+  const ChordNetwork b(make_params(80, 12, 31));
+  for (NodeId v = 0; v < a.nodes(); ++v) EXPECT_EQ(a.ring_id(v), b.ring_id(v));
+  for (LocationId loc = 0; loc < a.locations(); ++loc) {
+    EXPECT_EQ(a.location_key(loc), b.location_key(loc));
+  }
+}
+
+TEST(ChordNetwork, ValidatesParameters) {
+  ChordParams p;
+  p.nodes = 1;
+  EXPECT_THROW(ChordNetwork{p}, PreconditionError);
+  p.nodes = 5;
+  p.locations = 0;
+  EXPECT_THROW(ChordNetwork{p}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::net

@@ -1,0 +1,96 @@
+#include "net/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "net/chord_network.h"
+#include "net/sensor_network.h"
+#include "util/check.h"
+
+namespace prlc::net {
+namespace {
+
+TEST(Churn, UniformFractionKillsExactCount) {
+  ChordParams p;
+  p.nodes = 200;
+  p.locations = 5;
+  p.seed = 3;
+  ChordNetwork net(p);
+  Rng rng(91);
+  const auto killed = kill_uniform_fraction(net, 0.25, rng);
+  EXPECT_EQ(killed.size(), 50u);
+  EXPECT_EQ(net.alive_count(), 150u);
+  for (NodeId v : killed) EXPECT_FALSE(net.alive(v));
+}
+
+TEST(Churn, UniformFractionOnAlreadyChurnedNetwork) {
+  ChordParams p;
+  p.nodes = 100;
+  p.locations = 5;
+  p.seed = 4;
+  ChordNetwork net(p);
+  Rng rng(92);
+  kill_uniform_fraction(net, 0.5, rng);
+  EXPECT_EQ(net.alive_count(), 50u);
+  // A second 50% kill applies to the *remaining* population.
+  kill_uniform_fraction(net, 0.5, rng);
+  EXPECT_EQ(net.alive_count(), 25u);
+}
+
+TEST(Churn, ZeroAndFullFraction) {
+  ChordParams p;
+  p.nodes = 60;
+  p.locations = 5;
+  p.seed = 5;
+  ChordNetwork net(p);
+  Rng rng(93);
+  EXPECT_TRUE(kill_uniform_fraction(net, 0.0, rng).empty());
+  EXPECT_EQ(net.alive_count(), 60u);
+  kill_uniform_fraction(net, 1.0, rng);
+  EXPECT_EQ(net.alive_count(), 0u);
+}
+
+TEST(Churn, FractionValidated) {
+  ChordParams p;
+  p.nodes = 10;
+  p.locations = 2;
+  ChordNetwork net(p);
+  Rng rng(94);
+  EXPECT_THROW(kill_uniform_fraction(net, -0.1, rng), PreconditionError);
+  EXPECT_THROW(kill_uniform_fraction(net, 1.1, rng), PreconditionError);
+}
+
+TEST(Churn, ExponentialDeathProbability) {
+  EXPECT_DOUBLE_EQ(exponential_death_probability(10.0, 0.0), 0.0);
+  EXPECT_NEAR(exponential_death_probability(10.0, 10.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(exponential_death_probability(10.0, 1000.0), 1.0, 1e-12);
+  EXPECT_THROW(exponential_death_probability(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(exponential_death_probability(1.0, -1.0), PreconditionError);
+}
+
+TEST(Churn, ExponentialChurnMatchesExpectation) {
+  SensorParams p;
+  p.nodes = 2000;
+  p.locations = 5;
+  p.seed = 6;
+  SensorNetwork net(p);
+  Rng rng(95);
+  const auto killed = apply_exponential_churn(net, 10.0, 5.0, rng);
+  const double expect = 2000 * (1.0 - std::exp(-0.5));
+  EXPECT_NEAR(static_cast<double>(killed.size()), expect, 4 * std::sqrt(expect));
+  EXPECT_EQ(net.alive_count(), 2000u - killed.size());
+}
+
+TEST(Churn, ExponentialChurnSkipsDeadNodes) {
+  SensorParams p;
+  p.nodes = 100;
+  p.locations = 5;
+  p.seed = 7;
+  SensorNetwork net(p);
+  Rng rng(96);
+  kill_uniform_fraction(net, 1.0, rng);
+  const auto killed = apply_exponential_churn(net, 1.0, 100.0, rng);
+  EXPECT_TRUE(killed.empty());
+}
+
+}  // namespace
+}  // namespace prlc::net

@@ -1,0 +1,52 @@
+#include "net/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace prlc::net {
+namespace {
+
+TEST(Geometry, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Geometry, DistanceSymmetric) {
+  const Point2D a{0.2, 0.7};
+  const Point2D b{0.9, 0.1};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Geometry, RingClockwiseWraps) {
+  EXPECT_EQ(ring_clockwise(10, 15), 5u);
+  EXPECT_EQ(ring_clockwise(15, 10), ~std::uint64_t{0} - 4);  // almost full circle
+  EXPECT_EQ(ring_clockwise(7, 7), 0u);
+}
+
+TEST(Geometry, RingIntervalHalfOpen) {
+  // (from, to] clockwise.
+  EXPECT_TRUE(ring_in_interval(5, 3, 7));
+  EXPECT_TRUE(ring_in_interval(7, 3, 7));   // inclusive right end
+  EXPECT_FALSE(ring_in_interval(3, 3, 7));  // exclusive left end
+  EXPECT_FALSE(ring_in_interval(8, 3, 7));
+}
+
+TEST(Geometry, RingIntervalAcrossWrap) {
+  const std::uint64_t high = ~std::uint64_t{0} - 5;
+  EXPECT_TRUE(ring_in_interval(2, high, 10));
+  EXPECT_TRUE(ring_in_interval(high + 3, high, 10));
+  EXPECT_FALSE(ring_in_interval(high - 1, high, 10));
+  EXPECT_FALSE(ring_in_interval(11, high, 10));
+}
+
+TEST(Geometry, RingIntervalFullCircle) {
+  // to == from means the whole ring is (from, from] = everything but from
+  // ... which under the unsigned arithmetic is the empty/full edge case:
+  // clockwise(from, from) == 0, so only keys with distance 0 match — none
+  // besides from itself, which the left-exclusivity rejects.
+  EXPECT_FALSE(ring_in_interval(5, 5, 5));
+  EXPECT_FALSE(ring_in_interval(4, 5, 5));
+}
+
+}  // namespace
+}  // namespace prlc::net

@@ -1,0 +1,87 @@
+// Behaviour of the Overlay base contract shared by both overlay families.
+#include <gtest/gtest.h>
+
+#include "net/chord_network.h"
+#include "net/churn.h"
+#include "net/sensor_network.h"
+#include "util/check.h"
+
+namespace prlc::net {
+namespace {
+
+ChordNetwork small_ring() {
+  ChordParams p;
+  p.nodes = 12;
+  p.locations = 4;
+  p.seed = 3;
+  return ChordNetwork(p);
+}
+
+TEST(Overlay, RandomAliveNodeOnlyReturnsAlive) {
+  auto net = small_ring();
+  for (NodeId v = 0; v < 6; ++v) net.fail_node(v);
+  Rng rng(41);
+  for (int t = 0; t < 200; ++t) {
+    const NodeId v = net.random_alive_node(rng);
+    EXPECT_TRUE(net.alive(v));
+    EXPECT_GE(v, 6u);
+  }
+}
+
+TEST(Overlay, RandomAliveNodeThrowsWhenAllDead) {
+  auto net = small_ring();
+  Rng rng(42);
+  kill_uniform_fraction(net, 1.0, rng);
+  EXPECT_THROW(net.random_alive_node(rng), PreconditionError);
+}
+
+TEST(Overlay, OwnershipThrowsWhenAllDead) {
+  auto net = small_ring();
+  Rng rng(43);
+  kill_uniform_fraction(net, 1.0, rng);
+  EXPECT_THROW(net.owner_of(0), PreconditionError);
+}
+
+TEST(Overlay, SensorOwnershipThrowsWhenAllDead) {
+  SensorParams p;
+  p.nodes = 10;
+  p.locations = 3;
+  p.seed = 5;
+  SensorNetwork net(p);
+  Rng rng(44);
+  kill_uniform_fraction(net, 1.0, rng);
+  EXPECT_THROW(net.owner_of(0), PreconditionError);
+}
+
+TEST(Overlay, NodeIdBoundsChecked) {
+  auto net = small_ring();
+  EXPECT_THROW(net.alive(12), PreconditionError);
+  EXPECT_THROW(net.fail_node(12), PreconditionError);
+  EXPECT_THROW(net.revive_node(12), PreconditionError);
+  EXPECT_THROW(net.generation(12), PreconditionError);
+}
+
+TEST(Overlay, LastSurvivorOwnsEverything) {
+  auto net = small_ring();
+  for (NodeId v = 1; v < net.nodes(); ++v) net.fail_node(v);
+  for (LocationId loc = 0; loc < net.locations(); ++loc) {
+    EXPECT_EQ(net.owner_of(loc), 0u);
+    const auto result = net.route(0, loc);
+    EXPECT_TRUE(result.delivered);
+    EXPECT_EQ(result.hops, 0u);
+  }
+}
+
+TEST(Overlay, CandidatesAgreeWithOwnerAfterChurn) {
+  auto net = small_ring();
+  Rng rng(45);
+  kill_uniform_fraction(net, 0.5, rng);
+  for (LocationId loc = 0; loc < net.locations(); ++loc) {
+    const auto cands = net.owner_candidates(loc, 3);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_EQ(cands.front(), net.owner_of(loc));
+  }
+}
+
+}  // namespace
+}  // namespace prlc::net

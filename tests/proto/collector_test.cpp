@@ -1,0 +1,134 @@
+#include "proto/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "net/chord_network.h"
+#include "net/churn.h"
+#include "util/check.h"
+
+namespace prlc::proto {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+using codes::Scheme;
+
+struct TestHarness {
+  PrioritySpec spec{std::vector<std::size_t>{4, 6, 10}};  // N = 20
+  PriorityDistribution dist{std::vector<double>{0.3, 0.3, 0.4}};
+  net::ChordNetwork overlay;
+  ProtocolParams params;
+  Rng rng{55};
+
+  explicit TestHarness(Scheme scheme = Scheme::kPlc, std::size_t locations = 60)
+      : overlay(make_net(locations)) {
+    params.scheme = scheme;
+    params.block_size = 6;
+  }
+
+  static net::ChordParams make_net(std::size_t locations) {
+    net::ChordParams p;
+    p.nodes = 80;
+    p.locations = locations;
+    p.seed = 21;
+    return p;
+  }
+};
+
+TEST(Collector, FullCollectionDecodesEverything) {
+  TestHarness s;
+  Predistribution pd(s.overlay, s.spec, s.dist, s.params);
+  const auto source = codes::SourceData<Field>::random(s.spec.total(), 6, s.rng);
+  pd.disseminate(source, s.rng);
+  // 60 locations for 20 unknowns: decoding everything is near-certain.
+  const auto [result, verified] = collect_and_verify(pd, source, s.rng);
+  EXPECT_EQ(result.surviving_locations, 60u);
+  EXPECT_EQ(result.decoded_levels, 3u);
+  EXPECT_EQ(result.decoded_blocks, 20u);
+  EXPECT_TRUE(verified);
+  EXPECT_EQ(result.innovative_blocks, 20u);
+}
+
+TEST(Collector, TargetLevelsStopsEarly) {
+  TestHarness s;
+  Predistribution pd(s.overlay, s.spec, s.dist, s.params);
+  const auto source = codes::SourceData<Field>::random(s.spec.total(), 6, s.rng);
+  pd.disseminate(source, s.rng);
+  codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
+  CollectorOptions opt;
+  opt.target_levels = 1;
+  const auto result = collect(pd, decoder, opt, s.rng);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_GE(result.decoded_levels, 1u);
+  EXPECT_LT(result.blocks_retrieved, 60u);  // stopped before draining
+}
+
+TEST(Collector, MaxBlocksCapsRetrieval) {
+  TestHarness s;
+  Predistribution pd(s.overlay, s.spec, s.dist, s.params);
+  const auto source = codes::SourceData<Field>::random(s.spec.total(), 6, s.rng);
+  pd.disseminate(source, s.rng);
+  codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
+  CollectorOptions opt;
+  opt.max_blocks = 7;
+  const auto result = collect(pd, decoder, opt, s.rng);
+  EXPECT_EQ(result.blocks_retrieved, 7u);
+  EXPECT_FALSE(result.target_met);
+}
+
+TEST(Collector, TraceRecordsProgression) {
+  TestHarness s;
+  Predistribution pd(s.overlay, s.spec, s.dist, s.params);
+  const auto source = codes::SourceData<Field>::random(s.spec.total(), 6, s.rng);
+  pd.disseminate(source, s.rng);
+  codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
+  const auto result = collect(pd, decoder, {}, s.rng, /*trace=*/true);
+  ASSERT_EQ(result.level_trace.size(), result.blocks_retrieved);
+  for (std::size_t i = 1; i < result.level_trace.size(); ++i) {
+    EXPECT_GE(result.level_trace[i], result.level_trace[i - 1]);  // monotone
+  }
+  EXPECT_EQ(result.level_trace.back(), result.decoded_levels);
+}
+
+TEST(Collector, ChurnDegradesGracefully) {
+  TestHarness s;
+  Predistribution pd(s.overlay, s.spec, s.dist, s.params);
+  const auto source = codes::SourceData<Field>::random(s.spec.total(), 6, s.rng);
+  pd.disseminate(source, s.rng);
+  net::kill_uniform_fraction(s.overlay, 0.9, s.rng);
+  codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
+  const auto result = collect(pd, decoder, {}, s.rng);
+  EXPECT_LT(result.surviving_locations, 60u);
+  EXPECT_LE(result.decoded_levels, 3u);
+  // Whatever did decode must still verify against the original data.
+  for (std::size_t j = 0; j < s.spec.total(); ++j) {
+    if (decoder.is_block_decoded(j)) {
+      const auto got = decoder.recovered(j);
+      const auto want = source.block(j);
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()));
+    }
+  }
+}
+
+TEST(Collector, SlcSchemeEndToEnd) {
+  TestHarness s(Scheme::kSlc);
+  Predistribution pd(s.overlay, s.spec, s.dist, s.params);
+  const auto source = codes::SourceData<Field>::random(s.spec.total(), 6, s.rng);
+  pd.disseminate(source, s.rng);
+  const auto [result, verified] = collect_and_verify(pd, source, s.rng);
+  EXPECT_EQ(result.decoded_levels, 3u);
+  EXPECT_TRUE(verified);
+}
+
+TEST(Collector, MismatchedDecoderRejected) {
+  TestHarness s;
+  Predistribution pd(s.overlay, s.spec, s.dist, s.params);
+  codes::PriorityDecoder<Field> wrong_scheme(Scheme::kSlc, s.spec, s.params.block_size);
+  EXPECT_THROW(collect(pd, wrong_scheme, {}, s.rng), PreconditionError);
+  codes::PriorityDecoder<Field> wrong_spec(Scheme::kPlc, PrioritySpec({5, 5}),
+                                           s.params.block_size);
+  EXPECT_THROW(collect(pd, wrong_spec, {}, s.rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::proto

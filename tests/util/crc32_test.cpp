@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace prlc {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32 (IEEE) test vectors.
+  EXPECT_EQ(crc32(bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes("The quick brown fox jumps over the lazy dog")), 0x414FA339u);
+}
+
+TEST(Crc32, SensitiveToEveryBit) {
+  auto data = bytes("hello, prlc");
+  const auto base = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto copy = data;
+      copy[i] ^= static_cast<std::uint8_t>(1 << bit);
+      ASSERT_NE(crc32(copy), base) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32, ChainingMatchesOneShot) {
+  const auto whole = bytes("first-half|second-half");
+  const auto left = bytes("first-half|");
+  const auto right = bytes("second-half");
+  EXPECT_EQ(crc32(right, crc32(left)), crc32(whole));
+}
+
+TEST(Crc32, OrderMatters) {
+  EXPECT_NE(crc32(bytes("ab")), crc32(bytes("ba")));
+}
+
+}  // namespace
+}  // namespace prlc

@@ -1,0 +1,67 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace prlc {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> v(args);
+  return Flags::parse(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Flags, SpaceAndEqualsForms) {
+  const auto f = make({"--alpha", "2.5", "--name=plc"});
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0), 2.5);
+  EXPECT_EQ(f.get_string("name", ""), "plc");
+}
+
+TEST(Flags, Defaults) {
+  const auto f = make({});
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_EQ(f.get_string("missing", "x"), "x");
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, BooleanStyles) {
+  const auto f = make({"--verbose", "--flag1", "on", "--flag2=false"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.get_bool("flag1", false));
+  EXPECT_FALSE(f.get_bool("flag2", true));
+  EXPECT_THROW(make({"--x", "maybe"}).get_bool("x", false), PreconditionError);
+}
+
+TEST(Flags, Positional) {
+  const auto f = make({"pos1", "--k", "1", "pos2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.positional()[1], "pos2");
+}
+
+TEST(Flags, Lists) {
+  const auto f = make({"--dist", "0.5,0.3,0.2", "--levels=1,2,3"});
+  EXPECT_EQ(f.get_double_list("dist", {}), (std::vector<double>{0.5, 0.3, 0.2}));
+  EXPECT_EQ(f.get_size_list("levels", {}), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_THROW(make({"--l", "1,x"}).get_double_list("l", {}), PreconditionError);
+  EXPECT_THROW(make({"--l", "1.5,2"}).get_size_list("l", {}), PreconditionError);
+}
+
+TEST(Flags, TypeErrors) {
+  EXPECT_THROW(make({"--n", "abc"}).get_int("n", 0), PreconditionError);
+  EXPECT_THROW(make({"--d", "1.2.3"}).get_double("d", 0), PreconditionError);
+}
+
+TEST(Flags, UnusedDetection) {
+  const auto f = make({"--used", "1", "--typo", "2"});
+  f.get_int("used", 0);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, BareDashesRejected) {
+  EXPECT_THROW(make({"--"}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc

@@ -1,0 +1,52 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace prlc {
+namespace {
+
+TEST(TablePrinter, AlignedTextOutput) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthEnforced) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TablePrinter, EmptyHeaderRejected) {
+  EXPECT_THROW(TablePrinter{std::vector<std::string>{}}, PreconditionError);
+}
+
+TEST(TablePrinter, CsvEscaping) {
+  TablePrinter t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinter, CsvRoundTripPlainCells) {
+  TablePrinter t({"x"});
+  t.add_row({"plain"});
+  EXPECT_EQ(t.to_csv(), "x\nplain\n");
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_double(-0.5, 3), "-0.500");
+}
+
+TEST(FmtMeanCi, Layout) { EXPECT_EQ(fmt_mean_ci(1.5, 0.25, 2), "1.50 ± 0.25"); }
+
+}  // namespace
+}  // namespace prlc

@@ -1,0 +1,243 @@
+// prlc — command-line driver for the library's experiments.
+//
+// Subcommands:
+//   curve    simulate a decoding curve (GF(2^8))
+//              prlc curve --scheme plc --levels 50,100,350 --dist 0.3,0.3,0.4
+//                         --from 50 --to 1000 --points 12 --trials 30
+//   analyze  analytical decoding curve (exact DP / count-model MC)
+//              prlc analyze --scheme slc --levels 200,200,200,200,200
+//   design   feasibility search for a priority distribution
+//              prlc design --levels 50,100,350 --constraints 130:1,950:2
+//                          --alpha 2 --eps 0.01
+//   persist  end-to-end overlay experiment (pre-distribution + churn)
+//              prlc persist --overlay chord --nodes 300 --levels 20,40,60
+//                           --failures 0.2,0.5,0.8 --trials 10
+//   timeline rounds of periodic snapshots under a fixed storage budget
+//              prlc timeline --levels 10,20,30 --rounds 8 --window 4
+//                            --policy decay --churn 0.1
+//
+// Every subcommand accepts --seed. Unknown flags are reported.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/analysis_curve.h"
+#include "codes/decoding_curve.h"
+#include "design/feasibility.h"
+#include "gf/gf256.h"
+#include "net/chord_network.h"
+#include "net/churn.h"
+#include "proto/persistence_experiment.h"
+#include "proto/timeline.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace prlc;
+
+codes::PrioritySpec spec_from(const Flags& flags) {
+  return codes::PrioritySpec(flags.get_size_list("levels", {50, 100, 350}));
+}
+
+codes::PriorityDistribution dist_from(const Flags& flags, std::size_t levels) {
+  const auto values = flags.get_double_list("dist", {});
+  if (values.empty()) return codes::PriorityDistribution::uniform(levels);
+  return codes::PriorityDistribution{std::vector<double>(values)};
+}
+
+std::vector<std::size_t> grid_from(const Flags& flags, std::size_t total) {
+  const auto from = static_cast<std::size_t>(flags.get_int("from", 1));
+  const auto to =
+      static_cast<std::size_t>(flags.get_int("to", static_cast<std::int64_t>(2 * total)));
+  const auto points = static_cast<std::size_t>(flags.get_int("points", 12));
+  return codes::make_block_counts(from, to, points);
+}
+
+int cmd_curve(const Flags& flags) {
+  const auto spec = spec_from(flags);
+  const auto scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  codes::CurveOptions opt;
+  opt.block_counts = grid_from(flags, spec.total());
+  opt.trials = static_cast<std::size_t>(flags.get_int("trials", 30));
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  if (flags.get_bool("sparse", false)) {
+    opt.encoder.model = codes::CoefficientModel::kSparse;
+    opt.encoder.sparsity_factor = flags.get_double("sparsity-factor", 3.0);
+  }
+  const auto dist = dist_from(flags, spec.levels());
+  const auto curve = codes::simulate_decoding_curve<gf::Gf256>(scheme, spec, dist, opt);
+  TablePrinter table({"coded blocks", "E[levels] (95% CI)", "E[block prefix]"});
+  for (const auto& p : curve) {
+    table.add_row({std::to_string(p.coded_blocks), fmt_mean_ci(p.mean_levels, p.ci95_levels),
+                   fmt_double(p.mean_blocks, 1)});
+  }
+  table.emit("cli_curve");
+  return 0;
+}
+
+int cmd_analyze(const Flags& flags) {
+  const auto spec = spec_from(flags);
+  const auto scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  const auto dist = dist_from(flags, spec.levels());
+  analysis::AnalysisCurveOptions opt;
+  opt.mc_trials = static_cast<std::size_t>(flags.get_int("mc-trials", 20000));
+  opt.mc_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto grid = grid_from(flags, spec.total());
+  const auto curve = analysis::analysis_curve(scheme, spec, dist, grid, opt);
+  TablePrinter table({"coded blocks", "E[levels]", "backend"});
+  for (const auto& p : curve) {
+    table.add_row({std::to_string(p.coded_blocks), fmt_double(p.expected_levels, 4),
+                   p.exact ? "exact" : "monte-carlo"});
+  }
+  table.emit("cli_analyze");
+  return 0;
+}
+
+int cmd_design(const Flags& flags) {
+  design::FeasibilityProblem problem;
+  problem.spec = spec_from(flags);
+  problem.scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  // --constraints M1:k1,M2:k2,...
+  const std::string raw = flags.get_string("constraints", "130:1,950:2");
+  std::stringstream ss(raw);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto colon = item.find(':');
+    PRLC_REQUIRE(colon != std::string::npos, "constraints must look like M:k");
+    problem.decoding.push_back({static_cast<std::size_t>(std::stoul(item.substr(0, colon))),
+                                std::stod(item.substr(colon + 1))});
+  }
+  if (flags.get_double("alpha", 2.0) > 0) {
+    problem.full_recovery = design::FullRecoveryConstraint{
+        flags.get_double("alpha", 2.0), flags.get_double("eps", 0.01)};
+  }
+  const auto result = design::solve_feasibility(problem);
+  std::cout << (result.feasible ? "FEASIBLE" : "infeasible (best effort shown)") << " — "
+            << result.evaluations << " evaluations\n";
+  TablePrinter table({"level", "p"});
+  for (std::size_t i = 0; i < result.distribution.size(); ++i) {
+    table.add_row({std::to_string(i + 1), fmt_double(result.distribution[i], 4)});
+  }
+  table.emit("cli_design");
+  for (std::size_t i = 0; i < problem.decoding.size(); ++i) {
+    std::cout << "E[X_" << problem.decoding[i].coded_blocks
+              << "] = " << fmt_double(result.report.achieved_levels[i], 3)
+              << " (required " << fmt_double(problem.decoding[i].min_levels, 2) << ")\n";
+  }
+  if (result.report.achieved_full_recovery) {
+    std::cout << "Pr[full recovery] = " << fmt_double(*result.report.achieved_full_recovery, 4)
+              << "\n";
+  }
+  return result.feasible ? 0 : 2;
+}
+
+int cmd_persist(const Flags& flags) {
+  proto::PersistenceParams params;
+  const std::string overlay = flags.get_string("overlay", "chord");
+  PRLC_REQUIRE(overlay == "chord" || overlay == "sensor", "--overlay must be chord|sensor");
+  params.overlay =
+      overlay == "chord" ? proto::OverlayKind::kChord : proto::OverlayKind::kSensor;
+  params.nodes = static_cast<std::size_t>(flags.get_int("nodes", 300));
+  params.level_sizes = flags.get_size_list("levels", {20, 40, 60});
+  params.locations = static_cast<std::size_t>(flags.get_int("locations", 0));
+  params.scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  params.two_choices = flags.get_bool("two-choices", false);
+  params.protocol.sparse = flags.get_bool("sparse", false);
+  for (double f : flags.get_double_list("failures", {0.0, 0.25, 0.5, 0.75, 0.9})) {
+    params.failure_fractions.push_back(f);
+  }
+  params.trials = static_cast<std::size_t>(flags.get_int("trials", 10));
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto points = proto::run_persistence_experiment(params);
+  TablePrinter table({"failure fraction", "surviving blocks", "decoded levels (95% CI)",
+                      "decoded block prefix"});
+  for (const auto& p : points) {
+    table.add_row({fmt_double(p.failure_fraction, 2), fmt_double(p.mean_surviving_blocks, 1),
+                   fmt_mean_ci(p.mean_decoded_levels, p.ci95_decoded_levels, 2),
+                   fmt_double(p.mean_decoded_blocks, 1)});
+  }
+  table.emit("cli_persist");
+  return 0;
+}
+
+int cmd_timeline(const Flags& flags) {
+  const auto spec = codes::PrioritySpec(flags.get_size_list("levels", {10, 20, 30}));
+  const auto dist = dist_from(flags, spec.levels());
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 8));
+  const double churn = flags.get_double("churn", 0.1);
+  PRLC_REQUIRE(churn >= 0.0 && churn < 1.0, "--churn must be in [0,1)");
+
+  net::ChordParams np;
+  np.nodes = static_cast<std::size_t>(flags.get_int("nodes", 300));
+  np.locations = static_cast<std::size_t>(
+      flags.get_int("locations", static_cast<std::int64_t>(4 * spec.total())));
+  np.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  net::ChordNetwork overlay(np);
+
+  proto::TimelineParams params;
+  params.scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  params.window = static_cast<std::size_t>(flags.get_int("window", 4));
+  const std::string policy = flags.get_string("policy", "window");
+  PRLC_REQUIRE(policy == "window" || policy == "decay", "--policy must be window|decay");
+  params.policy = policy == "window" ? proto::RetentionPolicy::kSlidingWindow
+                                     : proto::RetentionPolicy::kExponentialDecay;
+  proto::TimelineStore store(overlay, spec, dist, params);
+
+  Rng rng(np.seed ^ 0x7e11);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto snap =
+        codes::SourceData<proto::Field>::random(spec.total(), params.block_size, rng);
+    store.ingest(snap, rng);
+    if (churn > 0) net::kill_uniform_fraction(overlay, churn, rng);
+  }
+
+  TablePrinter table({"round", "age", "storage share", "blocks retrievable",
+                      "decoded levels", "decoded blocks"});
+  for (std::size_t id : store.retained_rounds()) {
+    const auto q = store.query(id, rng);
+    if (!q.has_value()) continue;
+    table.add_row({std::to_string(q->round_id), std::to_string(q->age),
+                   std::to_string(q->locations_allotted),
+                   std::to_string(q->blocks_retrievable), std::to_string(q->decoded_levels),
+                   std::to_string(q->decoded_blocks)});
+  }
+  table.emit("cli_timeline");
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: prlc <curve|analyze|design|persist|timeline> [--flags]\n"
+               "see the header of tools/prlc_cli.cpp for per-command flags\n";
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Flags flags = Flags::parse(argc - 2, argv + 2);
+  try {
+    int rc;
+    if (cmd == "curve") {
+      rc = cmd_curve(flags);
+    } else if (cmd == "analyze") {
+      rc = cmd_analyze(flags);
+    } else if (cmd == "design") {
+      rc = cmd_design(flags);
+    } else if (cmd == "persist") {
+      rc = cmd_persist(flags);
+    } else if (cmd == "timeline") {
+      rc = cmd_timeline(flags);
+    } else {
+      return usage();
+    }
+    for (const auto& name : flags.unused()) {
+      std::cerr << "warning: unused flag --" << name << "\n";
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
