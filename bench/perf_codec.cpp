@@ -5,9 +5,13 @@
 // scales, and batch RREF.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "codes/decoder.h"
 #include "codes/encoder.h"
 #include "gf/gf256.h"
+#include "gf/gf256_kernels.h"
 #include "linalg/gauss_jordan.h"
 #include "linalg/progressive_decoder.h"
 #include "util/random.h"
@@ -41,7 +45,81 @@ void BM_GfAxpy(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_GfAxpy)->Arg(256)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_GfAxpy)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Per-variant kernel throughput (MB/s in the "bytes_per_second" counter).
+// One row per compiled + runtime-supported variant, so BENCH output
+// records both the dispatch decision and the speedup over the seed's
+// byte-wise reference loop.
+void BM_GfKernelAxpy(benchmark::State& state, gf::Gf256Kernel kernel) {
+  const auto& ops = gf::gf256_kernel_ops(kernel);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::uint8_t> x(n);
+  std::vector<std::uint8_t> y(n);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto _ : state) {
+    ops.axpy(y.data(), x.data(), 0x1D, n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_GfKernelMulRegion(benchmark::State& state, gf::Gf256Kernel kernel) {
+  const auto& ops = gf::gf256_kernel_ops(kernel);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<std::uint8_t> src(n);
+  std::vector<std::uint8_t> dst(n);
+  for (auto& v : src) v = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto _ : state) {
+    ops.mul_region(dst.data(), src.data(), 0x8F, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_GfAxpyBatch(benchmark::State& state) {
+  // The decoder back-elimination shape: one source row applied to many
+  // target rows through the cache-tiled batch entry point.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = 32;
+  Rng rng(9);
+  std::vector<std::uint8_t> x(n);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform(256));
+  std::vector<std::vector<std::uint8_t>> targets(rows, std::vector<std::uint8_t>(n));
+  std::vector<std::uint8_t*> ptrs;
+  std::vector<std::uint8_t> coeffs;
+  for (auto& t : targets) ptrs.push_back(t.data());
+  for (std::size_t r = 0; r < rows; ++r) {
+    coeffs.push_back(static_cast<std::uint8_t>(1 + rng.uniform(255)));
+  }
+  using F = gf::Gf256;
+  for (auto _ : state) {
+    F::axpy_batch(std::span<std::uint8_t* const>(ptrs),
+                  std::span<const std::uint8_t>(coeffs), std::span<const std::uint8_t>(x));
+    benchmark::DoNotOptimize(targets.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * rows));
+}
+BENCHMARK(BM_GfAxpyBatch)->Arg(4096)->Arg(65536);
+
+void register_kernel_benchmarks() {
+  for (gf::Gf256Kernel k : gf::gf256_compiled_kernels()) {
+    if (!gf256_kernel_runtime_ok(k)) continue;
+    const std::string suffix = gf::gf256_kernel_name(k);
+    for (long n : {4096L, 65536L}) {
+      benchmark::RegisterBenchmark(("BM_GfKernelAxpy/" + suffix).c_str(), BM_GfKernelAxpy, k)
+          ->Arg(n);
+      benchmark::RegisterBenchmark(("BM_GfKernelMulRegion/" + suffix).c_str(),
+                                   BM_GfKernelMulRegion, k)
+          ->Arg(n);
+    }
+  }
+}
 
 void BM_EncodeBlock(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -106,4 +184,17 @@ BENCHMARK(BM_SparseEncode);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("gf256 kernel dispatch: %s (compiled:", gf::gf256_active_ops().name);
+  for (gf::Gf256Kernel k : gf::gf256_compiled_kernels()) {
+    std::printf(" %s%s", gf::gf256_kernel_name(k),
+                gf::gf256_kernel_runtime_ok(k) ? "" : "[no-cpu]");
+  }
+  std::printf(")\n");
+  register_kernel_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -112,11 +112,21 @@ class PriorityEncoder {
       case CoefficientModel::kDenseUniform: {
         bool any = false;
         do {
+          // Reset the support explicitly before each (re)draw. Today every
+          // slot is overwritten below, but a sparse-support refactor that
+          // skips slots must not inherit stale values from a rejected draw.
+          std::fill(coeffs.begin() + static_cast<std::ptrdiff_t>(begin),
+                    coeffs.begin() + static_cast<std::ptrdiff_t>(end), Symbol{0});
+          any = false;
           for (std::size_t j = begin; j < end; ++j) {
             coeffs[j] = static_cast<Symbol>(rng.uniform(F::order()));
             any = any || coeffs[j] != 0;
           }
         } while (!any);
+        PRLC_ASSERT(std::any_of(coeffs.begin() + static_cast<std::ptrdiff_t>(begin),
+                                coeffs.begin() + static_cast<std::ptrdiff_t>(end),
+                                [](Symbol c) { return c != 0; }),
+                    "dense-uniform draw produced an all-zero row");
         return;
       }
       case CoefficientModel::kDenseNonzero: {

@@ -9,12 +9,18 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace prlc::gf {
 
-/// Field policy concept: static arithmetic over an unsigned symbol type.
+/// Field policy concept: static arithmetic over an unsigned symbol type,
+/// plus the bulk span operations every decoder hot path reduces to. The
+/// span operations are part of the concept (not derived from mul) so a
+/// policy can back them with vectorized kernels — see gf256_kernels.h.
 template <typename F>
-concept FieldPolicy = requires(typename F::Symbol a, typename F::Symbol b) {
+concept FieldPolicy = requires(typename F::Symbol a, typename F::Symbol b,
+                               std::span<typename F::Symbol> y,
+                               std::span<const typename F::Symbol> x) {
   requires std::unsigned_integral<typename F::Symbol>;
   { F::add(a, b) } -> std::same_as<typename F::Symbol>;
   { F::sub(a, b) } -> std::same_as<typename F::Symbol>;
@@ -23,6 +29,22 @@ concept FieldPolicy = requires(typename F::Symbol a, typename F::Symbol b) {
   { F::inv(a) } -> std::same_as<typename F::Symbol>;
   { F::order() } -> std::convertible_to<std::size_t>;
   { F::name() } -> std::convertible_to<const char*>;
+  { F::axpy(y, a, x) } -> std::same_as<void>;
+  { F::scale(y, a) } -> std::same_as<void>;
+  { F::dot(x, x) } -> std::same_as<typename F::Symbol>;
 };
+
+/// Extension of FieldPolicy for fields that also provide a batched
+/// multi-row axpy (ys[r] ^= coeffs[r] * x). Decoders use it for the
+/// back-elimination step when available and fall back to per-row axpy
+/// otherwise; Gf256 routes it through the cache-tiled kernel dispatch.
+template <typename F>
+concept BatchedFieldPolicy =
+    FieldPolicy<F> &&
+    requires(std::span<typename F::Symbol* const> ys,
+             std::span<const typename F::Symbol> coeffs,
+             std::span<const typename F::Symbol> x) {
+      { F::axpy_batch(ys, coeffs, x) } -> std::same_as<void>;
+    };
 
 }  // namespace prlc::gf

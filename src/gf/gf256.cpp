@@ -1,5 +1,7 @@
 #include "gf/gf256.h"
 
+#include "gf/gf256_kernels.h"
+
 namespace prlc::gf {
 
 Gf256::Tables::Tables() {
@@ -39,36 +41,41 @@ Gf256::Symbol Gf256::pow(Symbol a, std::uint32_t e) {
   if (e == 0) return 1;
   if (a == 0) return 0;
   const auto& t = tables();
-  const std::uint32_t le = (static_cast<std::uint32_t>(t.log[a]) * e) % 255u;
+  // Widen before the product: log[a] * e can reach 254 * (2^32 - 1),
+  // which wraps uint32_t for e > UINT32_MAX / 254 (~16.9M).
+  const auto le =
+      static_cast<std::size_t>((static_cast<std::uint64_t>(t.log[a]) * e) % 255u);
   return t.exp[le];
 }
 
 void Gf256::axpy(std::span<Symbol> y, Symbol a, std::span<const Symbol> x) {
   PRLC_REQUIRE(y.size() == x.size(), "axpy spans must have equal length");
-  if (a == 0) return;
-  const Symbol* row = mul_row(a);
-  if (a == 1) {
-    for (std::size_t i = 0; i < y.size(); ++i) y[i] ^= x[i];
-    return;
-  }
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] ^= row[x[i]];
+  if (a == 0 || y.empty()) return;
+  gf256_active_ops().axpy(y.data(), x.data(), a, y.size());
 }
 
 void Gf256::scale(std::span<Symbol> x, Symbol a) {
-  if (a == 1) return;
-  if (a == 0) {
-    for (Symbol& v : x) v = 0;
-    return;
-  }
-  const Symbol* row = mul_row(a);
-  for (Symbol& v : x) v = row[v];
+  if (a == 1 || x.empty()) return;
+  gf256_active_ops().mul_region(x.data(), x.data(), a, x.size());
+}
+
+void Gf256::mul_region(std::span<Symbol> dst, Symbol a, std::span<const Symbol> src) {
+  PRLC_REQUIRE(dst.size() == src.size(), "mul_region spans must have equal length");
+  if (dst.empty()) return;
+  gf256_active_ops().mul_region(dst.data(), src.data(), a, dst.size());
 }
 
 Gf256::Symbol Gf256::dot(std::span<const Symbol> a, std::span<const Symbol> b) {
   PRLC_REQUIRE(a.size() == b.size(), "dot spans must have equal length");
-  Symbol acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc ^= mul(a[i], b[i]);
-  return acc;
+  if (a.empty()) return 0;
+  return gf256_active_ops().dot(a.data(), b.data(), a.size());
+}
+
+void Gf256::axpy_batch(std::span<Symbol* const> ys, std::span<const Symbol> coeffs,
+                       std::span<const Symbol> x) {
+  PRLC_REQUIRE(ys.size() == coeffs.size(), "axpy_batch needs one coefficient per row");
+  if (ys.empty() || x.empty()) return;
+  gf256_axpy_batch(ys.data(), coeffs.data(), x.data(), ys.size(), x.size());
 }
 
 }  // namespace prlc::gf

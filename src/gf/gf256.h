@@ -3,8 +3,11 @@
 // Implementation: exponential/logarithm tables over the primitive
 // polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D, the classic Rijndael-
 // adjacent choice used by most RLNC implementations), plus a full
-// 256x256 product table so the hot vector kernels are a single lookup.
-// Tables are built once at first use and are immutable afterwards.
+// 256x256 product table for scalar lookups. The span operations (axpy,
+// scale, dot, mul_region) route through the vectorized kernel table in
+// gf256_kernels.h, which is dispatched once at runtime to the widest
+// SIMD unit the CPU offers. Tables are built once at first use and are
+// immutable afterwards.
 #pragma once
 
 #include <cstdint>
@@ -55,8 +58,18 @@ class Gf256 {
   /// x *= a element-wise.
   static void scale(std::span<Symbol> x, Symbol a);
 
+  /// dst = a * src element-wise; dst may equal src (then this is scale).
+  static void mul_region(std::span<Symbol> dst, Symbol a, std::span<const Symbol> src);
+
   /// Dot product sum_i a[i]*b[i].
   static Symbol dot(std::span<const Symbol> a, std::span<const Symbol> b);
+
+  /// Batched multi-row axpy: ys[r] ^= coeffs[r] * x for every r, all rows
+  /// x.size() symbols long. One cache-tiled pass over the shared source —
+  /// the shape of Gauss-Jordan back-elimination, where a new pivot row
+  /// updates many stored rows at once.
+  static void axpy_batch(std::span<Symbol* const> ys, std::span<const Symbol> coeffs,
+                         std::span<const Symbol> x);
 
  private:
   struct Tables {

@@ -1,0 +1,422 @@
+#include "gf/gf256_kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "gf/gf256.h"
+#include "util/check.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+#define PRLC_GF256_X86 1
+#include <immintrin.h>
+#else
+#define PRLC_GF256_X86 0
+#endif
+
+namespace prlc::gf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Split-nibble product tables: lo[a][n] = a * n, hi[a][n] = a * (n << 4), so
+// a * x == lo[a][x & 15] ^ hi[a][x >> 4]. 16-byte alignment lets the SIMD
+// variants load each table with one aligned 128-bit load. Built bit-by-bit
+// so the kernels are independent of the Gf256 product table they are
+// differential-tested against.
+// ---------------------------------------------------------------------------
+
+std::uint8_t bitwise_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint16_t acc = 0;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (b & (1 << bit)) acc ^= static_cast<std::uint16_t>(a) << bit;
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if (acc & (1 << bit)) acc ^= static_cast<std::uint16_t>(Gf256::modulus()) << (bit - 8);
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+struct NibbleTables {
+  alignas(64) std::uint8_t lo[256][16];
+  alignas(64) std::uint8_t hi[256][16];
+  NibbleTables() {
+    for (int a = 0; a < 256; ++a) {
+      for (int n = 0; n < 16; ++n) {
+        lo[a][n] = bitwise_mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(n));
+        hi[a][n] = bitwise_mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(n << 4));
+      }
+    }
+  }
+};
+
+const NibbleTables& nib() {
+  static const NibbleTables t;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// dot — shared across variants. It only runs over coefficient vectors (the
+// matrix-vector products in linalg), never payload spans, and a variable ×
+// variable SIMD multiply would need a different decomposition entirely, so
+// the product-table loop is kept for every variant.
+// ---------------------------------------------------------------------------
+
+std::uint8_t dot_table(const std::uint8_t* a, const std::uint8_t* b, std::size_t n) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc ^= Gf256::mul(a[i], b[i]);
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// kReference — the seed implementation: one lookup per byte in the 64 KiB
+// product table. Kept verbatim as the baseline the other variants are
+// differential-tested (and benchmarked) against.
+// ---------------------------------------------------------------------------
+
+void axpy_reference(std::uint8_t* y, const std::uint8_t* x, std::uint8_t a, std::size_t n) {
+  if (a == 0) return;
+  if (a == 1) {
+    for (std::size_t i = 0; i < n; ++i) y[i] ^= x[i];
+    return;
+  }
+  const std::uint8_t* row = Gf256::mul_row(a);
+  for (std::size_t i = 0; i < n; ++i) y[i] ^= row[x[i]];
+}
+
+void mul_region_reference(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t a,
+                          std::size_t n) {
+  if (n == 0) return;
+  if (a == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (a == 1) {
+    if (dst != src) std::memcpy(dst, src, n);
+    return;
+  }
+  const std::uint8_t* row = Gf256::mul_row(a);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+// ---------------------------------------------------------------------------
+// kScalar64 — portable split-nibble kernel, 8 bytes per iteration. The two
+// 16-entry tables (32 bytes per multiplier) replace the 256-byte product
+// row, so the working set stays in L1 even when every row operation uses a
+// different multiplier, as in Gauss-Jordan elimination.
+// ---------------------------------------------------------------------------
+
+void axpy_scalar64(std::uint8_t* y, const std::uint8_t* x, std::uint8_t a, std::size_t n) {
+  if (a == 0) return;
+  const std::uint8_t* lo = nib().lo[a];
+  const std::uint8_t* hi = nib().hi[a];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t xw;
+    std::uint64_t yw;
+    std::memcpy(&xw, x + i, 8);
+    std::memcpy(&yw, y + i, 8);
+    std::uint64_t prod = 0;
+    for (int b = 0; b < 8; ++b) {
+      const auto xb = static_cast<std::uint8_t>(xw >> (8 * b));
+      prod |= static_cast<std::uint64_t>(lo[xb & 15] ^ hi[xb >> 4]) << (8 * b);
+    }
+    yw ^= prod;
+    std::memcpy(y + i, &yw, 8);
+  }
+  for (; i < n; ++i) y[i] ^= lo[x[i] & 15] ^ hi[x[i] >> 4];
+}
+
+void mul_region_scalar64(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t a,
+                         std::size_t n) {
+  if (n == 0) return;
+  if (a == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  const std::uint8_t* lo = nib().lo[a];
+  const std::uint8_t* hi = nib().hi[a];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t xw;
+    std::memcpy(&xw, src + i, 8);
+    std::uint64_t prod = 0;
+    for (int b = 0; b < 8; ++b) {
+      const auto xb = static_cast<std::uint8_t>(xw >> (8 * b));
+      prod |= static_cast<std::uint64_t>(lo[xb & 15] ^ hi[xb >> 4]) << (8 * b);
+    }
+    std::memcpy(dst + i, &prod, 8);
+  }
+  for (; i < n; ++i) dst[i] = lo[src[i] & 15] ^ hi[src[i] >> 4];
+}
+
+// ---------------------------------------------------------------------------
+// kSsse3 / kAvx2 — pshufb split-nibble kernels. Both nibble tables fit in
+// one vector register each; shuffle_epi8 then performs a full 16-way table
+// lookup per lane per instruction. Compiled with `target` attributes so no
+// global -mssse3/-mavx2 flags are needed and the rest of the binary stays
+// baseline-ISA; only ever called after a __builtin_cpu_supports check.
+// ---------------------------------------------------------------------------
+
+#if PRLC_GF256_X86
+
+__attribute__((target("ssse3"))) void axpy_ssse3(std::uint8_t* y, const std::uint8_t* x,
+                                                 std::uint8_t a, std::size_t n) {
+  if (a == 0) return;
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(nib().lo[a]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(nib().hi[a]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i xv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m128i lo_prod = _mm_shuffle_epi8(lo, _mm_and_si128(xv, mask));
+    const __m128i hi_prod =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(xv, 4), mask));
+    const __m128i yv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y + i),
+                     _mm_xor_si128(yv, _mm_xor_si128(lo_prod, hi_prod)));
+  }
+  const std::uint8_t* tlo = nib().lo[a];
+  const std::uint8_t* thi = nib().hi[a];
+  for (; i < n; ++i) y[i] ^= tlo[x[i] & 15] ^ thi[x[i] >> 4];
+}
+
+__attribute__((target("ssse3"))) void mul_region_ssse3(std::uint8_t* dst,
+                                                       const std::uint8_t* src,
+                                                       std::uint8_t a, std::size_t n) {
+  if (n == 0) return;
+  if (a == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(nib().lo[a]));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(nib().hi[a]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i xv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo_prod = _mm_shuffle_epi8(lo, _mm_and_si128(xv, mask));
+    const __m128i hi_prod =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(xv, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(lo_prod, hi_prod));
+  }
+  const std::uint8_t* tlo = nib().lo[a];
+  const std::uint8_t* thi = nib().hi[a];
+  for (; i < n; ++i) dst[i] = tlo[src[i] & 15] ^ thi[src[i] >> 4];
+}
+
+__attribute__((target("avx2"))) void axpy_avx2(std::uint8_t* y, const std::uint8_t* x,
+                                               std::uint8_t a, std::size_t n) {
+  if (a == 0) return;
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib().lo[a])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib().hi[a])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i x0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i x1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i + 32));
+    const __m256i p0 = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo, _mm256_and_si256(x0, mask)),
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(x0, 4), mask)));
+    const __m256i p1 = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo, _mm256_and_si256(x1, mask)),
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(x1, 4), mask)));
+    const __m256i y0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i y1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i), _mm256_xor_si256(y0, p0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i + 32), _mm256_xor_si256(y1, p1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i xv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i prod = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo, _mm256_and_si256(xv, mask)),
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(xv, 4), mask)));
+    const __m256i yv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i), _mm256_xor_si256(yv, prod));
+  }
+  const std::uint8_t* tlo = nib().lo[a];
+  const std::uint8_t* thi = nib().hi[a];
+  for (; i < n; ++i) y[i] ^= tlo[x[i] & 15] ^ thi[x[i] >> 4];
+}
+
+__attribute__((target("avx2"))) void mul_region_avx2(std::uint8_t* dst,
+                                                     const std::uint8_t* src,
+                                                     std::uint8_t a, std::size_t n) {
+  if (n == 0) return;
+  if (a == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib().lo[a])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nib().hi[a])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i xv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i prod = _mm256_xor_si256(
+        _mm256_shuffle_epi8(lo, _mm256_and_si256(xv, mask)),
+        _mm256_shuffle_epi8(hi, _mm256_and_si256(_mm256_srli_epi64(xv, 4), mask)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+  }
+  const std::uint8_t* tlo = nib().lo[a];
+  const std::uint8_t* thi = nib().hi[a];
+  for (; i < n; ++i) dst[i] = tlo[src[i] & 15] ^ thi[src[i] >> 4];
+}
+
+#endif  // PRLC_GF256_X86
+
+// ---------------------------------------------------------------------------
+// Variant registry + one-time dispatch.
+// ---------------------------------------------------------------------------
+
+constexpr Gf256KernelOps kReferenceOps = {"reference", axpy_reference, mul_region_reference,
+                                          dot_table};
+constexpr Gf256KernelOps kScalar64Ops = {"scalar64", axpy_scalar64, mul_region_scalar64,
+                                         dot_table};
+#if PRLC_GF256_X86
+constexpr Gf256KernelOps kSsse3Ops = {"ssse3", axpy_ssse3, mul_region_ssse3, dot_table};
+constexpr Gf256KernelOps kAvx2Ops = {"avx2", axpy_avx2, mul_region_avx2, dot_table};
+#endif
+
+/// Best runtime-supported variant, before any env override.
+Gf256Kernel pick_auto() {
+#if PRLC_GF256_X86
+  if (__builtin_cpu_supports("avx2")) return Gf256Kernel::kAvx2;
+  if (__builtin_cpu_supports("ssse3")) return Gf256Kernel::kSsse3;
+#endif
+  return Gf256Kernel::kScalar64;
+}
+
+Gf256Kernel resolve_dispatch() {
+  const char* want = std::getenv("PRLC_GF_KERNEL");
+  if (want == nullptr || *want == '\0' || std::strcmp(want, "auto") == 0) {
+    return pick_auto();
+  }
+  for (Gf256Kernel k : {Gf256Kernel::kReference, Gf256Kernel::kScalar64, Gf256Kernel::kSsse3,
+                        Gf256Kernel::kAvx2}) {
+    if (std::strcmp(want, gf256_kernel_name(k)) != 0) continue;
+    if (gf256_kernel_runtime_ok(k)) return k;
+    std::fprintf(stderr,
+                 "prlc: PRLC_GF_KERNEL=%s is not supported on this build/CPU; "
+                 "falling back to auto dispatch\n",
+                 want);
+    return pick_auto();
+  }
+  std::fprintf(stderr,
+               "prlc: unknown PRLC_GF_KERNEL=%s (expected reference|scalar64|ssse3|avx2|"
+               "auto); falling back to auto dispatch\n",
+               want);
+  return pick_auto();
+}
+
+std::atomic<int> g_active_kernel{-1};
+
+}  // namespace
+
+const char* gf256_kernel_name(Gf256Kernel k) {
+  switch (k) {
+    case Gf256Kernel::kReference:
+      return "reference";
+    case Gf256Kernel::kScalar64:
+      return "scalar64";
+    case Gf256Kernel::kSsse3:
+      return "ssse3";
+    case Gf256Kernel::kAvx2:
+      return "avx2";
+  }
+  PRLC_ASSERT(false, "unknown GF(256) kernel variant");
+}
+
+bool gf256_kernel_compiled(Gf256Kernel k) {
+  switch (k) {
+    case Gf256Kernel::kReference:
+    case Gf256Kernel::kScalar64:
+      return true;
+    case Gf256Kernel::kSsse3:
+    case Gf256Kernel::kAvx2:
+      return PRLC_GF256_X86 != 0;
+  }
+  PRLC_ASSERT(false, "unknown GF(256) kernel variant");
+}
+
+bool gf256_kernel_runtime_ok(Gf256Kernel k) {
+  if (!gf256_kernel_compiled(k)) return false;
+#if PRLC_GF256_X86
+  if (k == Gf256Kernel::kSsse3) return __builtin_cpu_supports("ssse3");
+  if (k == Gf256Kernel::kAvx2) return __builtin_cpu_supports("avx2");
+#endif
+  return true;
+}
+
+std::vector<Gf256Kernel> gf256_compiled_kernels() {
+  std::vector<Gf256Kernel> out;
+  for (Gf256Kernel k : {Gf256Kernel::kReference, Gf256Kernel::kScalar64, Gf256Kernel::kSsse3,
+                        Gf256Kernel::kAvx2}) {
+    if (gf256_kernel_compiled(k)) out.push_back(k);
+  }
+  return out;
+}
+
+const Gf256KernelOps& gf256_kernel_ops(Gf256Kernel k) {
+  PRLC_REQUIRE(gf256_kernel_compiled(k), "GF(256) kernel variant not compiled in");
+  switch (k) {
+    case Gf256Kernel::kReference:
+      return kReferenceOps;
+    case Gf256Kernel::kScalar64:
+      return kScalar64Ops;
+#if PRLC_GF256_X86
+    case Gf256Kernel::kSsse3:
+      return kSsse3Ops;
+    case Gf256Kernel::kAvx2:
+      return kAvx2Ops;
+#else
+    case Gf256Kernel::kSsse3:
+    case Gf256Kernel::kAvx2:
+      break;
+#endif
+  }
+  PRLC_ASSERT(false, "unknown GF(256) kernel variant");
+}
+
+Gf256Kernel gf256_active_kernel() {
+  int k = g_active_kernel.load(std::memory_order_acquire);
+  if (k < 0) {
+    const Gf256Kernel resolved = resolve_dispatch();
+    int expected = -1;
+    // On a race, first resolver wins; both compute the same value anyway
+    // unless a concurrent force intervened, in which case the force wins.
+    g_active_kernel.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                            std::memory_order_acq_rel);
+    k = g_active_kernel.load(std::memory_order_acquire);
+  }
+  return static_cast<Gf256Kernel>(k);
+}
+
+const Gf256KernelOps& gf256_active_ops() { return gf256_kernel_ops(gf256_active_kernel()); }
+
+void gf256_force_active_kernel(Gf256Kernel k) {
+  PRLC_REQUIRE(gf256_kernel_runtime_ok(k),
+               "cannot force a GF(256) kernel this build/CPU does not support");
+  g_active_kernel.store(static_cast<int>(k), std::memory_order_release);
+}
+
+void gf256_axpy_batch(std::uint8_t* const* ys, const std::uint8_t* coeffs,
+                      const std::uint8_t* x, std::size_t rows, std::size_t n) {
+  const Gf256KernelOps& ops = gf256_active_ops();
+  // Tile the shared source row so each chunk is applied to every target
+  // while still L1/L2-resident; 8 KiB leaves room for the target chunk.
+  constexpr std::size_t kTile = 8192;
+  for (std::size_t off = 0; off < n; off += kTile) {
+    const std::size_t len = n - off < kTile ? n - off : kTile;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (coeffs[r] == 0) continue;
+      ops.axpy(ys[r] + off, x + off, coeffs[r], len);
+    }
+  }
+}
+
+}  // namespace prlc::gf

@@ -60,7 +60,8 @@ class Gf2m {
     if (a == 0) return 0;
     const auto& t = tables();
     const std::uint32_t group = static_cast<std::uint32_t>(order() - 1);
-    return t.exp[(static_cast<std::uint32_t>(t.log[a]) * (e % group)) % group];
+    // 64-bit product: log[a] * (e % group) approaches 2^32 for m = 16.
+    return t.exp[(static_cast<std::uint64_t>(t.log[a]) * (e % group)) % group];
   }
 
   /// y ^= a * x element-wise (generic kernel; Gf256 has a faster one).

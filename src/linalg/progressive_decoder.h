@@ -91,16 +91,7 @@ class ProgressiveDecoder {
     row->coef = work_coef_;
     row->payload = work_payload_;
 
-    // Back-eliminate the new pivot column from every existing row.
-    for (std::size_t p = 0; p < unknowns_; ++p) {
-      Row* r = by_pivot_[p].get();
-      if (r == nullptr || pivot >= r->end) continue;
-      const Symbol factor = r->coef[pivot];
-      if (factor == 0) continue;
-      axpy_row(r->coef, r->payload, factor, *row);
-      if (row->end > r->end) r->end = row->end;
-      r->nnz_valid = false;
-    }
+    back_eliminate(*row);
 
     row->nnz_valid = false;
     by_pivot_[pivot] = std::move(row);
@@ -138,6 +129,19 @@ class ProgressiveDecoder {
     return by_pivot_[i]->payload;
   }
 
+  /// True when a pivot row exists for column i.
+  bool has_pivot(std::size_t i) const {
+    PRLC_REQUIRE(i < unknowns_, "unknown index out of range");
+    return by_pivot_[i] != nullptr;
+  }
+
+  /// Coefficient vector (full width) of the pivot row for column i.
+  /// Inspection hook for invariant checks; requires has_pivot(i).
+  std::span<const Symbol> row_coefficients(std::size_t i) const {
+    PRLC_REQUIRE(has_pivot(i), "no pivot row for this column");
+    return by_pivot_[i]->coef;
+  }
+
  private:
   struct Row {
     std::size_t pivot = 0;
@@ -162,6 +166,50 @@ class ProgressiveDecoder {
             std::span<const Symbol>(source.coef).subspan(source.pivot, source.end - source.pivot));
     if (payload_size_ > 0) {
       F::axpy(std::span<Symbol>(payload), factor, std::span<const Symbol>(source.payload));
+    }
+  }
+
+  /// Eliminate the new pivot column from every stored row. Stored rows all
+  /// keep full-width coefficient vectors (end is only a logical support
+  /// bound), so for a batched field the whole step collapses into two
+  /// multi-row axpy calls — one over the coefficient windows, one over the
+  /// payloads — letting the kernel tile the shared source row through
+  /// cache once instead of re-streaming it per target row.
+  void back_eliminate(Row& row) {
+    const std::size_t pivot = row.pivot;
+    if constexpr (gf::BatchedFieldPolicy<F>) {
+      batch_coef_targets_.clear();
+      batch_payload_targets_.clear();
+      batch_factors_.clear();
+      for (std::size_t p = 0; p < unknowns_; ++p) {
+        Row* r = by_pivot_[p].get();
+        if (r == nullptr || pivot >= r->end) continue;
+        const Symbol factor = r->coef[pivot];
+        if (factor == 0) continue;
+        batch_coef_targets_.push_back(r->coef.data() + pivot);
+        if (payload_size_ > 0) batch_payload_targets_.push_back(r->payload.data());
+        batch_factors_.push_back(factor);
+        if (row.end > r->end) r->end = row.end;
+        r->nnz_valid = false;
+      }
+      F::axpy_batch(std::span<Symbol* const>(batch_coef_targets_),
+                    std::span<const Symbol>(batch_factors_),
+                    std::span<const Symbol>(row.coef).subspan(pivot, row.end - pivot));
+      if (payload_size_ > 0) {
+        F::axpy_batch(std::span<Symbol* const>(batch_payload_targets_),
+                      std::span<const Symbol>(batch_factors_),
+                      std::span<const Symbol>(row.payload));
+      }
+    } else {
+      for (std::size_t p = 0; p < unknowns_; ++p) {
+        Row* r = by_pivot_[p].get();
+        if (r == nullptr || pivot >= r->end) continue;
+        const Symbol factor = r->coef[pivot];
+        if (factor == 0) continue;
+        axpy_row(r->coef, r->payload, factor, row);
+        if (row.end > r->end) r->end = row.end;
+        r->nnz_valid = false;
+      }
     }
   }
 
@@ -193,6 +241,10 @@ class ProgressiveDecoder {
   std::size_t decoded_prefix_ = 0;
   std::vector<Symbol> work_coef_;
   std::vector<Symbol> work_payload_;
+  // Scratch for the batched back-elimination (reused across add() calls).
+  std::vector<Symbol*> batch_coef_targets_;
+  std::vector<Symbol*> batch_payload_targets_;
+  std::vector<Symbol> batch_factors_;
 };
 
 }  // namespace prlc::linalg

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "gf/gf256.h"
+#include "gf/gf2m.h"
 #include "util/check.h"
 
 namespace prlc::codes {
@@ -58,6 +59,23 @@ TEST(Encoder, DenseUniformNeverAllZero) {
     const auto block = enc.encode(0, rng);
     // Support width 1: dense-uniform redraws until nonzero.
     EXPECT_NE(block.coeffs[0], 0);
+  }
+}
+
+TEST(Encoder, DenseUniformRedrawLeavesNoStaleValues) {
+  // Over GF(2) a 4-wide support draws all-zero with probability 1/16, so
+  // the redraw loop runs constantly; every emitted row must still be
+  // nonzero and contain only freshly drawn (field-valid) symbols.
+  Rng rng(93);
+  const PriorityEncoder<gf::Gf2> enc(Scheme::kRlc, PrioritySpec({2, 2}));
+  for (int t = 0; t < 2000; ++t) {
+    const auto block = enc.encode(1, rng);
+    bool any = false;
+    for (auto c : block.coeffs) {
+      EXPECT_LT(c, gf::Gf2::order());
+      any = any || c != 0;
+    }
+    EXPECT_TRUE(any);
   }
 }
 

@@ -105,6 +105,31 @@ TEST(Gf256, PowZeroConventions) {
   EXPECT_EQ(Gf256::pow(0, 5), 0);
 }
 
+TEST(Gf256, PowLargeExponentMatchesSquareAndMultiply) {
+  // Regression: log[a] * e used to be computed in uint32_t and wrapped for
+  // e > UINT32_MAX / 254 (~16.9M), returning wrong powers for large
+  // exponents. Square-and-multiply is the independent oracle.
+  const auto pow_sm = [](std::uint8_t a, std::uint32_t e) {
+    std::uint8_t result = 1;
+    std::uint8_t base = a;
+    while (e > 0) {
+      if (e & 1) result = Gf256::mul(result, base);
+      base = Gf256::mul(base, base);
+      e >>= 1;
+    }
+    return result;
+  };
+  const std::uint32_t kExponents[] = {16'900'000u, (UINT32_MAX / 254u) + 1u, 0x87654321u,
+                                      UINT32_MAX - 1, UINT32_MAX};
+  for (std::uint32_t e : kExponents) {
+    for (int a = 1; a < 256; ++a) {  // covers every log value 0..254
+      ASSERT_EQ(Gf256::pow(static_cast<std::uint8_t>(a), e),
+                pow_sm(static_cast<std::uint8_t>(a), e))
+          << a << "^" << e;
+    }
+  }
+}
+
 TEST(Gf256, FermatOrder) {
   // a^255 == 1 for every nonzero a (multiplicative group order 255).
   for (int a = 1; a < 256; ++a) {

@@ -188,6 +188,40 @@ TEST(ProgressiveDecoder, SolutionRequiresPayloadsAndDecodedState) {
   EXPECT_THROW(with_payload.solution(0), PreconditionError);  // nothing decoded yet
 }
 
+TEST(ProgressiveDecoder, RrefInvariantHoldsAfterEveryInsertion) {
+  // After every add() the stored rows must form a reduced row-echelon
+  // form: each pivot row carries a unit pivot, and every *other* stored
+  // row is zero at that pivot column. 500 randomized insertions with
+  // payloads attached exercise the batched back-elimination path (the
+  // payload batch included) far past full rank.
+  Rng rng(78);
+  const std::size_t n = 60;
+  const std::size_t payload = 24;
+  ProgressiveDecoder<F> d(n, payload);
+  for (std::size_t step = 0; step < 500; ++step) {
+    // Mix of PLC-style prefix-support rows and full-width rows.
+    const std::size_t width = 1 + rng.uniform(n);
+    const auto coeffs = random_row(n, rng, rng.bernoulli(0.5) ? width : n);
+    std::vector<std::uint8_t> pay(payload);
+    for (auto& v : pay) v = static_cast<std::uint8_t>(rng.uniform(256));
+    d.add(coeffs, pay);
+
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!d.has_pivot(p)) continue;
+      const auto row = d.row_coefficients(p);
+      ASSERT_EQ(row.size(), n);
+      ASSERT_EQ(row[p], 1) << "step " << step << ": pivot " << p << " not normalized";
+      for (std::size_t q = 0; q < n; ++q) {
+        if (q == p || !d.has_pivot(q)) continue;
+        ASSERT_EQ(row[q], 0) << "step " << step << ": row " << p
+                             << " nonzero at pivot column " << q;
+      }
+    }
+  }
+  EXPECT_EQ(d.rank(), n);
+  EXPECT_EQ(d.decoded_prefix(), n);
+}
+
 TEST(ProgressiveDecoder, WorksOverGf16) {
   using F16 = gf::Gf16;
   Rng rng(77);

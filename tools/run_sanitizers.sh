@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under AddressSanitizer + UBSan.
+#
+# The GF(2^8) SIMD kernels do unaligned vector loads and hand-rolled tail
+# handling — exactly the code where out-of-bounds reads hide — so CI (or a
+# developer, before touching src/gf) should run this script in addition to
+# the plain test suite.
+#
+#   tools/run_sanitizers.sh            # build into build-sanitize/ and test
+#   BUILD_DIR=/tmp/san tools/run_sanitizers.sh
+#   tools/run_sanitizers.sh -R test_gf # extra args are forwarded to ctest
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build-sanitize}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DPRLC_SANITIZE=address;undefined"
+cmake --build "${build_dir}" -j"${jobs}"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}" "$@"
+echo "sanitizer run OK (${build_dir})"
