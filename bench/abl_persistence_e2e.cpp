@@ -16,7 +16,8 @@ namespace {
 
 using namespace prlc;
 
-void run_overlay(proto::OverlayKind kind, std::size_t trials) {
+void run_overlay(proto::OverlayKind kind, std::size_t trials,
+                 bench::BenchReport& report) {
   proto::PersistenceParams base;
   base.overlay = kind;
   base.nodes = kind == proto::OverlayKind::kSensor ? 400 : 250;
@@ -35,6 +36,19 @@ void run_overlay(proto::OverlayKind kind, std::size_t trials) {
     params.scheme = scheme;
     rows.push_back(run_persistence_experiment(params));
   }
+  const char* scheme_names[] = {"plc", "slc", "rlc"};
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    const std::string series = std::string(scheme_names[s]) + "/" + to_string(kind);
+    for (const auto& point : rows[s]) {
+      report.add_point(series,
+                       {{"failure_fraction", point.failure_fraction},
+                        {"surviving_blocks", point.mean_surviving_blocks},
+                        {"decoded_levels", point.mean_decoded_levels},
+                        {"decoded_levels_ci95", point.ci95_decoded_levels},
+                        {"decoded_blocks", point.mean_decoded_blocks},
+                        {"dissemination_hops", point.mean_dissemination_hops}});
+    }
+  }
   for (std::size_t i = 0; i < base.failure_fractions.size(); ++i) {
     table.add_row({fmt_double(base.failure_fractions[i], 1),
                    fmt_double(rows[0][i].mean_surviving_blocks, 1),
@@ -49,14 +63,23 @@ void run_overlay(proto::OverlayKind kind, std::size_t trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Ablation — end-to-end persistence under churn",
                 "Pre-distribution protocol + uniform mass failures + collection.");
   const std::size_t trials = bench::trials(12, 3);
-  run_overlay(proto::OverlayKind::kChord, trials);
-  run_overlay(proto::OverlayKind::kSensor, trials);
+  bench::BenchReport report("abl_persistence_e2e");
+  report.set_config("trials", trials);
+  report.set_config("levels", [] {
+    json::Value v = json::Value::array();
+    for (std::size_t n : {20, 40, 60, 80}) v.push_back(n);
+    return v;
+  }());
+  run_overlay(proto::OverlayKind::kChord, trials, report);
+  run_overlay(proto::OverlayKind::kSensor, trials, report);
   std::cout << "\nExpected shape: all schemes hold until survivors ~ N; past that RLC\n"
                "drops to zero at once while PLC sheds low-priority levels first and\n"
                "keeps level 1 alive deep into the failure sweep; SLC between.\n";
+  bench::finalize(&report);
   return 0;
 }

@@ -2,6 +2,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
 
 namespace prlc::bench {
 
@@ -18,6 +23,111 @@ void banner(const std::string& title, const std::string& description) {
             << description << "\n";
   if (fast_mode()) std::cout << "(PRLC_BENCH_FAST: reduced trial counts)\n";
   std::cout << "==============================================================\n";
+}
+
+namespace {
+
+Options g_options;
+
+/// Match `--name value` / `--name=value`; on a hit, store the value and
+/// report how many argv slots were consumed (1 or 2).
+std::size_t match_flag(std::string_view name, int argc, char** argv, int i,
+                       std::string& out) {
+  const std::string_view arg = argv[i];
+  if (arg == name) {
+    PRLC_REQUIRE(i + 1 < argc, "bench flag missing its value");
+    out = argv[i + 1];
+    return 2;
+  }
+  if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
+      arg[name.size()] == '=') {
+    out = std::string(arg.substr(name.size() + 1));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const Options& options() { return g_options; }
+
+void parse_args(int& argc, char** argv) {
+  g_options = Options{};
+  int out = 1;
+  for (int i = 1; i < argc;) {
+    std::size_t used = match_flag("--json", argc, argv, i, g_options.json_path);
+    if (used == 0) used = match_flag("--metrics-json", argc, argv, i, g_options.metrics_json_path);
+    if (used == 0) used = match_flag("--trace-json", argc, argv, i, g_options.trace_json_path);
+    if (used == 0) {
+      argv[out++] = argv[i++];
+    } else {
+      i += static_cast<int>(used);
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+
+  if (!g_options.metrics_json_path.empty() || !g_options.trace_json_path.empty()) {
+    obs::set_enabled(true);
+  }
+  if (!g_options.trace_json_path.empty()) {
+    obs::TraceRecorder::global().start();
+  }
+}
+
+void BenchReport::set_config(const std::string& key, json::Value value) {
+  config_.set(key, std::move(value));
+}
+
+void BenchReport::add_point(const std::string& series,
+                            std::vector<std::pair<std::string, json::Value>> fields) {
+  std::size_t idx = 0;
+  while (idx < series_order_.size() && series_order_[idx] != series) ++idx;
+  if (idx == series_order_.size()) {
+    series_order_.push_back(series);
+    series_points_.emplace_back();
+  }
+  json::Value point = json::Value::object();
+  for (auto& [key, value] : fields) point.set(key, std::move(value));
+  series_points_[idx].push_back(std::move(point));
+}
+
+json::Value BenchReport::to_value() const {
+  json::Value root = json::Value::object();
+  root.set("bench", json::Value(name_));
+  root.set("fast_mode", json::Value(fast_mode()));
+  root.set("config", config_);
+  json::Value series = json::Value::array();
+  for (std::size_t i = 0; i < series_order_.size(); ++i) {
+    json::Value entry = json::Value::object();
+    entry.set("name", json::Value(series_order_[i]));
+    json::Value points = json::Value::array();
+    for (const auto& p : series_points_[i]) points.push_back(p);
+    entry.set("points", std::move(points));
+    series.push_back(std::move(entry));
+  }
+  root.set("series", std::move(series));
+  return root;
+}
+
+void BenchReport::write(const std::string& path) const {
+  json::write_file(path, to_value().dump(2));
+}
+
+void finalize(const BenchReport* report) {
+  if (report != nullptr && !g_options.json_path.empty()) {
+    report->write(g_options.json_path);
+    std::cout << "bench json: " << g_options.json_path << "\n";
+  }
+  if (!g_options.metrics_json_path.empty()) {
+    obs::Registry::global().write_json(g_options.metrics_json_path);
+    std::cout << "metrics json: " << g_options.metrics_json_path << "\n";
+  }
+  if (!g_options.trace_json_path.empty()) {
+    obs::TraceRecorder::global().stop();
+    obs::TraceRecorder::global().write(g_options.trace_json_path);
+    std::cout << "trace json: " << g_options.trace_json_path << "\n";
+  }
 }
 
 }  // namespace prlc::bench

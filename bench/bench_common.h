@@ -4,10 +4,25 @@
 // DESIGN.md's experiment index): it prints the series as an aligned text
 // table and, when PRLC_BENCH_CSV_DIR is set, mirrors it to CSV.
 // PRLC_BENCH_FAST=1 shrinks trial counts for smoke runs.
+//
+// Machine-readable output. Benches that call parse_args() additionally
+// understand three flags (both `--flag path` and `--flag=path` forms):
+//   --json <path>          structured bench results (BenchReport)
+//   --metrics-json <path>  dump of the obs::Registry after the run
+//   --trace-json <path>    Chrome-tracing timeline (chrome://tracing,
+//                          Perfetto) of the run
+// The metrics/trace flags force-enable the observability subsystem for
+// the process regardless of PRLC_METRICS, so a plain bench invocation
+// stays on the zero-overhead disabled path. finalize() writes whichever
+// outputs were requested.
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
 
 namespace prlc::bench {
 
@@ -19,5 +34,57 @@ std::size_t trials(std::size_t full, std::size_t fast);
 
 /// Print the bench banner: which figure/table of the paper this is.
 void banner(const std::string& title, const std::string& description);
+
+/// Output destinations stripped from argv by parse_args(). Empty string
+/// means "not requested".
+struct Options {
+  std::string json_path;
+  std::string metrics_json_path;
+  std::string trace_json_path;
+};
+
+/// The options parsed by the most recent parse_args() call.
+const Options& options();
+
+/// Strip the output flags above out of argc/argv (so downstream parsers —
+/// e.g. google-benchmark's — never see them) and arm the requested sinks:
+/// metrics/trace paths enable obs metrics, the trace path also starts the
+/// global TraceRecorder. Throws PreconditionError on a flag missing its
+/// value. Safe to call before benchmark::Initialize().
+void parse_args(int& argc, char** argv);
+
+/// Accumulates one bench's structured results for --json.
+///
+///   BenchReport report("fig6_slc_vs_plc");
+///   report.set_config("trials", trials);
+///   report.add_point("plc/sensor", {{"failure_fraction", f},
+///                                   {"decoded_levels", levels}});
+///   bench::finalize(&report);
+///
+/// Serialized shape:
+///   {"bench": name, "config": {...},
+///    "series": [{"name": s, "points": [{...}, ...]}, ...]}
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set_config(const std::string& key, json::Value value);
+  void add_point(const std::string& series,
+                 std::vector<std::pair<std::string, json::Value>> fields);
+
+  json::Value to_value() const;
+  void write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  json::Value config_ = json::Value::object();
+  std::vector<std::string> series_order_;
+  std::vector<std::vector<json::Value>> series_points_;
+};
+
+/// Write every output requested via parse_args(): the report (when
+/// non-null and --json was given), the metrics registry, and the trace.
+/// Call once at the end of main.
+void finalize(const BenchReport* report = nullptr);
 
 }  // namespace prlc::bench

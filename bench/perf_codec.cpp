@@ -7,7 +7,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_common.h"
 #include "codes/decoder.h"
 #include "codes/encoder.h"
 #include "gf/gf256.h"
@@ -182,9 +185,41 @@ void BM_SparseEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseEncode);
 
+// Console output as usual, plus every finished run mirrored into the
+// BenchReport for --json (name, adjusted times, user counters such as
+// bytes_per_second).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(bench::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      std::vector<std::pair<std::string, json::Value>> fields;
+      fields.emplace_back("name", json::Value(run.benchmark_name()));
+      fields.emplace_back("iterations", json::Value(static_cast<std::int64_t>(run.iterations)));
+      fields.emplace_back("real_time", json::Value(run.GetAdjustedRealTime()));
+      fields.emplace_back("cpu_time", json::Value(run.GetAdjustedCPUTime()));
+      fields.emplace_back("time_unit",
+                          json::Value(benchmark::GetTimeUnitString(run.time_unit)));
+      for (const auto& [name, counter] : run.counters) {
+        fields.emplace_back(name, json::Value(counter.value));
+      }
+      report_.add_point("benchmarks", std::move(fields));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --json/--metrics-json/--trace-json (and arm obs) before the
+  // first field op below resolves kernel dispatch, so the dispatch-
+  // decision gauges land in the metrics dump.
+  bench::parse_args(argc, argv);
   std::printf("gf256 kernel dispatch: %s (compiled:", gf::gf256_active_ops().name);
   for (gf::Gf256Kernel k : gf::gf256_compiled_kernels()) {
     std::printf(" %s%s", gf::gf256_kernel_name(k),
@@ -194,7 +229,11 @@ int main(int argc, char** argv) {
   register_kernel_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  bench::BenchReport report("perf_codec");
+  report.set_config("dispatch", json::Value(gf::gf256_active_ops().name));
+  CaptureReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  bench::finalize(&report);
   benchmark::Shutdown();
   return 0;
 }

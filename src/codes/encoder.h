@@ -29,6 +29,7 @@
 #include "codes/scheme.h"
 #include "codes/source_data.h"
 #include "gf/field_concept.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -81,6 +82,8 @@ class PriorityEncoder {
   /// Produce one coded block of the given level.
   CodedBlock<F> encode(std::size_t level, Rng& rng) const {
     const auto [begin, end] = support(level);
+    static obs::Counter& blocks_encoded = obs::counter("encoder.blocks_encoded");
+    blocks_encoded.add();
     CodedBlock<F> block;
     block.level = level;
     block.coeffs.assign(spec_.total(), Symbol{0});
@@ -108,10 +111,16 @@ class PriorityEncoder {
                          Rng& rng) const {
     const std::size_t width = end - begin;
     PRLC_ASSERT(width > 0, "empty coding support");
+    static obs::Counter& symbols_drawn = obs::counter("encoder.symbols_drawn");
+    static obs::Counter& redraws = obs::counter("encoder.redraws");
     switch (options_.model) {
       case CoefficientModel::kDenseUniform: {
+        bool first_draw = true;
         bool any = false;
         do {
+          if (!first_draw) redraws.add();
+          first_draw = false;
+          symbols_drawn.add(width);
           // Reset the support explicitly before each (re)draw. Today every
           // slot is overwritten below, but a sparse-support refactor that
           // skips slots must not inherit stale values from a rejected draw.
@@ -130,6 +139,7 @@ class PriorityEncoder {
         return;
       }
       case CoefficientModel::kDenseNonzero: {
+        symbols_drawn.add(width);
         for (std::size_t j = begin; j < end; ++j) {
           coeffs[j] = static_cast<Symbol>(1 + rng.uniform(F::order() - 1));
         }
@@ -140,6 +150,7 @@ class PriorityEncoder {
             std::ceil(options_.sparsity_factor * std::log(std::max<double>(2.0, width)));
         const std::size_t nnz =
             std::clamp<std::size_t>(static_cast<std::size_t>(target), 1, width);
+        symbols_drawn.add(nnz);
         for (std::size_t offset : rng.sample_without_replacement(width, nnz)) {
           coeffs[begin + offset] = static_cast<Symbol>(1 + rng.uniform(F::order() - 1));
         }

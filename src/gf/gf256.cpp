@@ -1,6 +1,7 @@
 #include "gf/gf256.h"
 
 #include "gf/gf256_kernels.h"
+#include "obs/metrics.h"
 
 namespace prlc::gf {
 
@@ -51,23 +52,33 @@ Gf256::Symbol Gf256::pow(Symbol a, std::uint32_t e) {
 void Gf256::axpy(std::span<Symbol> y, Symbol a, std::span<const Symbol> x) {
   PRLC_REQUIRE(y.size() == x.size(), "axpy spans must have equal length");
   if (a == 0 || y.empty()) return;
+  static obs::Counter& calls = obs::counter("gf256.axpy_calls");
+  static obs::Counter& bytes = obs::counter("gf256.axpy_bytes");
+  calls.add();
+  bytes.add(y.size());
   gf256_active_ops().axpy(y.data(), x.data(), a, y.size());
 }
 
 void Gf256::scale(std::span<Symbol> x, Symbol a) {
   if (a == 1 || x.empty()) return;
+  static obs::Counter& bytes = obs::counter("gf256.scale_bytes");
+  bytes.add(x.size());
   gf256_active_ops().mul_region(x.data(), x.data(), a, x.size());
 }
 
 void Gf256::mul_region(std::span<Symbol> dst, Symbol a, std::span<const Symbol> src) {
   PRLC_REQUIRE(dst.size() == src.size(), "mul_region spans must have equal length");
   if (dst.empty()) return;
+  static obs::Counter& bytes = obs::counter("gf256.mul_region_bytes");
+  bytes.add(dst.size());
   gf256_active_ops().mul_region(dst.data(), src.data(), a, dst.size());
 }
 
 Gf256::Symbol Gf256::dot(std::span<const Symbol> a, std::span<const Symbol> b) {
   PRLC_REQUIRE(a.size() == b.size(), "dot spans must have equal length");
   if (a.empty()) return 0;
+  static obs::Counter& bytes = obs::counter("gf256.dot_bytes");
+  bytes.add(a.size());
   return gf256_active_ops().dot(a.data(), b.data(), a.size());
 }
 

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "gf/gf256.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 #if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
@@ -382,6 +383,18 @@ const Gf256KernelOps& gf256_kernel_ops(Gf256Kernel k) {
   PRLC_ASSERT(false, "unknown GF(256) kernel variant");
 }
 
+namespace {
+
+/// Export which variant won the dispatch (and whether an env override was
+/// in play) — set every time the active kernel changes, so the registry
+/// reflects the variant actually used by the most recent field ops.
+void record_dispatch(Gf256Kernel k) {
+  obs::gauge(std::string("gf256.dispatch.") + gf256_kernel_name(k)).set(1);
+  obs::gauge("gf256.dispatch_variant").set(static_cast<int>(k));
+}
+
+}  // namespace
+
 Gf256Kernel gf256_active_kernel() {
   int k = g_active_kernel.load(std::memory_order_acquire);
   if (k < 0) {
@@ -392,6 +405,7 @@ Gf256Kernel gf256_active_kernel() {
     g_active_kernel.compare_exchange_strong(expected, static_cast<int>(resolved),
                                             std::memory_order_acq_rel);
     k = g_active_kernel.load(std::memory_order_acquire);
+    record_dispatch(static_cast<Gf256Kernel>(k));
   }
   return static_cast<Gf256Kernel>(k);
 }
@@ -402,11 +416,18 @@ void gf256_force_active_kernel(Gf256Kernel k) {
   PRLC_REQUIRE(gf256_kernel_runtime_ok(k),
                "cannot force a GF(256) kernel this build/CPU does not support");
   g_active_kernel.store(static_cast<int>(k), std::memory_order_release);
+  record_dispatch(k);
 }
 
 void gf256_axpy_batch(std::uint8_t* const* ys, const std::uint8_t* coeffs,
                       const std::uint8_t* x, std::size_t rows, std::size_t n) {
   const Gf256KernelOps& ops = gf256_active_ops();
+  static obs::Counter& batch_calls = obs::counter("gf256.axpy_batch_calls");
+  static obs::Counter& batch_rows = obs::counter("gf256.axpy_batch_rows");
+  static obs::Counter& batch_bytes = obs::counter("gf256.axpy_batch_bytes");
+  batch_calls.add();
+  batch_rows.add(rows);
+  batch_bytes.add(rows * n);
   // Tile the shared source row so each chunk is applied to every target
   // while still L1/L2-resident; 8 KiB leaves room for the target chunk.
   constexpr std::size_t kTile = 8192;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
 
 namespace prlc::linalg {
 
@@ -31,6 +32,11 @@ RrefInfo rref(Matrix<F>& m, Matrix<F>* rhs = nullptr) {
     PRLC_REQUIRE(rhs->rows() == m.rows(), "rhs row count must match the matrix");
   }
   using Symbol = typename F::Symbol;
+  static obs::Counter& calls = obs::counter("linalg.rref_calls");
+  static obs::Counter& eliminated = obs::counter("linalg.rref_rows_eliminated");
+  static obs::LatencyHistogram& rref_ns = obs::histogram("linalg.rref_ns");
+  calls.add();
+  obs::ScopedTimer timer(rref_ns);
   RrefInfo info;
   std::size_t pivot_row = 0;
   for (std::size_t col = 0; col < m.cols() && pivot_row < m.rows(); ++col) {
@@ -75,6 +81,7 @@ RrefInfo rref(Matrix<F>& m, Matrix<F>* rhs = nullptr) {
         if (rhs != nullptr) rhs_targets.push_back(rhs->row(r).data());
         factors.push_back(factor);
       }
+      eliminated.add(factors.size());
       F::axpy_batch(std::span<Symbol* const>(targets), std::span<const Symbol>(factors),
                     m.row(pivot_row));
       if (rhs != nullptr) {
@@ -86,6 +93,7 @@ RrefInfo rref(Matrix<F>& m, Matrix<F>* rhs = nullptr) {
         if (r == pivot_row) continue;
         const Symbol factor = m.at(r, col);
         if (factor == 0) continue;
+        eliminated.add();
         F::axpy(m.row(r), factor, m.row(pivot_row));
         if (rhs != nullptr) F::axpy(rhs->row(r), factor, rhs->row(pivot_row));
       }

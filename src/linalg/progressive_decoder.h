@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "gf/field_concept.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace prlc::linalg {
@@ -52,6 +53,13 @@ class ProgressiveDecoder {
     PRLC_REQUIRE(coeffs.size() == unknowns_, "coefficient vector width mismatch");
     PRLC_REQUIRE(payload.size() == payload_size_, "payload width mismatch");
     ++seen_;
+    // Shared across field instantiations: the registry dedupes by name.
+    static obs::Counter& rows_received = obs::counter("decoder.rows_received");
+    static obs::Counter& rows_innovative = obs::counter("decoder.rows_innovative");
+    static obs::Counter& rows_redundant = obs::counter("decoder.rows_redundant");
+    static obs::LatencyHistogram& add_ns = obs::histogram("decoder.add_ns");
+    rows_received.add();
+    obs::ScopedTimer timer(add_ns);
 
     work_coef_.assign(coeffs.begin(), coeffs.end());
     work_payload_.assign(payload.begin(), payload.end());
@@ -71,11 +79,16 @@ class ProgressiveDecoder {
         if (pivot == unknowns_) pivot = j;
         continue;
       }
+      static obs::Counter& pivot_ops = obs::counter("decoder.pivot_ops");
+      pivot_ops.add();
       axpy_row(work_coef_, work_payload_, v, *existing);
       if (existing->end > end) end = existing->end;
       PRLC_ASSERT(work_coef_[j] == 0, "forward elimination left a nonzero pivot");
     }
-    if (pivot == unknowns_) return false;  // linearly dependent
+    if (pivot == unknowns_) {
+      rows_redundant.add();
+      return false;  // linearly dependent
+    }
 
     // Normalize so the pivot coefficient is 1.
     const Symbol piv = work_coef_[pivot];
@@ -96,7 +109,10 @@ class ProgressiveDecoder {
     row->nnz_valid = false;
     by_pivot_[pivot] = std::move(row);
     ++rank_;
+    rows_innovative.add();
     advance_prefix();
+    static obs::Gauge& watermark = obs::gauge("decoder.prefix_watermark");
+    watermark.set_max(static_cast<std::int64_t>(decoded_prefix_));
     return true;
   }
 
@@ -176,6 +192,7 @@ class ProgressiveDecoder {
   /// payloads — letting the kernel tile the shared source row through
   /// cache once instead of re-streaming it per target row.
   void back_eliminate(Row& row) {
+    static obs::Counter& back_rows = obs::counter("decoder.back_elim_rows");
     const std::size_t pivot = row.pivot;
     if constexpr (gf::BatchedFieldPolicy<F>) {
       batch_coef_targets_.clear();
@@ -192,6 +209,7 @@ class ProgressiveDecoder {
         if (row.end > r->end) r->end = row.end;
         r->nnz_valid = false;
       }
+      back_rows.add(batch_factors_.size());
       F::axpy_batch(std::span<Symbol* const>(batch_coef_targets_),
                     std::span<const Symbol>(batch_factors_),
                     std::span<const Symbol>(row.coef).subspan(pivot, row.end - pivot));
@@ -206,6 +224,7 @@ class ProgressiveDecoder {
         if (r == nullptr || pivot >= r->end) continue;
         const Symbol factor = r->coef[pivot];
         if (factor == 0) continue;
+        back_rows.add();
         axpy_row(r->coef, r->payload, factor, row);
         if (row.end > r->end) r->end = row.end;
         r->nnz_valid = false;

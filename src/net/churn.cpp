@@ -2,9 +2,32 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace prlc::net {
+
+namespace {
+
+/// Count the wave and leave a timeline marker; per-node instants would
+/// swamp a trace at simulation scale, so one event summarizes the batch.
+void note_failures(const char* model, std::size_t killed, std::size_t alive_after) {
+  static obs::Counter& total = obs::counter("churn.nodes_killed");
+  static obs::Counter& waves = obs::counter("churn.waves");
+  total.add(killed);
+  waves.add();
+  obs::gauge("churn.last_alive").set(static_cast<std::int64_t>(alive_after));
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().instant(model, "churn",
+                                         {{"killed", static_cast<double>(killed)},
+                                          {"alive_after", static_cast<double>(alive_after)}});
+    obs::TraceRecorder::global().count("alive_nodes", "churn",
+                                       {{"alive", static_cast<double>(alive_after)}});
+  }
+}
+
+}  // namespace
 
 std::vector<NodeId> kill_uniform_fraction(Overlay& overlay, double fraction, Rng& rng) {
   PRLC_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "failure fraction must be in [0,1]");
@@ -20,6 +43,7 @@ std::vector<NodeId> kill_uniform_fraction(Overlay& overlay, double fraction, Rng
     overlay.fail_node(v);
     killed.push_back(v);
   }
+  note_failures("mass_failure", killed.size(), alive_nodes.size() - killed.size());
   return killed;
 }
 
@@ -39,6 +63,7 @@ std::vector<NodeId> apply_exponential_churn(Overlay& overlay, double mean_lifeti
       killed.push_back(v);
     }
   }
+  note_failures("exponential_churn", killed.size(), overlay.alive_count());
   return killed;
 }
 
@@ -58,6 +83,13 @@ std::pair<std::size_t, std::size_t> apply_session_churn(Overlay& overlay, double
       overlay.revive_node(v);
       ++rejoined;
     }
+  }
+  static obs::Counter& rejoin_counter = obs::counter("churn.nodes_rejoined");
+  rejoin_counter.add(rejoined);
+  note_failures("session_churn", left, overlay.alive_count());
+  if (rejoined > 0 && obs::trace_enabled()) {
+    obs::TraceRecorder::global().instant("node_join_wave", "churn",
+                                         {{"rejoined", static_cast<double>(rejoined)}});
   }
   return {left, rejoined};
 }

@@ -1,0 +1,101 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace prlc::obs {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* r = new TraceRecorder();  // leaked: see Registry::global
+  return *r;
+}
+
+void TraceRecorder::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch_ns_ == 0) epoch_ns_ = ScopedTimer::now_ns();
+  capturing_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::stop() { capturing_.store(false, std::memory_order_relaxed); }
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ns_ = 0;
+}
+
+void TraceRecorder::push(char phase, std::string_view name, std::string_view category,
+                         std::initializer_list<TraceArg> args) {
+  if (!capturing()) return;
+  const std::uint64_t now = ScopedTimer::now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  Event& e = events_.emplace_back();
+  e.phase = phase;
+  e.ts_us = (now - epoch_ns_) / 1000;
+  e.name = name;
+  e.category = category;
+  e.args.reserve(args.size());
+  for (const auto& [k, v] : args) e.args.emplace_back(std::string(k), v);
+}
+
+void TraceRecorder::instant(std::string_view name, std::string_view category,
+                            std::initializer_list<TraceArg> args) {
+  push('i', name, category, args);
+}
+
+void TraceRecorder::begin(std::string_view name, std::string_view category,
+                          std::initializer_list<TraceArg> args) {
+  push('B', name, category, args);
+}
+
+void TraceRecorder::end(std::string_view name, std::string_view category) {
+  push('E', name, category, {});
+}
+
+void TraceRecorder::count(std::string_view name, std::string_view category,
+                          std::initializer_list<TraceArg> series) {
+  push('C', name, category, series);
+}
+
+std::size_t TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::to_json() const {
+  json::Value list = json::Value::array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Event& e : events_) {
+      json::Value ev = json::Value::object();
+      ev.set("name", e.name);
+      ev.set("cat", e.category);
+      ev.set("ph", std::string(1, e.phase));
+      ev.set("ts", e.ts_us);
+      ev.set("pid", 1);
+      ev.set("tid", 1);
+      if (e.phase == 'i') ev.set("s", "p");  // process-scoped instant
+      if (!e.args.empty()) {
+        json::Value args = json::Value::object();
+        for (const auto& [k, v] : e.args) args.set(k, v);
+        ev.set("args", std::move(args));
+      }
+      list.push_back(std::move(ev));
+    }
+  }
+  json::Value root = json::Value::object();
+  root.set("traceEvents", std::move(list));
+  root.set("displayTimeUnit", "ms");
+  return root.dump(1);
+}
+
+bool TraceRecorder::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace prlc::obs

@@ -4,6 +4,8 @@
 
 #include "codes/decoder.h"
 #include "net/chord_network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/collector.h"
 #include "net/churn.h"
 #include "net/sensor_network.h"
@@ -74,8 +76,16 @@ std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams
   std::vector<RunningStats> blocks(points);
   std::vector<RunningStats> hops(points);
 
+  static obs::Counter& trials_run = obs::counter("persistence.trials");
+  static obs::Gauge& survivors_gauge = obs::gauge("persistence.last_survivors");
+  static obs::LatencyHistogram& survivors_hist = obs::histogram("persistence.survivors");
+
   Rng master(params.seed);
   for (std::size_t t = 0; t < params.trials; ++t) {
+    trials_run.add();
+    obs::ScopedSpan trial_span("trial", "persistence",
+                               {{"trial", static_cast<double>(t)},
+                                {"scheme", static_cast<double>(static_cast<int>(params.scheme))}});
     Rng rng = master.split();
     auto overlay = make_overlay(params, locations, rng());
     Predistribution predist(*overlay, spec, dist, proto);
@@ -101,6 +111,15 @@ std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams
       }
       codes::PriorityDecoder<Field> decoder(proto.scheme, spec, proto.block_size);
       const auto result = collect(predist, decoder, {}, rng);
+      survivors_gauge.set(static_cast<std::int64_t>(result.surviving_locations));
+      survivors_hist.record(result.surviving_locations);
+      if (obs::trace_enabled()) {
+        obs::TraceRecorder::global().instant(
+            "churn_point", "persistence",
+            {{"failure_fraction", f},
+             {"survivors", static_cast<double>(result.surviving_locations)},
+             {"decoded_levels", static_cast<double>(result.decoded_levels)}});
+      }
       surviving[point].add(static_cast<double>(result.surviving_locations));
       levels[point].add(static_cast<double>(result.decoded_levels));
       blocks[point].add(static_cast<double>(result.decoded_blocks));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace prlc::proto {
@@ -83,6 +85,9 @@ DisseminationStats Predistribution::disseminate(const codes::SourceData<Field>& 
 
   storage_.assign(storage_.size(), std::nullopt);
   DisseminationStats stats;
+  obs::ScopedSpan span("disseminate", "predist",
+                       {{"locations", static_cast<double>(storage_.size())},
+                        {"sources", static_cast<double>(spec_.total())}});
 
   // Step 3 origin assignment: each source block is "measured" at a random
   // alive node.
@@ -169,8 +174,24 @@ DisseminationStats Predistribution::disseminate(const codes::SourceData<Field>& 
       Field::axpy(std::span<Field::Symbol>(entry.block.payload), beta, source.block(j));
       ++entry.arrivals;
     }
-    if (placed) storage_[loc] = std::move(entry);
+    if (placed) {
+      if (obs::trace_enabled()) {
+        obs::TraceRecorder::global().instant(
+            "block_placed", "predist",
+            {{"location", static_cast<double>(loc)},
+             {"owner", static_cast<double>(entry.owner)},
+             {"level", static_cast<double>(level)},
+             {"arrivals", static_cast<double>(entry.arrivals)}});
+      }
+      storage_[loc] = std::move(entry);
+    }
   }
+  static obs::Counter& messages = obs::counter("predist.messages");
+  static obs::Counter& hops = obs::counter("predist.hops");
+  static obs::Counter& failed = obs::counter("predist.failed_routes");
+  messages.add(stats.messages);
+  hops.add(stats.total_hops);
+  failed.add(stats.failed_routes);
 
   // Load accounting over placement-time owners.
   std::vector<std::size_t> load(overlay_.nodes(), 0);

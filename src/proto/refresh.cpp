@@ -1,6 +1,8 @@
 #include "proto/refresh.h"
 
 #include "codes/decoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/collector.h"
 #include "util/check.h"
 
@@ -12,6 +14,7 @@ RefreshResult refresh(Predistribution& dist, net::NodeId maintainer, Rng& rng) {
                "maintainer must be an alive node");
 
   RefreshResult result;
+  obs::ScopedSpan span("refresh", "refresh");
 
   // 1. Decode everything the surviving blocks determine.
   codes::PriorityDecoder<Field> decoder(dist.params().scheme, dist.spec(),
@@ -74,6 +77,24 @@ RefreshResult refresh(Predistribution& dist, net::NodeId maintainer, Rng& rng) {
     result.total_hops += route.hops;
     dist.store_rebuilt(loc, std::move(block));
     ++result.rebuilt_locations;
+  }
+
+  static obs::Counter& rounds = obs::counter("refresh.rounds");
+  static obs::Counter& rebuilt = obs::counter("refresh.rebuilt_locations");
+  static obs::Counter& unrecoverable = obs::counter("refresh.unrecoverable");
+  static obs::Counter& repair_messages = obs::counter("refresh.repair_messages");
+  static obs::Counter& repair_hops = obs::counter("refresh.repair_hops");
+  rounds.add();
+  rebuilt.add(result.rebuilt_locations);
+  unrecoverable.add(result.unrecoverable);
+  repair_messages.add(result.messages);
+  repair_hops.add(result.total_hops);
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::global().instant(
+        "refresh_done", "refresh",
+        {{"lost", static_cast<double>(result.lost_locations)},
+         {"rebuilt", static_cast<double>(result.rebuilt_locations)},
+         {"unrecoverable", static_cast<double>(result.unrecoverable)}});
   }
   return result;
 }

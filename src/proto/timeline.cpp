@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/collector.h"
 #include "util/check.h"
 
@@ -105,6 +107,10 @@ IngestStats TimelineStore::ingest(const codes::SourceData<Field>& source, Rng& r
 
   IngestStats stats;
   stats.round_id = next_round_id_++;
+  static obs::Counter& rounds_ingested = obs::counter("timeline.rounds");
+  rounds_ingested.add();
+  obs::ScopedSpan span("ingest_round", "timeline",
+                       {{"round", static_cast<double>(stats.round_id)}});
 
   // Evict rounds beyond the window (before the new one joins).
   while (rounds_.size() >= params_.window) {

@@ -22,9 +22,15 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double quantile(std::span<const double> sample, double q) {
-  PRLC_REQUIRE(!sample.empty(), "quantile of an empty sample");
   PRLC_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
-  std::vector<double> sorted(sample.begin(), sample.end());
+  // NaNs have no order; sorting them in would poison the interpolation
+  // (std::sort with NaN comparisons is undefined), so drop them first.
+  std::vector<double> sorted;
+  sorted.reserve(sample.size());
+  for (double x : sample) {
+    if (!std::isnan(x)) sorted.push_back(x);
+  }
+  PRLC_REQUIRE(!sorted.empty(), "quantile of a sample with no non-NaN values");
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted[0];
   const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -42,6 +48,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 
 void Histogram::add(double x) {
   ++total_;
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;

@@ -45,8 +45,16 @@ class RunningStats {
   /// Half-width of the 95% confidence interval for the mean
   /// (normal approximation, z = 1.96 — matches the paper's methodology).
   double ci95_halfwidth() const { return 1.96 * stderr_mean(); }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  /// Extremes; precondition error when empty (there is no observation to
+  /// report, and silently returning 0 corrupted min/max-of-load plots).
+  double min() const {
+    PRLC_REQUIRE(count_ > 0, "min() of an empty RunningStats");
+    return min_;
+  }
+  double max() const {
+    PRLC_REQUIRE(count_ > 0, "max() of an empty RunningStats");
+    return max_;
+  }
 
  private:
   std::size_t count_ = 0;
@@ -57,7 +65,8 @@ class RunningStats {
 };
 
 /// Exact quantile of a sample (linear interpolation between order
-/// statistics). `q` in [0,1]. Copies and sorts: O(n log n).
+/// statistics). `q` in [0,1]. NaN entries are ignored; the sample must
+/// contain at least one non-NaN value. Copies and sorts: O(n log n).
 double quantile(std::span<const double> sample, double q);
 
 /// Fixed-width histogram over [lo, hi) with `bins` buckets plus
@@ -66,10 +75,14 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// NaN samples count toward total() and nan() but land in no bin —
+  /// casting NaN to an index is undefined behavior, and dropping the
+  /// sample silently would skew total()-normalized frequencies.
   void add(double x);
   std::size_t bin_count(std::size_t i) const;
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }
+  std::size_t nan() const { return nan_; }
   std::size_t total() const { return total_; }
   std::size_t bins() const { return counts_.size(); }
   /// Inclusive lower edge of bin i.
@@ -81,6 +94,7 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   std::size_t total_ = 0;
 };
 

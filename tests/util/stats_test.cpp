@@ -103,6 +103,22 @@ TEST(Quantile, RejectsBadInput) {
   EXPECT_THROW(quantile(xs, 1.5), PreconditionError);
 }
 
+TEST(Quantile, IgnoresNaNs) {
+  const double nan = std::nan("");
+  const std::vector<double> xs = {nan, 5.0, 1.0, nan, 3.0, 2.0, 4.0, nan};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  const std::vector<double> all_nan = {nan, nan};
+  EXPECT_THROW(quantile(all_nan, 0.5), PreconditionError);
+}
+
+TEST(RunningStats, EmptyExtremesThrow) {
+  const RunningStats s;
+  EXPECT_THROW(s.min(), PreconditionError);
+  EXPECT_THROW(s.max(), PreconditionError);
+}
+
 TEST(Histogram, BinsAndEdges) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.0);   // bin 0
@@ -118,6 +134,18 @@ TEST(Histogram, BinsAndEdges) {
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+}
+
+TEST(Histogram, NanSamplesCountedSeparately) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(std::nan(""));
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.nan(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
 }
 
 TEST(Histogram, RejectsBadConstruction) {

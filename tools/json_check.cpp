@@ -1,0 +1,104 @@
+// prlc_json_check — validate machine-readable outputs in the smoke tests.
+//
+// Usage: prlc_json_check [--require p1,p2,...] file.json [more.json ...]
+//
+// Each file must parse as strict JSON; each --require entry is a
+// '/'-separated path that must resolve inside every file ('/' rather than
+// '.' because metric names themselves contain dots, e.g.
+// "counters/decoder.rows_innovative"). A numeric component indexes an
+// array. Exit 0 when everything holds, 1 with a diagnostic otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+const prlc::json::Value* resolve(const prlc::json::Value& root, const std::string& path) {
+  const prlc::json::Value* v = &root;
+  for (const std::string& part : split(path, '/')) {
+    if (v->is_array()) {
+      char* end = nullptr;
+      const unsigned long idx = std::strtoul(part.c_str(), &end, 10);
+      if (end != part.c_str() + part.size() || idx >= v->size()) return nullptr;
+      v = &v->at(static_cast<std::size_t>(idx));
+    } else if (v->is_object()) {
+      v = v->find(part);
+      if (v == nullptr) return nullptr;
+    } else {
+      return nullptr;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> requirements;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--require") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "prlc_json_check: --require needs a value\n");
+        return 1;
+      }
+      for (auto& r : split(argv[++i], ',')) requirements.push_back(std::move(r));
+    } else if (arg.starts_with("--require=")) {
+      for (auto& r : split(arg.substr(10), ',')) requirements.push_back(std::move(r));
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: prlc_json_check [--require path1,path2] file.json [...]\n");
+    return 1;
+  }
+
+  int failures = 0;
+  for (const std::string& file : files) {
+    prlc::json::Value root;
+    try {
+      root = prlc::json::Value::parse(prlc::json::read_file(file));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "prlc_json_check: %s: %s\n", file.c_str(), e.what());
+      ++failures;
+      continue;
+    }
+    int file_failures = 0;
+    for (const std::string& req : requirements) {
+      if (resolve(root, req) == nullptr) {
+        std::fprintf(stderr, "prlc_json_check: %s: missing required path '%s'\n",
+                     file.c_str(), req.c_str());
+        ++file_failures;
+      }
+    }
+    failures += file_failures;
+    if (file_failures == 0) {
+      std::printf("prlc_json_check: %s ok (%zu requirement%s)\n", file.c_str(),
+                  requirements.size(), requirements.size() == 1 ? "" : "s");
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

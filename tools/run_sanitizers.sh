@@ -26,3 +26,19 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
 
 ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}" "$@"
 echo "sanitizer run OK (${build_dir})"
+
+# Phase 2: ThreadSanitizer over the observability tests. The metrics and
+# trace layers are the only deliberately concurrent code in the library
+# (relaxed atomics + one mutex), so TSan runs just test_obs rather than
+# paying the 5-20x slowdown across the whole suite. TSan is incompatible
+# with ASan, hence the separate build tree.
+tsan_build_dir="${TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
+
+cmake -B "${tsan_build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPRLC_SANITIZE=thread
+cmake --build "${tsan_build_dir}" -j"${jobs}" --target test_obs
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+ctest --test-dir "${tsan_build_dir}" --output-on-failure -j"${jobs}" -R '^test_obs$'
+echo "tsan run OK (${tsan_build_dir})"
