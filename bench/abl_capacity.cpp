@@ -14,6 +14,7 @@
 #include "net/chord_network.h"
 #include "proto/collector.h"
 #include "proto/predistribution.h"
+#include "runtime/trial_runner.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
 
@@ -21,25 +22,34 @@ namespace {
 
 using namespace prlc;
 
+struct TrialOutcome {
+  double max_load = 0;
+  double spills = 0;
+  double overflows = 0;
+  double levels = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Ablation — per-node storage capacity",
                 "W = 200 nodes, M = 800 locations, N = 200 source blocks.");
-  const std::size_t trials = bench::trials(10, 3);
+  const std::size_t trials = bench::options().trials_or(10, 3);
+  const std::uint64_t seed = bench::options().seed_or(0xCA9);
   const auto spec = codes::PrioritySpec({40, 60, 100});
   const auto dist = codes::PriorityDistribution::uniform(3);
+
+  runtime::TrialRunner runner(bench::options().threads);
+  bench::BenchReport report("abl_capacity");
+  report.set_config("trials", trials);
+  report.set_config("seed", static_cast<double>(seed));
 
   TablePrinter table({"capacity d", "max load (95% CI)", "spills", "overflows",
                       "decoded levels", "W*d / M"});
   for (std::size_t d : {4u, 6u, 8u, 16u, 64u, 0u}) {
-    RunningStats max_load;
-    RunningStats spills;
-    RunningStats overflows;
-    RunningStats levels;
-    Rng master(0xCA9 + d);
-    for (std::size_t t = 0; t < trials; ++t) {
-      Rng rng = master.split();
+    // Each capacity gets its own decorrelated stream (offset by d).
+    const auto outcomes = runner.run(trials, seed + d, [&](std::size_t, Rng& rng) {
       net::ChordParams np;
       np.nodes = 200;
       np.locations = 800;
@@ -53,12 +63,30 @@ int main() {
       const auto source =
           codes::SourceData<proto::Field>::random(spec.total(), params.block_size, rng);
       const auto stats = pd.disseminate(source, rng);
-      max_load.add(static_cast<double>(stats.max_node_load));
-      spills.add(static_cast<double>(stats.capacity_spills));
-      overflows.add(static_cast<double>(stats.capacity_overflows));
+      TrialOutcome outcome;
+      outcome.max_load = static_cast<double>(stats.max_node_load);
+      outcome.spills = static_cast<double>(stats.capacity_spills);
+      outcome.overflows = static_cast<double>(stats.capacity_overflows);
       codes::PriorityDecoder<proto::Field> dec(params.scheme, spec, params.block_size);
-      levels.add(static_cast<double>(collect(pd, dec, {}, rng).decoded_levels));
+      outcome.levels = static_cast<double>(collect(pd, dec, {}, rng).decoded_levels);
+      return outcome;
+    });
+
+    RunningStats max_load;
+    RunningStats spills;
+    RunningStats overflows;
+    RunningStats levels;
+    for (const TrialOutcome& outcome : outcomes) {
+      max_load.add(outcome.max_load);
+      spills.add(outcome.spills);
+      overflows.add(outcome.overflows);
+      levels.add(outcome.levels);
     }
+    report.add_point("capacity", {{"d", static_cast<double>(d)},
+                                  {"max_load", max_load.mean()},
+                                  {"spills", spills.mean()},
+                                  {"overflows", overflows.mean()},
+                                  {"decoded_levels", levels.mean()}});
     table.add_row({d == 0 ? "unlimited" : std::to_string(d),
                    fmt_mean_ci(max_load.mean(), max_load.ci95_halfwidth(), 1),
                    fmt_double(spills.mean(), 0), fmt_double(overflows.mean(), 0),
@@ -68,5 +96,6 @@ int main() {
   table.emit("abl_capacity");
   std::cout << "\nExpected shape: max load pinned at d; spills explode as W*d/M -> 1;\n"
                "decodability untouched because every block still lands somewhere.\n";
+  bench::finalize(&report);
   return 0;
 }

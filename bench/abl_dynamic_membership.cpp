@@ -17,6 +17,7 @@
 #include "net/churn.h"
 #include "proto/collector.h"
 #include "proto/refresh.h"
+#include "runtime/trial_runner.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
 
@@ -24,61 +25,102 @@ namespace {
 
 using namespace prlc;
 
+constexpr std::size_t kNodes = 400;
+constexpr std::size_t kEpochs = 20;
+
+/// Fixed-size per-trial epoch series (zeros past network death) so trials
+/// merge slot-by-slot in trial order.
+struct TrialOutcome {
+  std::vector<double> levels;
+  std::vector<double> repair_msgs;
+  std::vector<double> alive_frac;
+};
+
+TrialOutcome run_trial(bool use_refresh, const codes::PrioritySpec& spec,
+                       const codes::PriorityDistribution& dist, Rng& rng) {
+  net::ChordParams np;
+  np.nodes = kNodes;
+  np.locations = 240;
+  np.seed = rng();
+  net::ChordNetwork overlay(np);
+  proto::ProtocolParams params;
+  params.scheme = codes::Scheme::kPlc;
+  params.block_size = 8;
+  proto::Predistribution pd(overlay, spec, dist, params);
+  const auto source =
+      codes::SourceData<proto::Field>::random(spec.total(), params.block_size, rng);
+  pd.disseminate(source, rng);
+
+  TrialOutcome outcome;
+  outcome.levels.assign(kEpochs, 0.0);
+  outcome.repair_msgs.assign(kEpochs, 0.0);
+  outcome.alive_frac.assign(kEpochs, 0.0);
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    net::apply_session_churn(overlay, 0.15, 0.30, rng);
+    if (overlay.alive_count() == 0) break;
+    std::size_t messages = 0;
+    if (use_refresh) {
+      messages = refresh(pd, overlay.random_alive_node(rng), rng).messages;
+    }
+    codes::PriorityDecoder<proto::Field> dec(params.scheme, spec, params.block_size);
+    const auto result = collect(pd, dec, {}, rng);
+    outcome.levels[epoch] = static_cast<double>(result.decoded_levels);
+    outcome.repair_msgs[epoch] = static_cast<double>(messages);
+    outcome.alive_frac[epoch] =
+        static_cast<double>(overlay.alive_count()) / static_cast<double>(kNodes);
+  }
+  return outcome;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Ablation — session churn (join/leave) over many epochs",
                 "15% leave / 30% rejoin per epoch; refresh on/off.");
-  const std::size_t trials = bench::trials(12, 3);
-  const std::size_t epochs = 20;
+  const std::size_t trials = bench::options().trials_or(12, 3);
+  const std::uint64_t seed = bench::options().seed_or(0xD1A51C);
   const auto spec = codes::PrioritySpec({20, 40, 60});  // N = 120
   const auto dist = codes::PriorityDistribution::uniform(3);
 
-  std::vector<RunningStats> alive_frac(epochs);
-  std::vector<RunningStats> levels_with(epochs);
-  std::vector<RunningStats> levels_without(epochs);
-  std::vector<RunningStats> repair_msgs(epochs);
+  // Same root seed for both arms: trial i sees the identical ring and
+  // churn schedule with and without maintenance.
+  runtime::TrialRunner runner(bench::options().threads);
+  const auto with = runner.run(trials, seed, [&](std::size_t, Rng& rng) {
+    return run_trial(true, spec, dist, rng);
+  });
+  const auto without = runner.run(trials, seed, [&](std::size_t, Rng& rng) {
+    return run_trial(false, spec, dist, rng);
+  });
 
-  Rng master(0xD1A51C);
+  std::vector<RunningStats> alive_frac(kEpochs);
+  std::vector<RunningStats> levels_with(kEpochs);
+  std::vector<RunningStats> levels_without(kEpochs);
+  std::vector<RunningStats> repair_msgs(kEpochs);
   for (std::size_t t = 0; t < trials; ++t) {
-    for (bool use_refresh : {true, false}) {
-      Rng rng = master.split();
-      net::ChordParams np;
-      np.nodes = 400;
-      np.locations = 240;
-      np.seed = rng();
-      net::ChordNetwork overlay(np);
-      proto::ProtocolParams params;
-      params.scheme = codes::Scheme::kPlc;
-      params.block_size = 8;
-      proto::Predistribution pd(overlay, spec, dist, params);
-      const auto source =
-          codes::SourceData<proto::Field>::random(spec.total(), params.block_size, rng);
-      pd.disseminate(source, rng);
-
-      for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
-        net::apply_session_churn(overlay, 0.15, 0.30, rng);
-        if (overlay.alive_count() == 0) break;
-        std::size_t messages = 0;
-        if (use_refresh) {
-          messages = refresh(pd, overlay.random_alive_node(rng), rng).messages;
-        }
-        codes::PriorityDecoder<proto::Field> dec(params.scheme, spec, params.block_size);
-        const auto result = collect(pd, dec, {}, rng);
-        if (use_refresh) {
-          levels_with[epoch].add(static_cast<double>(result.decoded_levels));
-          repair_msgs[epoch].add(static_cast<double>(messages));
-          alive_frac[epoch].add(static_cast<double>(overlay.alive_count()) / 400.0);
-        } else {
-          levels_without[epoch].add(static_cast<double>(result.decoded_levels));
-        }
-      }
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      alive_frac[e].add(with[t].alive_frac[e]);
+      levels_with[e].add(with[t].levels[e]);
+      repair_msgs[e].add(with[t].repair_msgs[e]);
+      levels_without[e].add(without[t].levels[e]);
     }
+  }
+
+  bench::BenchReport report("abl_dynamic_membership");
+  report.set_config("trials", trials);
+  report.set_config("seed", static_cast<double>(seed));
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    report.add_point("with_refresh", {{"epoch", static_cast<double>(e + 1)},
+                                      {"alive_frac", alive_frac[e].mean()},
+                                      {"decoded_levels", levels_with[e].mean()},
+                                      {"repair_messages", repair_msgs[e].mean()}});
+    report.add_point("without_refresh", {{"epoch", static_cast<double>(e + 1)},
+                                         {"decoded_levels", levels_without[e].mean()}});
   }
 
   TablePrinter table({"epoch", "alive frac", "levels w/ refresh", "repairs/epoch",
                       "levels w/o refresh"});
-  for (std::size_t e = 0; e < epochs; e += 2) {
+  for (std::size_t e = 0; e < kEpochs; e += 2) {
     table.add_row({std::to_string(e + 1), fmt_double(alive_frac[e].mean(), 2),
                    fmt_mean_ci(levels_with[e].mean(), levels_with[e].ci95_halfwidth(), 2),
                    fmt_double(repair_msgs[e].mean(), 0),
@@ -90,5 +132,6 @@ int main() {
                "unmaintained archive decays to zero levels (rejoined peers are\n"
                "empty); with a refresh round per epoch all three levels persist\n"
                "for the whole run at a steady repair cost.\n";
+  bench::finalize(&report);
   return 0;
 }

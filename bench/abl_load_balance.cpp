@@ -11,6 +11,7 @@
 #include "bench_common.h"
 #include "net/chord_network.h"
 #include "net/sensor_network.h"
+#include "runtime/trial_runner.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
 
@@ -19,27 +20,32 @@ namespace {
 using namespace prlc;
 
 template <typename Net, typename Params>
-RunningStats max_load(Params params, std::size_t trials, std::uint64_t seed) {
-  RunningStats stats;
-  for (std::size_t t = 0; t < trials; ++t) {
-    params.seed = seed + t;
+RunningStats max_load(runtime::TrialRunner& runner, Params params, std::size_t trials,
+                      std::uint64_t seed) {
+  const auto loads = runner.run(trials, seed, [&](std::size_t, Rng& rng) {
+    params.seed = rng();
     const Net net(params);
     std::vector<std::size_t> load(net.nodes(), 0);
     for (net::LocationId loc = 0; loc < net.locations(); ++loc) ++load[net.owner_of(loc)];
     std::size_t mx = 0;
     for (std::size_t l : load) mx = std::max(mx, l);
-    stats.add(static_cast<double>(mx));
-  }
+    return static_cast<double>(mx);
+  });
+  RunningStats stats;
+  for (double mx : loads) stats.add(mx);
   return stats;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Ablation — power of two choices for location placement",
                 "Max coded blocks on any node; M locations over W nodes.");
-  const std::size_t trials = bench::trials(20, 5);
+  const std::size_t trials = bench::options().trials_or(20, 5);
+  const std::uint64_t seed = bench::options().seed_or(100);
 
+  runtime::TrialRunner runner(bench::options().threads);
   TablePrinter table({"overlay", "nodes W", "locations M", "one choice max (95% CI)",
                       "two choices max (95% CI)", "ln M", "ln ln M / ln 2"});
   for (std::size_t m : {500u, 2000u, 8000u}) {
@@ -49,8 +55,8 @@ int main() {
     cp.locations = m;
     net::ChordParams cp2 = cp;
     cp2.two_choices = true;
-    const auto one = max_load<net::ChordNetwork>(cp, trials, 100);
-    const auto two = max_load<net::ChordNetwork>(cp2, trials, 100);
+    const auto one = max_load<net::ChordNetwork>(runner, cp, trials, seed + m);
+    const auto two = max_load<net::ChordNetwork>(runner, cp2, trials, seed + m);
     table.add_row({"chord", std::to_string(w), std::to_string(m),
                    fmt_mean_ci(one.mean(), one.ci95_halfwidth(), 2),
                    fmt_mean_ci(two.mean(), two.ci95_halfwidth(), 2),
@@ -62,8 +68,8 @@ int main() {
     sp.locations = m;
     net::SensorParams sp2 = sp;
     sp2.two_choices = true;
-    const auto sone = max_load<net::SensorNetwork>(sp, trials, 200);
-    const auto stwo = max_load<net::SensorNetwork>(sp2, trials, 200);
+    const auto sone = max_load<net::SensorNetwork>(runner, sp, trials, seed + m + 1);
+    const auto stwo = max_load<net::SensorNetwork>(runner, sp2, trials, seed + m + 1);
     table.add_row({"sensor", std::to_string(w), std::to_string(m),
                    fmt_mean_ci(sone.mean(), sone.ci95_halfwidth(), 2),
                    fmt_mean_ci(stwo.mean(), stwo.ci95_halfwidth(), 2),
@@ -75,5 +81,6 @@ int main() {
                "grows ~ ln ln M (plus the M/W average term), while one-choice grows\n"
                "faster; geometric cell-size skew makes sensor fields lumpier than\n"
                "the DHT ring.\n";
+  bench::finalize(nullptr);
   return 0;
 }

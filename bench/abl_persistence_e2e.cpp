@@ -6,6 +6,10 @@
 // a collector decode what survives. Expected shape: decoded levels
 // degrade gracefully for PLC (important levels die last), SLC sits below
 // PLC, and RLC falls off a cliff once survivors < N.
+//
+// Trials run through runtime::TrialRunner: `--threads N` changes only
+// wall-clock, never the numbers — `--json` output is byte-identical for
+// the same `--seed` at any thread count.
 #include <iostream>
 
 #include "bench_common.h"
@@ -16,29 +20,53 @@ namespace {
 
 using namespace prlc;
 
-void run_overlay(proto::OverlayKind kind, std::size_t trials,
-                 bench::BenchReport& report) {
+/// Problem size: full-size reproduces the paper's scale; fast mode (smoke
+/// runs) shrinks the network and spec so even `--trials 64` finishes in
+/// seconds.
+struct Shape {
+  std::size_t sensor_nodes;
+  std::size_t chord_nodes;
+  std::vector<std::size_t> level_sizes;
+  std::size_t locations;
+  std::vector<double> failure_fractions;
+};
+
+Shape shape() {
+  if (bench::fast_mode()) {
+    return {100, 80, {5, 10, 15}, 60, {0.0, 0.4, 0.7, 0.9}};
+  }
+  return {400, 250, {20, 40, 60, 80}, 400, {0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}};
+}
+
+void run_overlay(proto::OverlayKind kind, const Shape& shape, std::size_t trials,
+                 std::uint64_t seed, bench::BenchReport& report) {
   proto::PersistenceParams base;
   base.overlay = kind;
-  base.nodes = kind == proto::OverlayKind::kSensor ? 400 : 250;
-  base.level_sizes = {20, 40, 60, 80};  // N = 200
-  base.locations = 400;                 // 2x overprovisioning
-  base.failure_fractions = {0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
-  base.trials = trials;
-  base.seed = 97;
+  base.nodes = kind == proto::OverlayKind::kSensor ? shape.sensor_nodes : shape.chord_nodes;
+  base.locations = shape.locations;
+  base.failure_fractions = shape.failure_fractions;
+  base.experiment.level_sizes = shape.level_sizes;
+  base.experiment.trials = trials;
+  base.experiment.root_seed = seed;
+  base.experiment.threads = bench::options().threads;
 
-  TablePrinter table({"failure fraction", "surviving blocks", "PLC levels (95% CI)",
-                      "SLC levels (95% CI)", "RLC levels (95% CI)"});
+  std::vector<std::string> headers = {"failure fraction", "surviving blocks"};
   std::vector<std::vector<proto::PersistencePoint>> rows;
-  for (codes::Scheme scheme :
-       {codes::Scheme::kPlc, codes::Scheme::kSlc, codes::Scheme::kRlc}) {
+  std::vector<const char*> names;
+  const std::pair<codes::Scheme, const char*> schemes[] = {
+      {codes::Scheme::kPlc, "plc"},
+      {codes::Scheme::kSlc, "slc"},
+      {codes::Scheme::kRlc, "rlc"}};
+  for (const auto& [scheme, name] : schemes) {
+    if (!bench::options().scheme_enabled(scheme)) continue;
     auto params = base;
-    params.scheme = scheme;
+    params.experiment.scheme = scheme;
     rows.push_back(run_persistence_experiment(params));
+    names.push_back(name);
+    headers.push_back(std::string(to_string(scheme)) + " levels (95% CI)");
   }
-  const char* scheme_names[] = {"plc", "slc", "rlc"};
   for (std::size_t s = 0; s < rows.size(); ++s) {
-    const std::string series = std::string(scheme_names[s]) + "/" + to_string(kind);
+    const std::string series = std::string(names[s]) + "/" + to_string(kind);
     for (const auto& point : rows[s]) {
       report.add_point(series,
                        {{"failure_fraction", point.failure_fraction},
@@ -49,15 +77,20 @@ void run_overlay(proto::OverlayKind kind, std::size_t trials,
                         {"dissemination_hops", point.mean_dissemination_hops}});
     }
   }
+  TablePrinter table(headers);
   for (std::size_t i = 0; i < base.failure_fractions.size(); ++i) {
-    table.add_row({fmt_double(base.failure_fractions[i], 1),
-                   fmt_double(rows[0][i].mean_surviving_blocks, 1),
-                   fmt_mean_ci(rows[0][i].mean_decoded_levels, rows[0][i].ci95_decoded_levels, 2),
-                   fmt_mean_ci(rows[1][i].mean_decoded_levels, rows[1][i].ci95_decoded_levels, 2),
-                   fmt_mean_ci(rows[2][i].mean_decoded_levels, rows[2][i].ci95_decoded_levels, 2)});
+    std::vector<std::string> row = {fmt_double(base.failure_fractions[i], 1),
+                                    fmt_double(rows[0][i].mean_surviving_blocks, 1)};
+    for (const auto& scheme_row : rows) {
+      row.push_back(fmt_mean_ci(scheme_row[i].mean_decoded_levels,
+                                scheme_row[i].ci95_decoded_levels, 2));
+    }
+    table.add_row(row);
   }
+  std::size_t total = 0;
+  for (std::size_t n : shape.level_sizes) total += n;
   std::cout << "\nOverlay: " << to_string(kind) << " (" << base.nodes << " nodes, "
-            << base.locations << " locations, N = 200 in levels {20,40,60,80})\n";
+            << base.locations << " locations, N = " << total << ")\n";
   table.emit(std::string("abl_persistence_") + to_string(kind));
 }
 
@@ -67,16 +100,19 @@ int main(int argc, char** argv) {
   bench::parse_args(argc, argv);
   bench::banner("Ablation — end-to-end persistence under churn",
                 "Pre-distribution protocol + uniform mass failures + collection.");
-  const std::size_t trials = bench::trials(12, 3);
+  const Shape s = shape();
+  const std::size_t trials = bench::options().trials_or(12, 3);
+  const std::uint64_t seed = bench::options().seed_or(97);
   bench::BenchReport report("abl_persistence_e2e");
   report.set_config("trials", trials);
-  report.set_config("levels", [] {
+  report.set_config("seed", static_cast<double>(seed));
+  report.set_config("levels", [&] {
     json::Value v = json::Value::array();
-    for (std::size_t n : {20, 40, 60, 80}) v.push_back(n);
+    for (std::size_t n : s.level_sizes) v.push_back(n);
     return v;
   }());
-  run_overlay(proto::OverlayKind::kChord, trials, report);
-  run_overlay(proto::OverlayKind::kSensor, trials, report);
+  run_overlay(proto::OverlayKind::kChord, s, trials, seed, report);
+  run_overlay(proto::OverlayKind::kSensor, s, trials, seed, report);
   std::cout << "\nExpected shape: all schemes hold until survivors ~ N; past that RLC\n"
                "drops to zero at once while PLC sheds low-priority levels first and\n"
                "keeps level 1 alive deep into the failure sweep; SLC between.\n";

@@ -6,90 +6,80 @@
 // retrievable-block pool only shrinks, and decoding collapses after a few
 // waves; with refresh the pool snaps back to M after every wave and all
 // levels survive until the node population itself is exhausted.
+//
+// Both arms share the same root seed, so trial i deploys the identical
+// network and suffers the identical churn with and without refresh — the
+// comparison is paired, not merely averaged.
 #include <iostream>
 
 #include "bench_common.h"
-#include "codes/decoder.h"
-#include "net/chord_network.h"
-#include "net/churn.h"
-#include "proto/collector.h"
 #include "proto/refresh.h"
-#include "util/stats.h"
 #include "util/table_printer.h"
 
 namespace {
 
 using namespace prlc;
 
-struct WaveOutcome {
-  RunningStats levels;
-  RunningStats surviving;
-  RunningStats rebuilt;
-};
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Ablation — refresh protocol across churn waves",
                 "25% of surviving nodes die each wave; refresh on/off.");
-  const std::size_t trials = bench::trials(15, 4);
-  const std::size_t waves = 8;
-  const auto spec = codes::PrioritySpec({20, 40, 60});  // N = 120
-  const auto dist = codes::PriorityDistribution::uniform(3);
+  proto::RefreshExperimentParams params;
+  params.nodes = 500;
+  params.locations = 240;
+  params.waves = 8;
+  params.kill_fraction = 0.25;
+  params.experiment.level_sizes = {20, 40, 60};  // N = 120
+  params.experiment.scheme = codes::Scheme::kPlc;
+  params.experiment.trials = bench::options().trials_or(15, 4);
+  params.experiment.root_seed = bench::options().seed_or(0x2EF2E5);
+  params.experiment.threads = bench::options().threads;
+  params.protocol.block_size = 8;
 
-  std::vector<WaveOutcome> with(waves);
-  std::vector<WaveOutcome> without(waves);
+  params.use_refresh = true;
+  const auto with = run_refresh_experiment(params);
+  params.use_refresh = false;
+  const auto without = run_refresh_experiment(params);
 
-  Rng master(0x2EF2E5);
-  for (std::size_t t = 0; t < trials; ++t) {
-    for (bool use_refresh : {true, false}) {
-      Rng rng = master.split();
-      net::ChordParams np;
-      np.nodes = 500;
-      np.locations = 240;
-      np.seed = rng();
-      net::ChordNetwork overlay(np);
-      proto::ProtocolParams params;
-      params.scheme = codes::Scheme::kPlc;
-      params.block_size = 8;
-      proto::Predistribution pd(overlay, spec, dist, params);
-      const auto source =
-          codes::SourceData<proto::Field>::random(spec.total(), params.block_size, rng);
-      pd.disseminate(source, rng);
-
-      for (std::size_t wave = 0; wave < waves; ++wave) {
-        net::kill_uniform_fraction(overlay, 0.25, rng);
-        std::size_t rebuilt = 0;
-        if (use_refresh && overlay.alive_count() > 0) {
-          rebuilt = refresh(pd, overlay.random_alive_node(rng), rng).rebuilt_locations;
-        }
-        codes::PriorityDecoder<proto::Field> dec(params.scheme, spec, params.block_size);
-        const auto result = collect(pd, dec, {}, rng);
-        auto& out = (use_refresh ? with : without)[wave];
-        out.levels.add(static_cast<double>(result.decoded_levels));
-        out.surviving.add(static_cast<double>(result.surviving_locations));
-        out.rebuilt.add(static_cast<double>(rebuilt));
-      }
-    }
+  bench::BenchReport report("abl_refresh");
+  report.set_config("trials", params.experiment.trials);
+  report.set_config("seed", static_cast<double>(params.experiment.root_seed));
+  report.set_config("waves", params.waves);
+  for (std::size_t wave = 0; wave < params.waves; ++wave) {
+    report.add_point("with_refresh",
+                     {{"wave", static_cast<double>(with[wave].wave)},
+                      {"decoded_levels", with[wave].mean_decoded_levels},
+                      {"decoded_levels_ci95", with[wave].ci95_decoded_levels},
+                      {"surviving_locations", with[wave].mean_surviving_locations},
+                      {"rebuilt_locations", with[wave].mean_rebuilt_locations}});
+    report.add_point("without_refresh",
+                     {{"wave", static_cast<double>(without[wave].wave)},
+                      {"decoded_levels", without[wave].mean_decoded_levels},
+                      {"decoded_levels_ci95", without[wave].ci95_decoded_levels},
+                      {"surviving_locations", without[wave].mean_surviving_locations}});
   }
 
   TablePrinter table({"wave", "alive frac", "levels w/ refresh (95% CI)", "blocks w/",
                       "rebuilt/wave", "levels w/o refresh (95% CI)", "blocks w/o"});
   double alive = 1.0;
-  for (std::size_t wave = 0; wave < waves; ++wave) {
-    alive *= 0.75;
+  for (std::size_t wave = 0; wave < params.waves; ++wave) {
+    alive *= 1.0 - params.kill_fraction;
     table.add_row({std::to_string(wave + 1), fmt_double(alive, 3),
-                   fmt_mean_ci(with[wave].levels.mean(), with[wave].levels.ci95_halfwidth(), 2),
-                   fmt_double(with[wave].surviving.mean(), 0),
-                   fmt_double(with[wave].rebuilt.mean(), 0),
-                   fmt_mean_ci(without[wave].levels.mean(),
-                               without[wave].levels.ci95_halfwidth(), 2),
-                   fmt_double(without[wave].surviving.mean(), 0)});
+                   fmt_mean_ci(with[wave].mean_decoded_levels,
+                               with[wave].ci95_decoded_levels, 2),
+                   fmt_double(with[wave].mean_surviving_locations, 0),
+                   fmt_double(with[wave].mean_rebuilt_locations, 0),
+                   fmt_mean_ci(without[wave].mean_decoded_levels,
+                               without[wave].ci95_decoded_levels, 2),
+                   fmt_double(without[wave].mean_surviving_locations, 0)});
   }
   table.emit("abl_refresh");
   std::cout << "\nExpected shape: refreshed storage holds all 3 levels for many more\n"
                "waves (retrievable blocks reset to M each round) while the\n"
                "unmaintained network decays geometrically and loses deep levels\n"
                "first.\n";
+  bench::finalize(&report);
   return 0;
 }

@@ -28,6 +28,7 @@ double decoded_fraction(codes::Scheme scheme, const codes::PrioritySpec& spec,
   opt.block_counts = {coded_blocks};
   opt.trials = trials;
   opt.seed = seed;
+  opt.threads = bench::options().threads;
   opt.encoder = enc;
   const auto curve = codes::simulate_decoding_curve<F>(scheme, spec, dist, opt);
   return curve[0].mean_blocks / static_cast<double>(spec.total());
@@ -35,10 +36,12 @@ double decoded_fraction(codes::Scheme scheme, const codes::PrioritySpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Ablation — O(ln N) sparse encoding",
                 "Decoded fraction from 1.25N blocks vs sparsity factor c.");
-  const std::size_t trials = bench::trials(30, 6);
+  const std::size_t trials = bench::options().trials_or(30, 6);
+  const std::uint64_t seed = bench::options().seed_or(0);
   const auto spec = codes::PrioritySpec::uniform(5, 100);  // N = 500
   const std::size_t m = 625;                               // 1.25 N
 
@@ -49,17 +52,20 @@ int main() {
     enc.model = codes::CoefficientModel::kSparse;
     enc.sparsity_factor = c;
     const auto weight = static_cast<std::size_t>(std::ceil(c * std::log(500.0)));
-    table.add_row({fmt_double(c, 1), std::to_string(weight),
-                   fmt_double(decoded_fraction(codes::Scheme::kPlc, spec, enc, m, trials, 11), 3),
-                   fmt_double(decoded_fraction(codes::Scheme::kRlc, spec, enc, m, trials, 13), 3)});
+    table.add_row(
+        {fmt_double(c, 1), std::to_string(weight),
+         fmt_double(decoded_fraction(codes::Scheme::kPlc, spec, enc, m, trials, seed + 11), 3),
+         fmt_double(decoded_fraction(codes::Scheme::kRlc, spec, enc, m, trials, seed + 13), 3)});
   }
   codes::EncoderOptions dense;
-  table.add_row({"dense", "500",
-                 fmt_double(decoded_fraction(codes::Scheme::kPlc, spec, dense, m, trials, 17), 3),
-                 fmt_double(decoded_fraction(codes::Scheme::kRlc, spec, dense, m, trials, 19), 3)});
+  table.add_row(
+      {"dense", "500",
+       fmt_double(decoded_fraction(codes::Scheme::kPlc, spec, dense, m, trials, seed + 17), 3),
+       fmt_double(decoded_fraction(codes::Scheme::kRlc, spec, dense, m, trials, seed + 19), 3)});
   table.emit("abl_sparsity");
   std::cout << "\nExpected shape: decoded fraction jumps from ~0 to ~1 as c passes a\n"
                "small constant (the O(ln N) threshold); c >= 3 matches dense coding,\n"
                "at ~ c ln N / N of the dissemination cost.\n";
+  bench::finalize(nullptr);
   return 0;
 }

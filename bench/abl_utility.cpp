@@ -32,7 +32,8 @@ std::string dist_string(const std::vector<double>& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Ablation — feasibility vs utility-based design",
                 "N = 200 in levels {20, 60, 120}; scenarios 60/150/400 survivors.");
 
@@ -85,5 +86,6 @@ int main() {
             << "\nExpected shape: the utility-optimal rows dominate their column by\n"
                "construction; steep utilities pull p1 up, flat utilities favour the\n"
                "deep levels that unlock everything under generous scenarios.\n";
+  bench::finalize(nullptr);
   return 0;
 }

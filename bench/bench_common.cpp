@@ -2,11 +2,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "util/check.h"
 
 namespace prlc::bench {
 
@@ -29,13 +29,24 @@ namespace {
 
 Options g_options;
 
+constexpr int kUsageExit = 64;  // EX_USAGE
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "error: " << message << "\n"
+            << "bench flags: --trials <n> --seed <u64> --threads <n> "
+               "--scheme <rlc|slc|plc>\n"
+            << "             --json <path> --metrics-json <path> "
+               "--trace-json <path>\n";
+  std::exit(kUsageExit);
+}
+
 /// Match `--name value` / `--name=value`; on a hit, store the value and
 /// report how many argv slots were consumed (1 or 2).
 std::size_t match_flag(std::string_view name, int argc, char** argv, int i,
                        std::string& out) {
   const std::string_view arg = argv[i];
   if (arg == name) {
-    PRLC_REQUIRE(i + 1 < argc, "bench flag missing its value");
+    if (i + 1 >= argc) usage_error(std::string(name) + " is missing its value");
     out = argv[i + 1];
     return 2;
   }
@@ -47,15 +58,35 @@ std::size_t match_flag(std::string_view name, int argc, char** argv, int i,
   return 0;
 }
 
+/// Non-throwing decimal u64 parse; nullopt on garbage or overflow.
+std::optional<std::uint64_t> try_parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 }  // namespace
 
 const Options& options() { return g_options; }
 
-void parse_args(int& argc, char** argv) {
+void parse_args(int& argc, char** argv, UnknownArgs unknown) {
   g_options = Options{};
+  std::string trials_text, seed_text, threads_text, scheme_text;
   int out = 1;
   for (int i = 1; i < argc;) {
-    std::size_t used = match_flag("--json", argc, argv, i, g_options.json_path);
+    std::size_t used = match_flag("--trials", argc, argv, i, trials_text);
+    if (used == 0) used = match_flag("--seed", argc, argv, i, seed_text);
+    if (used == 0) used = match_flag("--threads", argc, argv, i, threads_text);
+    if (used == 0) used = match_flag("--scheme", argc, argv, i, scheme_text);
+    if (used == 0) used = match_flag("--json", argc, argv, i, g_options.json_path);
     if (used == 0) used = match_flag("--metrics-json", argc, argv, i, g_options.metrics_json_path);
     if (used == 0) used = match_flag("--trace-json", argc, argv, i, g_options.trace_json_path);
     if (used == 0) {
@@ -66,6 +97,34 @@ void parse_args(int& argc, char** argv) {
   }
   argc = out;
   argv[argc] = nullptr;
+
+  if (unknown == UnknownArgs::kReject && argc > 1) {
+    usage_error(std::string("unknown argument '") + argv[1] + "'");
+  }
+  if (!trials_text.empty()) {
+    const auto trials = try_parse_u64(trials_text);
+    if (!trials || *trials == 0) {
+      usage_error("--trials wants a positive integer, got '" + trials_text + "'");
+    }
+    g_options.trials = static_cast<std::size_t>(*trials);
+  }
+  if (!seed_text.empty()) {
+    const auto seed = try_parse_u64(seed_text);
+    if (!seed) usage_error("--seed wants an unsigned integer, got '" + seed_text + "'");
+    g_options.seed = *seed;
+  }
+  if (!threads_text.empty()) {
+    const auto threads = try_parse_u64(threads_text);
+    if (!threads) {
+      usage_error("--threads wants a nonnegative integer, got '" + threads_text + "'");
+    }
+    g_options.threads = static_cast<std::size_t>(*threads);
+  }
+  if (!scheme_text.empty()) {
+    const auto scheme = codes::try_scheme_from_string(scheme_text);
+    if (!scheme) usage_error("--scheme wants rlc, slc or plc, got '" + scheme_text + "'");
+    g_options.scheme = *scheme;
+  }
 
   if (!g_options.metrics_json_path.empty() || !g_options.trace_json_path.empty()) {
     obs::set_enabled(true);

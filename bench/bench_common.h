@@ -5,12 +5,21 @@
 // table and, when PRLC_BENCH_CSV_DIR is set, mirrors it to CSV.
 // PRLC_BENCH_FAST=1 shrinks trial counts for smoke runs.
 //
-// Machine-readable output. Benches that call parse_args() additionally
-// understand three flags (both `--flag path` and `--flag=path` forms):
+// Flags. Every bench main calls parse_args(), which strips these flags
+// out of argv (both `--flag value` and `--flag=value` forms) so
+// downstream parsers — e.g. google-benchmark's — never see them:
+//   --trials <n>           override the bench's trial count
+//   --seed <u64>           override the bench's root seed
+//   --threads <n>          Monte-Carlo thread budget (0 = hardware, 1 = serial)
+//   --scheme <rlc|slc|plc> restrict a multi-scheme bench to one scheme
 //   --json <path>          structured bench results (BenchReport)
 //   --metrics-json <path>  dump of the obs::Registry after the run
 //   --trace-json <path>    Chrome-tracing timeline (chrome://tracing,
 //                          Perfetto) of the run
+// A malformed value ("--trials zero", "--scheme xyz") is a usage error:
+// parse_args prints a message to stderr and exits with code 64, it never
+// aborts through PRLC_REQUIRE.
+//
 // The metrics/trace flags force-enable the observability subsystem for
 // the process regardless of PRLC_METRICS, so a plain bench invocation
 // stays on the zero-overhead disabled path. finalize() writes whichever
@@ -18,10 +27,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "codes/scheme.h"
 #include "util/json.h"
 
 namespace prlc::bench {
@@ -35,23 +47,48 @@ std::size_t trials(std::size_t full, std::size_t fast);
 /// Print the bench banner: which figure/table of the paper this is.
 void banner(const std::string& title, const std::string& description);
 
-/// Output destinations stripped from argv by parse_args(). Empty string
-/// means "not requested".
+/// Everything parse_args() stripped from argv. Empty string / nullopt
+/// means "not requested on the command line".
 struct Options {
+  std::optional<std::size_t> trials;     ///< --trials
+  std::optional<std::uint64_t> seed;     ///< --seed
+  std::size_t threads = 0;               ///< --threads (TrialRunner convention)
+  std::optional<codes::Scheme> scheme;   ///< --scheme
   std::string json_path;
   std::string metrics_json_path;
   std::string trace_json_path;
+
+  /// Trial count: the --trials override if given, else the fast/full pair.
+  std::size_t trials_or(std::size_t full, std::size_t fast) const {
+    return trials ? *trials : (fast_mode() ? fast : full);
+  }
+
+  /// Root seed: the --seed override if given, else the bench's default.
+  std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed ? *seed : fallback;
+  }
+
+  /// Whether a multi-scheme bench should run scheme `s` (--scheme filters).
+  bool scheme_enabled(codes::Scheme s) const {
+    return !scheme.has_value() || *scheme == s;
+  }
 };
 
 /// The options parsed by the most recent parse_args() call.
 const Options& options();
 
-/// Strip the output flags above out of argc/argv (so downstream parsers —
-/// e.g. google-benchmark's — never see them) and arm the requested sinks:
+/// What to do with argv entries parse_args() does not recognize.
+/// kReject (the default) treats any leftover argument as a usage error;
+/// kKeep leaves them in argv for a downstream parser (perf_codec hands
+/// --benchmark_* flags to google-benchmark this way).
+enum class UnknownArgs { kReject, kKeep };
+
+/// Strip the flags above out of argc/argv and arm the requested sinks:
 /// metrics/trace paths enable obs metrics, the trace path also starts the
-/// global TraceRecorder. Throws PreconditionError on a flag missing its
-/// value. Safe to call before benchmark::Initialize().
-void parse_args(int& argc, char** argv);
+/// global TraceRecorder. A missing or malformed flag value — or, under
+/// UnknownArgs::kReject, any unrecognized argument — prints a usage error
+/// and exits 64. Safe to call before benchmark::Initialize().
+void parse_args(int& argc, char** argv, UnknownArgs unknown = UnknownArgs::kReject);
 
 /// Accumulates one bench's structured results for --json.
 ///

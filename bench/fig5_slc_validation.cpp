@@ -26,7 +26,8 @@ void run_panel(const char* panel, std::size_t levels, std::size_t per_level,
   codes::CurveOptions sim_opt;
   sim_opt.block_counts = block_counts;
   sim_opt.trials = trials;
-  sim_opt.seed = 0xF165 + levels;
+  sim_opt.seed = bench::options().seed_or(0xF165) + levels;
+  sim_opt.threads = bench::options().threads;
   const auto sim = codes::simulate_decoding_curve<F>(codes::Scheme::kSlc, spec, dist, sim_opt);
 
   analysis::SlcAnalysis slc(spec, dist);
@@ -45,14 +46,16 @@ void run_panel(const char* panel, std::size_t levels, std::size_t per_level,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Figure 5 — analysis vs simulation, SLC",
                 "N = 1000 source blocks, uniform priority distribution.");
-  const std::size_t t = bench::trials(100, 10);
+  const std::size_t t = bench::options().trials_or(100, 10);
   run_panel("a", 5, 200, t);
   run_panel("b", 50, 20, t);
   std::cout << "\nExpected shape: exact agreement within CI at both level counts;\n"
                "the 50-level SLC curve needs far more blocks for the same\n"
                "recovery (less mixing per level).\n";
+  bench::finalize(nullptr);
   return 0;
 }

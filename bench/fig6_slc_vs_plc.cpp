@@ -29,7 +29,8 @@ void run_panel(const char* panel, std::size_t levels, std::size_t per_level,
   codes::CurveOptions opt;
   opt.block_counts = block_counts;
   opt.trials = trials;
-  opt.seed = 0xF166 + levels;
+  opt.seed = bench::options().seed_or(0xF166) + levels;
+  opt.threads = bench::options().threads;
   const auto plc = codes::simulate_decoding_curve<F>(codes::Scheme::kPlc, spec, dist, opt);
   const auto slc = codes::simulate_decoding_curve<F>(codes::Scheme::kSlc, spec, dist, opt);
 
@@ -48,10 +49,11 @@ void run_panel(const char* panel, std::size_t levels, std::size_t per_level,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Figure 6 — SLC vs PLC decoding curves",
                 "N = 1000 source blocks; panels with 10 and 50 levels.");
-  const std::size_t t = bench::trials(60, 6);
+  const std::size_t t = bench::options().trials_or(60, 6);
   run_panel("a", 10, 100, t);
   run_panel("b", 50, 20, t);
 
@@ -65,5 +67,6 @@ int main() {
             << "  vs PLC/RLC which need ~ N = 1000.\n"
             << "\nExpected shape: PLC dominates SLC at every point; the gap grows\n"
                "with the level count while PLC's own curve barely moves.\n";
+  bench::finalize(nullptr);
   return 0;
 }

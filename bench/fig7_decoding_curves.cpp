@@ -33,12 +33,13 @@ const Case kCases[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Figure 7 — decoding curves of the Table-1 distributions",
                 "PLC over N = 500 blocks in levels {50, 100, 350}.");
   const auto spec = codes::PrioritySpec({50, 100, 350});
   const auto block_counts = codes::make_block_counts(50, 1000, 14);
-  const std::size_t trials = bench::trials(100, 10);
+  const std::size_t trials = bench::options().trials_or(100, 10);
 
   std::vector<std::vector<codes::CurvePoint>> sims;
   std::vector<std::vector<double>> anas;
@@ -47,7 +48,8 @@ int main() {
     codes::CurveOptions opt;
     opt.block_counts = block_counts;
     opt.trials = trials;
-    opt.seed = 0xF167;
+    opt.seed = bench::options().seed_or(0xF167);
+    opt.threads = bench::options().threads;
     sims.push_back(codes::simulate_decoding_curve<F>(codes::Scheme::kPlc, spec, dist, opt));
     analysis::PlcAnalysis plc(spec, dist);
     std::vector<double> curve;
@@ -82,5 +84,6 @@ int main() {
             << "\nExpected shape: curves are staircases through their constraint\n"
                "points; high-priority levels always decode before low-priority\n"
                "ones; the three distributions give visibly different curves.\n";
+  bench::finalize(nullptr);
   return 0;
 }

@@ -40,7 +40,8 @@ std::string constraint_string(const std::vector<design::DecodingConstraint>& cs)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("Table 1 — feasible priority distributions (PLC)",
                 "N = 500 blocks in levels {50, 100, 350}; alpha = 2, eps = 0.01.");
 
@@ -96,5 +97,6 @@ int main() {
   std::cout << "\nExpected shape: all three cases are feasible; the paper's published\n"
                "rows satisfy (or come within numerical tolerance of) their own\n"
                "constraints under the exact analysis.\n";
+  bench::finalize(nullptr);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "codes/decoder.h"
 #include "codes/encoder.h"
 #include "gf/field_concept.h"
+#include "runtime/trial_runner.h"
 #include "util/check.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -34,7 +35,8 @@ struct CurveOptions {
   std::vector<std::size_t> block_counts;  ///< M values, strictly increasing
   std::size_t trials = 100;
   std::uint64_t seed = 1;
-  EncoderOptions encoder;  ///< coefficient model (dense/sparse)
+  std::size_t threads = 0;  ///< TrialRunner convention: 0 = hardware, 1 = serial
+  EncoderOptions encoder;   ///< coefficient model (dense/sparse)
 };
 
 /// Simulate the decoding curve for one (scheme, spec, distribution).
@@ -51,25 +53,44 @@ std::vector<CurvePoint> simulate_decoding_curve(Scheme scheme, const PrioritySpe
   PRLC_REQUIRE(dist.levels() == spec.levels(), "distribution/spec level mismatch");
 
   const std::size_t points = options.block_counts.size();
+
+  // One immutable encoder shared by all trials (stateless per call).
+  const PriorityEncoder<F> encoder(scheme, spec, options.encoder, nullptr);
+
+  struct TrialSample {
+    std::vector<double> levels;
+    std::vector<double> blocks;
+  };
+  runtime::TrialRunner runner(options.threads);
+  const auto samples = runner.run(
+      options.trials, options.seed, [&](std::size_t, Rng& rng) {
+        PriorityDecoder<F> decoder(scheme, spec, 0);
+        TrialSample sample;
+        sample.levels.reserve(points);
+        sample.blocks.reserve(points);
+        std::size_t next_point = 0;
+        const std::size_t max_blocks = options.block_counts.back();
+        for (std::size_t m = 1; m <= max_blocks; ++m) {
+          decoder.add(encoder.encode_random(dist, rng));
+          if (m == options.block_counts[next_point]) {
+            sample.levels.push_back(static_cast<double>(decoder.decoded_levels()));
+            sample.blocks.push_back(static_cast<double>(decoder.decoded_prefix_blocks()));
+            ++next_point;
+          }
+        }
+        PRLC_ASSERT(next_point == points, "curve sampling missed a checkpoint");
+        return sample;
+      });
+
+  // Ordered merge in trial order — keeps the curve bit-identical across
+  // thread counts (see runtime/trial_runner.h).
   std::vector<RunningStats> level_stats(points);
   std::vector<RunningStats> block_stats(points);
-
-  Rng master(options.seed);
-  const PriorityEncoder<F> encoder(scheme, spec, options.encoder, nullptr);
-  for (std::size_t t = 0; t < options.trials; ++t) {
-    Rng rng = master.split();
-    PriorityDecoder<F> decoder(scheme, spec, 0);
-    std::size_t next_point = 0;
-    const std::size_t max_blocks = options.block_counts.back();
-    for (std::size_t m = 1; m <= max_blocks; ++m) {
-      decoder.add(encoder.encode_random(dist, rng));
-      if (m == options.block_counts[next_point]) {
-        level_stats[next_point].add(static_cast<double>(decoder.decoded_levels()));
-        block_stats[next_point].add(static_cast<double>(decoder.decoded_prefix_blocks()));
-        ++next_point;
-      }
+  for (const TrialSample& sample : samples) {
+    for (std::size_t i = 0; i < points; ++i) {
+      level_stats[i].add(sample.levels[i]);
+      block_stats[i].add(sample.blocks[i]);
     }
-    PRLC_ASSERT(next_point == points, "curve sampling missed a checkpoint");
   }
 
   std::vector<CurvePoint> curve(points);

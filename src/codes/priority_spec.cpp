@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 
 namespace prlc::codes {
 
@@ -34,6 +36,37 @@ std::size_t PrioritySpec::levels_covered_by_prefix(std::size_t blocks) const {
   // it points at the first prefix sum strictly greater than `blocks`;
   // every level before it is fully covered.
   return static_cast<std::size_t>(it - prefix_.begin());
+}
+
+std::optional<PrioritySpec> try_spec_from_string(std::string_view text) {
+  std::vector<std::size_t> sizes;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view field = text.substr(pos, end - pos);
+    if (field.empty()) return std::nullopt;
+    std::size_t value = 0;
+    for (char c : field) {
+      if (c < '0' || c > '9') return std::nullopt;
+      const std::size_t digit = static_cast<std::size_t>(c - '0');
+      if (value > (std::numeric_limits<std::size_t>::max() - digit) / 10) {
+        return std::nullopt;
+      }
+      value = value * 10 + digit;
+    }
+    if (value == 0) return std::nullopt;
+    sizes.push_back(value);
+    pos = end + 1;
+  }
+  return PrioritySpec(std::move(sizes));
+}
+
+PrioritySpec spec_from_string(std::string_view text) {
+  auto spec = try_spec_from_string(text);
+  PRLC_REQUIRE(spec.has_value(),
+               "malformed level-size list: " + std::string(text));
+  return *std::move(spec);
 }
 
 PriorityDistribution::PriorityDistribution(std::vector<double> p)

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "util/check.h"
@@ -64,10 +66,21 @@ class PrioritySpec {
 
   bool operator==(const PrioritySpec& other) const { return sizes_ == other.sizes_; }
 
+  std::span<const std::size_t> level_sizes() const { return sizes_; }
+
  private:
   std::vector<std::size_t> sizes_;
   std::vector<std::size_t> prefix_;
 };
+
+/// Non-throwing parse of a comma-separated level-size list ("50,100,350")
+/// into a spec; nullopt on malformed text, a zero size, or overflow. The
+/// CLI/bench counterpart of try_scheme_from_string — bad --levels values
+/// become usage errors, not PRLC_REQUIRE aborts.
+std::optional<PrioritySpec> try_spec_from_string(std::string_view text);
+
+/// Throwing wrapper for callers with validated input.
+PrioritySpec spec_from_string(std::string_view text);
 
 /// Per-level coded-block fractions p_1..p_n: nonnegative, summing to 1.
 class PriorityDistribution {

@@ -1,7 +1,9 @@
 // Coding-scheme selector shared across encoders, decoders and benches.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "util/check.h"
 
@@ -26,11 +28,21 @@ inline const char* to_string(Scheme s) {
   PRLC_ASSERT(false, "unknown scheme");
 }
 
-inline Scheme scheme_from_string(const std::string& name) {
+/// Non-throwing parse ("RLC"/"rlc", "SLC"/"slc", "PLC"/"plc"); nullopt on
+/// anything else. The front door for CLI/bench flag handling, which turns
+/// a bad value into a usage message instead of a PRLC_REQUIRE abort.
+inline std::optional<Scheme> try_scheme_from_string(std::string_view name) {
   if (name == "RLC" || name == "rlc") return Scheme::kRlc;
   if (name == "SLC" || name == "slc") return Scheme::kSlc;
   if (name == "PLC" || name == "plc") return Scheme::kPlc;
-  PRLC_REQUIRE(false, "unknown scheme name: " + name);
+  return std::nullopt;
+}
+
+/// Throwing wrapper for library-internal callers with validated input.
+inline Scheme scheme_from_string(const std::string& name) {
+  const auto scheme = try_scheme_from_string(name);
+  PRLC_REQUIRE(scheme.has_value(), "unknown scheme name: " + name);
+  return *scheme;
 }
 
 }  // namespace prlc::codes

@@ -9,6 +9,7 @@
 #include "proto/collector.h"
 #include "net/churn.h"
 #include "net/sensor_network.h"
+#include "runtime/trial_runner.h"
 #include "util/check.h"
 
 namespace prlc::proto {
@@ -48,82 +49,106 @@ std::unique_ptr<net::Overlay> make_overlay(const PersistenceParams& params,
   PRLC_ASSERT(false, "unknown overlay kind");
 }
 
+/// Everything one trial contributes to the sweep, slotted by trial index
+/// so aggregation can happen in trial order after the parallel section.
+struct TrialOutcome {
+  double hops_per_msg = 0;
+  std::vector<double> survivors;  ///< per failure-fraction point
+  std::vector<double> levels;
+  std::vector<double> blocks;
+};
+
 }  // namespace
 
 std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams& params) {
-  PRLC_REQUIRE(!params.level_sizes.empty(), "persistence experiment needs a priority spec");
+  params.experiment.validate();
   PRLC_REQUIRE(!params.failure_fractions.empty(), "need at least one failure fraction");
-  PRLC_REQUIRE(params.trials > 0, "need at least one trial");
   for (std::size_t i = 1; i < params.failure_fractions.size(); ++i) {
     PRLC_REQUIRE(params.failure_fractions[i - 1] <= params.failure_fractions[i],
                  "failure fractions must be ascending");
   }
 
-  const codes::PrioritySpec spec{std::vector<std::size_t>(params.level_sizes)};
-  const codes::PriorityDistribution dist =
-      params.priority_distribution.empty()
-          ? codes::PriorityDistribution::uniform(spec.levels())
-          : codes::PriorityDistribution{std::vector<double>(params.priority_distribution)};
+  const codes::PrioritySpec spec = params.experiment.spec();
+  const codes::PriorityDistribution dist = params.experiment.distribution();
   const std::size_t locations =
       params.locations > 0 ? params.locations : 2 * spec.total();
 
   ProtocolParams proto = params.protocol;
-  proto.scheme = params.scheme;
+  proto.scheme = params.experiment.scheme;
 
   const std::size_t points = params.failure_fractions.size();
-  std::vector<RunningStats> surviving(points);
-  std::vector<RunningStats> levels(points);
-  std::vector<RunningStats> blocks(points);
-  std::vector<RunningStats> hops(points);
 
   static obs::Counter& trials_run = obs::counter("persistence.trials");
   static obs::Gauge& survivors_gauge = obs::gauge("persistence.last_survivors");
   static obs::LatencyHistogram& survivors_hist = obs::histogram("persistence.survivors");
 
-  Rng master(params.seed);
-  for (std::size_t t = 0; t < params.trials; ++t) {
-    trials_run.add();
-    obs::ScopedSpan trial_span("trial", "persistence",
-                               {{"trial", static_cast<double>(t)},
-                                {"scheme", static_cast<double>(static_cast<int>(params.scheme))}});
-    Rng rng = master.split();
-    auto overlay = make_overlay(params, locations, rng());
-    Predistribution predist(*overlay, spec, dist, proto);
-    const auto source =
-        codes::SourceData<Field>::random(spec.total(), proto.block_size, rng);
-    const auto stats = predist.disseminate(source, rng);
-    const double hops_per_msg =
-        stats.messages > stats.failed_routes
-            ? static_cast<double>(stats.total_hops) /
-                  static_cast<double>(stats.messages - stats.failed_routes)
-            : 0.0;
+  runtime::TrialRunner runner(params.experiment.threads);
+  const auto outcomes = runner.run(
+      params.experiment.trials, params.experiment.root_seed,
+      [&](std::size_t t, Rng& rng) {
+        trials_run.add();
+        obs::ScopedSpan trial_span(
+            "trial", "persistence",
+            {{"trial", static_cast<double>(t)},
+             {"scheme",
+              static_cast<double>(static_cast<int>(params.experiment.scheme))}});
+        auto overlay = make_overlay(params, locations, rng());
+        Predistribution predist(*overlay, spec, dist, proto);
+        const auto source =
+            codes::SourceData<Field>::random(spec.total(), proto.block_size, rng);
+        const auto stats = predist.disseminate(source, rng);
 
-    double killed_so_far = 0.0;
+        TrialOutcome outcome;
+        outcome.hops_per_msg =
+            stats.messages > stats.failed_routes
+                ? static_cast<double>(stats.total_hops) /
+                      static_cast<double>(stats.messages - stats.failed_routes)
+                : 0.0;
+        outcome.survivors.reserve(points);
+        outcome.levels.reserve(points);
+        outcome.blocks.reserve(points);
+
+        double killed_so_far = 0.0;
+        for (std::size_t point = 0; point < points; ++point) {
+          // Cumulative kills: to reach fraction f of the *original* nodes,
+          // kill the increment relative to what this trial already killed.
+          const double f = params.failure_fractions[point];
+          const double remaining = 1.0 - killed_so_far;
+          if (f > killed_so_far && remaining > 0) {
+            const double incremental = (f - killed_so_far) / remaining;
+            net::kill_uniform_fraction(*overlay, incremental, rng);
+            killed_so_far = f;
+          }
+          codes::PriorityDecoder<Field> decoder(proto.scheme, spec, proto.block_size);
+          const auto result = collect(predist, decoder, {}, rng);
+          survivors_gauge.set(static_cast<std::int64_t>(result.surviving_locations));
+          survivors_hist.record(result.surviving_locations);
+          if (obs::trace_enabled()) {
+            obs::TraceRecorder::global().instant(
+                "churn_point", "persistence",
+                {{"failure_fraction", f},
+                 {"survivors", static_cast<double>(result.surviving_locations)},
+                 {"decoded_levels", static_cast<double>(result.decoded_levels)}});
+          }
+          outcome.survivors.push_back(static_cast<double>(result.surviving_locations));
+          outcome.levels.push_back(static_cast<double>(result.decoded_levels));
+          outcome.blocks.push_back(static_cast<double>(result.decoded_blocks));
+        }
+        return outcome;
+      });
+
+  // Ordered merge: accumulate in trial order so the floating-point sums
+  // are identical regardless of how many threads ran the trials.
+  std::vector<RunningStats> surviving(points);
+  std::vector<RunningStats> levels(points);
+  std::vector<RunningStats> blocks(points);
+  std::vector<RunningStats> hops(points);
+  for (const TrialOutcome& outcome : outcomes) {
     for (std::size_t point = 0; point < points; ++point) {
-      // Cumulative kills: to reach fraction f of the *original* nodes,
-      // kill the increment relative to what this trial already killed.
-      const double f = params.failure_fractions[point];
-      const double remaining = 1.0 - killed_so_far;
-      if (f > killed_so_far && remaining > 0) {
-        const double incremental = (f - killed_so_far) / remaining;
-        net::kill_uniform_fraction(*overlay, incremental, rng);
-        killed_so_far = f;
-      }
-      codes::PriorityDecoder<Field> decoder(proto.scheme, spec, proto.block_size);
-      const auto result = collect(predist, decoder, {}, rng);
-      survivors_gauge.set(static_cast<std::int64_t>(result.surviving_locations));
-      survivors_hist.record(result.surviving_locations);
-      if (obs::trace_enabled()) {
-        obs::TraceRecorder::global().instant(
-            "churn_point", "persistence",
-            {{"failure_fraction", f},
-             {"survivors", static_cast<double>(result.surviving_locations)},
-             {"decoded_levels", static_cast<double>(result.decoded_levels)}});
-      }
-      surviving[point].add(static_cast<double>(result.surviving_locations));
-      levels[point].add(static_cast<double>(result.decoded_levels));
-      blocks[point].add(static_cast<double>(result.decoded_blocks));
-      hops[point].add(hops_per_msg);
+      surviving[point].add(outcome.survivors[point]);
+      levels[point].add(outcome.levels[point]);
+      blocks[point].add(outcome.blocks[point]);
+      hops[point].add(outcome.hops_per_msg);
     }
   }
 

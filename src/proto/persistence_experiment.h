@@ -12,8 +12,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "codes/priority_spec.h"
-#include "codes/scheme.h"
+#include "proto/experiment_config.h"
 #include "proto/predistribution.h"
 #include "util/stats.h"
 
@@ -28,13 +27,10 @@ struct PersistenceParams {
   std::size_t nodes = 300;
   std::size_t locations = 0;  ///< 0 = auto: 2x the source-block count
   bool two_choices = false;
-  codes::Scheme scheme = codes::Scheme::kPlc;
-  std::vector<std::size_t> level_sizes;  ///< spec (required)
-  std::vector<double> priority_distribution;  ///< empty = uniform
-  ProtocolParams protocol;  ///< scheme field is overwritten from `scheme`
+  /// Monte-Carlo execution: trials, root seed, threads, scheme, spec.
+  ExperimentConfig experiment;
+  ProtocolParams protocol;  ///< scheme field is overwritten from experiment.scheme
   std::vector<double> failure_fractions;  ///< ascending sweep
-  std::size_t trials = 20;
-  std::uint64_t seed = 7;
 };
 
 struct PersistencePoint {
@@ -48,6 +44,10 @@ struct PersistencePoint {
 
 /// Run the sweep; one fresh deployment per trial, failures applied
 /// cumulatively along the ascending fraction grid within a trial.
+///
+/// Trials are sharded across `params.experiment.threads` threads with
+/// counter-based seed streams; results are bit-identical at any thread
+/// count (see runtime/trial_runner.h).
 std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams& params);
 
 }  // namespace prlc::proto

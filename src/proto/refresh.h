@@ -20,6 +20,9 @@
 // repeated churn epochs.
 #pragma once
 
+#include <vector>
+
+#include "proto/experiment_config.h"
 #include "proto/predistribution.h"
 
 namespace prlc::proto {
@@ -37,5 +40,34 @@ struct RefreshResult {
 /// Run one refresh round. `maintainer` must be an alive node (the
 /// collector/gateway that performs the decode and re-dissemination).
 RefreshResult refresh(Predistribution& dist, net::NodeId maintainer, Rng& rng);
+
+/// Multi-wave churn experiment around refresh(): deploy a Chord overlay,
+/// then repeat `waves` rounds of "kill a fraction of the survivors,
+/// optionally refresh, decode what's left". The abl_refresh bench runs it
+/// twice (refresh on/off) to show the survivability gap.
+struct RefreshExperimentParams {
+  std::size_t nodes = 500;
+  std::size_t locations = 240;
+  /// Monte-Carlo execution: trials, root seed, threads, scheme, spec.
+  ExperimentConfig experiment;
+  ProtocolParams protocol;  ///< scheme field is overwritten from experiment.scheme
+  std::size_t waves = 8;
+  double kill_fraction = 0.25;  ///< of *surviving* nodes, per wave
+  bool use_refresh = true;
+};
+
+struct RefreshWavePoint {
+  std::size_t wave = 0;  ///< 1-based wave number
+  double mean_decoded_levels = 0;
+  double ci95_decoded_levels = 0;
+  double mean_decoded_blocks = 0;
+  double mean_surviving_locations = 0;
+  double mean_rebuilt_locations = 0;  ///< 0 when use_refresh is false
+};
+
+/// Run the experiment; one point per wave, averaged over the trials.
+/// Trials shard across experiment.threads with counter-based seed streams
+/// (bit-identical results at any thread count).
+std::vector<RefreshWavePoint> run_refresh_experiment(const RefreshExperimentParams& params);
 
 }  // namespace prlc::proto

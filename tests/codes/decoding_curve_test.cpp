@@ -96,6 +96,26 @@ TEST(DecodingCurve, DeterministicPerSeed) {
   }
 }
 
+TEST(DecodingCurve, ThreadCountDoesNotChangeResults) {
+  const auto spec = PrioritySpec({5, 10, 25});
+  const auto dist = PriorityDistribution::uniform(3);
+  CurveOptions opt;
+  opt.block_counts = {10, 25, 45, 80};
+  opt.trials = 16;
+  opt.seed = 91;
+  opt.threads = 1;
+  const auto serial = simulate_decoding_curve<F>(Scheme::kPlc, spec, dist, opt);
+  opt.threads = 4;
+  const auto wide = simulate_decoding_curve<F>(Scheme::kPlc, spec, dist, opt);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].mean_levels, wide[i].mean_levels);
+    EXPECT_EQ(serial[i].ci95_levels, wide[i].ci95_levels);
+    EXPECT_EQ(serial[i].mean_blocks, wide[i].mean_blocks);
+    EXPECT_EQ(serial[i].ci95_blocks, wide[i].ci95_blocks);
+  }
+}
+
 TEST(DecodingCurve, ValidatesOptions) {
   const auto spec = PrioritySpec::uniform(2, 5);
   const auto dist = PriorityDistribution::uniform(2);

@@ -69,6 +69,40 @@ TEST(PrioritySpec, Equality) {
   EXPECT_FALSE(PrioritySpec({1, 2}) == PrioritySpec({2, 1}));
 }
 
+TEST(PrioritySpec, TryParseFromString) {
+  const auto spec = try_spec_from_string("50,100,350");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(*spec, PrioritySpec({50, 100, 350}));
+  const auto single = try_spec_from_string("7");
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->levels(), 1u);
+}
+
+TEST(PrioritySpec, TryParseRejectsMalformedText) {
+  EXPECT_EQ(try_spec_from_string(""), std::nullopt);
+  EXPECT_EQ(try_spec_from_string(","), std::nullopt);
+  EXPECT_EQ(try_spec_from_string("5,"), std::nullopt);
+  EXPECT_EQ(try_spec_from_string(",5"), std::nullopt);
+  EXPECT_EQ(try_spec_from_string("5,,7"), std::nullopt);
+  EXPECT_EQ(try_spec_from_string("5,0,7"), std::nullopt);  // zero level size
+  EXPECT_EQ(try_spec_from_string("5,x"), std::nullopt);
+  EXPECT_EQ(try_spec_from_string("5, 7"), std::nullopt);  // no spaces accepted
+  EXPECT_EQ(try_spec_from_string("99999999999999999999999"), std::nullopt);  // overflow
+}
+
+TEST(PrioritySpec, ThrowingParserWrapsTryParse) {
+  EXPECT_EQ(spec_from_string("2,3,4"), PrioritySpec({2, 3, 4}));
+  EXPECT_THROW(spec_from_string("nope"), PreconditionError);
+}
+
+TEST(PrioritySpec, LevelSizesAccessor) {
+  const PrioritySpec spec({2, 3, 4});
+  const auto sizes = spec.level_sizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[2], 4u);
+}
+
 TEST(PriorityDistribution, ValidatesAndNormalizes) {
   const PriorityDistribution d({0.25, 0.25, 0.5});
   EXPECT_EQ(d.levels(), 3u);

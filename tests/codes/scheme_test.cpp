@@ -25,5 +25,18 @@ TEST(Scheme, RejectsUnknownNames) {
   EXPECT_THROW(scheme_from_string("PLC "), PreconditionError);
 }
 
+TEST(Scheme, TryParseReturnsValue) {
+  EXPECT_EQ(try_scheme_from_string("RLC"), Scheme::kRlc);
+  EXPECT_EQ(try_scheme_from_string("slc"), Scheme::kSlc);
+  EXPECT_EQ(try_scheme_from_string("plc"), Scheme::kPlc);
+}
+
+TEST(Scheme, TryParseReturnsNulloptInsteadOfThrowing) {
+  EXPECT_EQ(try_scheme_from_string(""), std::nullopt);
+  EXPECT_EQ(try_scheme_from_string("ldpc"), std::nullopt);
+  EXPECT_EQ(try_scheme_from_string("PLC "), std::nullopt);
+  EXPECT_EQ(try_scheme_from_string("pl"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace prlc::codes

@@ -132,6 +132,67 @@ TEST(Refresh, PartialDecodeRepairsOnlyCoveredLevels) {
   }
 }
 
+RefreshExperimentParams experiment_params() {
+  RefreshExperimentParams p;
+  p.nodes = 100;
+  p.locations = 70;
+  p.experiment.level_sizes = {4, 6, 10};
+  p.experiment.trials = 4;
+  p.experiment.root_seed = 19;
+  p.experiment.threads = 1;
+  p.protocol.block_size = 6;
+  p.waves = 4;
+  p.kill_fraction = 0.3;
+  return p;
+}
+
+TEST(RefreshExperiment, ProducesOnePointPerWave) {
+  const auto points = run_refresh_experiment(experiment_params());
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].wave, i + 1);
+    EXPECT_GE(points[i].mean_decoded_levels, 0.0);
+    EXPECT_LE(points[i].mean_decoded_levels, 3.0);
+    EXPECT_LE(points[i].mean_surviving_locations, 70.0);
+  }
+  // Churn is cumulative: surviving locations cannot increase without refresh
+  // adding more than churn removes, and decode quality only degrades.
+  EXPECT_LE(points.back().mean_decoded_levels, points.front().mean_decoded_levels + 1e-9);
+}
+
+TEST(RefreshExperiment, NoRefreshMeansNoRebuilds) {
+  auto params = experiment_params();
+  params.use_refresh = false;
+  const auto points = run_refresh_experiment(params);
+  for (const auto& p : points) EXPECT_EQ(p.mean_rebuilt_locations, 0.0);
+}
+
+TEST(RefreshExperiment, ThreadCountDoesNotChangeResults) {
+  auto serial = experiment_params();
+  serial.experiment.threads = 1;
+  auto parallel = experiment_params();
+  parallel.experiment.threads = 4;
+  const auto a = run_refresh_experiment(serial);
+  const auto b = run_refresh_experiment(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mean_decoded_levels, b[i].mean_decoded_levels);
+    EXPECT_EQ(a[i].ci95_decoded_levels, b[i].ci95_decoded_levels);
+    EXPECT_EQ(a[i].mean_decoded_blocks, b[i].mean_decoded_blocks);
+    EXPECT_EQ(a[i].mean_surviving_locations, b[i].mean_surviving_locations);
+    EXPECT_EQ(a[i].mean_rebuilt_locations, b[i].mean_rebuilt_locations);
+  }
+}
+
+TEST(RefreshExperiment, Validates) {
+  auto params = experiment_params();
+  params.experiment.trials = 0;
+  EXPECT_THROW(run_refresh_experiment(params), PreconditionError);
+  params = experiment_params();
+  params.waves = 0;
+  EXPECT_THROW(run_refresh_experiment(params), PreconditionError);
+}
+
 TEST(Refresh, ValidatesMaintainer) {
   World w;
   w.overlay.fail_node(3);

@@ -1,0 +1,110 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace prlc::runtime {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoidCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f = pool.submit([&] { ran.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ForEachIndexCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.for_each_index(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ForEachIndexResultIndependentOfThreadCount) {
+  // Slot-indexed writes give the same result vector whatever the pool size
+  // or execution order — the property TrialRunner builds on.
+  constexpr std::size_t kN = 257;
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::size_t> out(kN);
+    pool.for_each_index(kN, [&](std::size_t i) { out[i] = i * i + 3; });
+    return out;
+  };
+  const auto serial = run(1);
+  const auto wide = run(8);
+  EXPECT_EQ(serial, wide);
+}
+
+TEST(ThreadPool, ForEachIndexRethrowsFirstErrorAfterAllComplete) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  std::atomic<std::size_t> completed{0};
+  EXPECT_THROW(pool.for_each_index(kN,
+                                   [&](std::size_t i) {
+                                     completed.fetch_add(1);
+                                     if (i == 7) throw std::runtime_error("trial 7 failed");
+                                   }),
+               std::runtime_error);
+  // The remaining calls still ran: slots stay consistent under errors.
+  EXPECT_EQ(completed.load(), kN);
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock) {
+  // A task submits a subtask and get()s it. Helping futures must keep the
+  // pool moving even when the pool has a single worker.
+  ThreadPool pool(1);
+  auto outer = pool.submit([&] {
+    auto inner = pool.submit([] { return 7; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 8);
+}
+
+TEST(ThreadPool, NestedForEachDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.for_each_index(4, [&](std::size_t) {
+    pool.for_each_index(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ThreadPool, ZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  pool.for_each_index(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ManySmallTasksAllComplete) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 5000;
+  std::atomic<long long> sum{0};
+  pool.for_each_index(kN, [&](std::size_t i) { sum.fetch_add(static_cast<long long>(i)); });
+  const long long expect = static_cast<long long>(kN) * (kN - 1) / 2;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace prlc::runtime

@@ -1,0 +1,85 @@
+#include "runtime/trial_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/random.h"
+
+namespace prlc::runtime {
+namespace {
+
+TEST(TrialSeed, DeterministicAndCounterBased) {
+  EXPECT_EQ(trial_seed(7, 0), trial_seed(7, 0));
+  EXPECT_NE(trial_seed(7, 0), trial_seed(7, 1));
+  EXPECT_NE(trial_seed(7, 0), trial_seed(8, 0));
+}
+
+TEST(TrialSeed, DistinctAcrossManyTrialsAndRoots) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t root : {0ULL, 1ULL, 7ULL, 0xDEADBEEFULL}) {
+    for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(trial_seed(root, i));
+  }
+  EXPECT_EQ(seen.size(), 4u * 1000u);  // no collisions in this small set
+}
+
+TEST(TrialRunner, ResultsInTrialOrder) {
+  TrialRunner runner(4);
+  const auto out = runner.run(100, 5, [](std::size_t i, Rng&) { return i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(TrialRunner, BitIdenticalAcrossThreadCounts) {
+  // The core contract: the per-trial random streams and the returned
+  // vector do not depend on the thread count.
+  auto run = [](std::size_t threads) {
+    TrialRunner runner(threads);
+    return runner.run(64, 0xABCDEF, [](std::size_t i, Rng& rng) {
+      double acc = static_cast<double>(i);
+      for (int k = 0; k < 50; ++k) acc += rng.uniform_double();
+      return acc;
+    });
+  };
+  const auto serial = run(1);
+  const auto four = run(4);
+  const auto eight = run(8);
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(TrialRunner, SeedChangesResults) {
+  TrialRunner runner(1);
+  auto sample = [&](std::uint64_t seed) {
+    return runner.run(8, seed, [](std::size_t, Rng& rng) { return rng.uniform_double(); });
+  };
+  EXPECT_NE(sample(1), sample(2));
+}
+
+TEST(TrialRunner, ExceptionPropagates) {
+  TrialRunner runner(4);
+  EXPECT_THROW(runner.run(32, 9,
+                          [](std::size_t i, Rng&) -> int {
+                            if (i == 13) throw std::runtime_error("bad trial");
+                            return 0;
+                          }),
+               std::runtime_error);
+}
+
+TEST(TrialRunner, ZeroTrialsReturnsEmpty) {
+  TrialRunner runner(2);
+  const auto out = runner.run(0, 1, [](std::size_t, Rng&) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TrialRunner, ZeroThreadsMeansHardware) {
+  TrialRunner runner(0);
+  EXPECT_GE(runner.threads(), 1u);
+}
+
+}  // namespace
+}  // namespace prlc::runtime

@@ -19,9 +19,13 @@
 //            the metrics registry as JSON
 //              prlc metrics --levels 8,16 --out metrics.json
 //
-// Every subcommand accepts --seed. Unknown flags are reported.
+// Every subcommand accepts --seed; curve and persist also accept
+// --threads (0 = one per hardware thread, 1 = serial; results do not
+// depend on the thread count). Unknown flags are reported; malformed
+// flag values exit 64 with a usage message.
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 
 #include "analysis/analysis_curve.h"
 #include "codes/decoder.h"
@@ -34,6 +38,7 @@
 #include "obs/metrics.h"
 #include "proto/persistence_experiment.h"
 #include "proto/timeline.h"
+#include "util/check.h"
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/table_printer.h"
@@ -42,8 +47,38 @@ namespace {
 
 using namespace prlc;
 
-codes::PrioritySpec spec_from(const Flags& flags) {
-  return codes::PrioritySpec(flags.get_size_list("levels", {50, 100, 350}));
+/// Bad flag values are usage errors (exit 64 with a message), not
+/// PRLC_REQUIRE aborts: main catches this separately.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+codes::Scheme scheme_from(const Flags& flags) {
+  const std::string name = flags.get_string("scheme", "plc");
+  const auto scheme = codes::try_scheme_from_string(name);
+  if (!scheme) throw UsageError("--scheme wants rlc, slc or plc, got '" + name + "'");
+  return *scheme;
+}
+
+codes::PrioritySpec spec_from(const Flags& flags, const char* fallback = "50,100,350") {
+  const std::string text = flags.get_string("levels", fallback);
+  auto spec = codes::try_spec_from_string(text);
+  if (!spec) {
+    throw UsageError("--levels wants comma-separated positive sizes, got '" + text + "'");
+  }
+  return *std::move(spec);
+}
+
+std::size_t threads_from(const Flags& flags) {
+  const auto threads = flags.get_int("threads", 0);
+  if (threads < 0) throw UsageError("--threads wants a nonnegative integer");
+  return static_cast<std::size_t>(threads);
+}
+
+std::size_t trials_from(const Flags& flags, std::int64_t fallback) {
+  const auto trials = flags.get_int("trials", fallback);
+  if (trials <= 0) throw UsageError("--trials wants a positive integer");
+  return static_cast<std::size_t>(trials);
 }
 
 codes::PriorityDistribution dist_from(const Flags& flags, std::size_t levels) {
@@ -62,11 +97,12 @@ std::vector<std::size_t> grid_from(const Flags& flags, std::size_t total) {
 
 int cmd_curve(const Flags& flags) {
   const auto spec = spec_from(flags);
-  const auto scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  const auto scheme = scheme_from(flags);
   codes::CurveOptions opt;
   opt.block_counts = grid_from(flags, spec.total());
-  opt.trials = static_cast<std::size_t>(flags.get_int("trials", 30));
+  opt.trials = trials_from(flags, 30);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  opt.threads = threads_from(flags);
   if (flags.get_bool("sparse", false)) {
     opt.encoder.model = codes::CoefficientModel::kSparse;
     opt.encoder.sparsity_factor = flags.get_double("sparsity-factor", 3.0);
@@ -84,7 +120,7 @@ int cmd_curve(const Flags& flags) {
 
 int cmd_analyze(const Flags& flags) {
   const auto spec = spec_from(flags);
-  const auto scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  const auto scheme = scheme_from(flags);
   const auto dist = dist_from(flags, spec.levels());
   analysis::AnalysisCurveOptions opt;
   opt.mc_trials = static_cast<std::size_t>(flags.get_int("mc-trials", 20000));
@@ -103,16 +139,22 @@ int cmd_analyze(const Flags& flags) {
 int cmd_design(const Flags& flags) {
   design::FeasibilityProblem problem;
   problem.spec = spec_from(flags);
-  problem.scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  problem.scheme = scheme_from(flags);
   // --constraints M1:k1,M2:k2,...
   const std::string raw = flags.get_string("constraints", "130:1,950:2");
   std::stringstream ss(raw);
   std::string item;
   while (std::getline(ss, item, ',')) {
     const auto colon = item.find(':');
-    PRLC_REQUIRE(colon != std::string::npos, "constraints must look like M:k");
-    problem.decoding.push_back({static_cast<std::size_t>(std::stoul(item.substr(0, colon))),
-                                std::stod(item.substr(colon + 1))});
+    if (colon == std::string::npos) {
+      throw UsageError("--constraints entries must look like M:k, got '" + item + "'");
+    }
+    try {
+      problem.decoding.push_back({static_cast<std::size_t>(std::stoul(item.substr(0, colon))),
+                                  std::stod(item.substr(colon + 1))});
+    } catch (const std::exception&) {
+      throw UsageError("--constraints entry is not numeric: '" + item + "'");
+    }
   }
   if (flags.get_double("alpha", 2.0) > 0) {
     problem.full_recovery = design::FullRecoveryConstraint{
@@ -141,20 +183,24 @@ int cmd_design(const Flags& flags) {
 int cmd_persist(const Flags& flags) {
   proto::PersistenceParams params;
   const std::string overlay = flags.get_string("overlay", "chord");
-  PRLC_REQUIRE(overlay == "chord" || overlay == "sensor", "--overlay must be chord|sensor");
+  if (overlay != "chord" && overlay != "sensor") {
+    throw UsageError("--overlay must be chord|sensor, got '" + overlay + "'");
+  }
   params.overlay =
       overlay == "chord" ? proto::OverlayKind::kChord : proto::OverlayKind::kSensor;
   params.nodes = static_cast<std::size_t>(flags.get_int("nodes", 300));
-  params.level_sizes = flags.get_size_list("levels", {20, 40, 60});
   params.locations = static_cast<std::size_t>(flags.get_int("locations", 0));
-  params.scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
   params.two_choices = flags.get_bool("two-choices", false);
   params.protocol.sparse = flags.get_bool("sparse", false);
   for (double f : flags.get_double_list("failures", {0.0, 0.25, 0.5, 0.75, 0.9})) {
     params.failure_fractions.push_back(f);
   }
-  params.trials = static_cast<std::size_t>(flags.get_int("trials", 10));
-  params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto spec = spec_from(flags, "20,40,60");
+  params.experiment.level_sizes.assign(spec.level_sizes().begin(), spec.level_sizes().end());
+  params.experiment.scheme = scheme_from(flags);
+  params.experiment.trials = trials_from(flags, 10);
+  params.experiment.root_seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  params.experiment.threads = threads_from(flags);
   const auto points = proto::run_persistence_experiment(params);
   TablePrinter table({"failure fraction", "surviving blocks", "decoded levels (95% CI)",
                       "decoded block prefix"});
@@ -168,11 +214,11 @@ int cmd_persist(const Flags& flags) {
 }
 
 int cmd_timeline(const Flags& flags) {
-  const auto spec = codes::PrioritySpec(flags.get_size_list("levels", {10, 20, 30}));
+  const auto spec = spec_from(flags, "10,20,30");
   const auto dist = dist_from(flags, spec.levels());
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 8));
   const double churn = flags.get_double("churn", 0.1);
-  PRLC_REQUIRE(churn >= 0.0 && churn < 1.0, "--churn must be in [0,1)");
+  if (churn < 0.0 || churn >= 1.0) throw UsageError("--churn must be in [0,1)");
 
   net::ChordParams np;
   np.nodes = static_cast<std::size_t>(flags.get_int("nodes", 300));
@@ -182,10 +228,12 @@ int cmd_timeline(const Flags& flags) {
   net::ChordNetwork overlay(np);
 
   proto::TimelineParams params;
-  params.scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  params.scheme = scheme_from(flags);
   params.window = static_cast<std::size_t>(flags.get_int("window", 4));
   const std::string policy = flags.get_string("policy", "window");
-  PRLC_REQUIRE(policy == "window" || policy == "decay", "--policy must be window|decay");
+  if (policy != "window" && policy != "decay") {
+    throw UsageError("--policy must be window|decay, got '" + policy + "'");
+  }
   params.policy = policy == "window" ? proto::RetentionPolicy::kSlidingWindow
                                      : proto::RetentionPolicy::kExponentialDecay;
   proto::TimelineStore store(overlay, spec, dist, params);
@@ -217,8 +265,8 @@ int cmd_metrics(const Flags& flags) {
   // before any field op (that also captures the kernel dispatch gauges).
   obs::set_enabled(true);
 
-  const codes::PrioritySpec spec(flags.get_size_list("levels", {8, 16, 24}));
-  const auto scheme = codes::scheme_from_string(flags.get_string("scheme", "plc"));
+  const auto spec = spec_from(flags, "8,16,24");
+  const auto scheme = scheme_from(flags);
   const auto block_size = static_cast<std::size_t>(flags.get_int("block-size", 64));
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
 
@@ -282,6 +330,15 @@ int main(int argc, char** argv) {
       std::cerr << "warning: unused flag --" << name << "\n";
     }
     return rc;
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  } catch (const PreconditionError& e) {
+    // Every precondition a CLI run can violate traces back to a flag
+    // value (the commands build all inputs from flags), so report it as
+    // a usage error rather than an internal failure.
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

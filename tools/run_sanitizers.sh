@@ -27,18 +27,22 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
 ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}" "$@"
 echo "sanitizer run OK (${build_dir})"
 
-# Phase 2: ThreadSanitizer over the observability tests. The metrics and
-# trace layers are the only deliberately concurrent code in the library
-# (relaxed atomics + one mutex), so TSan runs just test_obs rather than
-# paying the 5-20x slowdown across the whole suite. TSan is incompatible
-# with ASan, hence the separate build tree.
+# Phase 2: ThreadSanitizer over the concurrent code: the obs metrics/trace
+# layers (relaxed atomics + one mutex) and the runtime thread pool /
+# trial runner. TSan runs just those suites plus one multi-threaded bench
+# smoke rather than paying the 5-20x slowdown across everything. TSan is
+# incompatible with ASan, hence the separate build tree.
 tsan_build_dir="${TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
 
 cmake -B "${tsan_build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPRLC_SANITIZE=thread
-cmake --build "${tsan_build_dir}" -j"${jobs}" --target test_obs
+cmake --build "${tsan_build_dir}" -j"${jobs}" \
+  --target test_obs --target test_runtime --target abl_persistence_e2e
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-ctest --test-dir "${tsan_build_dir}" --output-on-failure -j"${jobs}" -R '^test_obs$'
+ctest --test-dir "${tsan_build_dir}" --output-on-failure -j"${jobs}" \
+  -R '^test_obs$|^test_runtime$'
+PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_persistence_e2e" \
+  --threads 4 --trials 64 > /dev/null
 echo "tsan run OK (${tsan_build_dir})"
