@@ -1,0 +1,104 @@
+#include "net/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace prlc::net {
+
+const char* to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNone:
+      return "none";
+    case FaultClass::kTimeout:
+      return "timeout";
+    case FaultClass::kTransient:
+      return "transient";
+    case FaultClass::kCorruption:
+      return "corruption";
+    case FaultClass::kTruncation:
+      return "truncation";
+    case FaultClass::kCrash:
+      return "crash";
+    case FaultClass::kDeadNode:
+      return "dead_node";
+  }
+  PRLC_ASSERT(false, "unknown fault class");
+}
+
+bool FaultSpec::active() const {
+  return timeout_rate > 0 || transient_rate > 0 || corrupt_rate > 0 || truncate_rate > 0 ||
+         crash_rate > 0 || slow_fraction > 0 || flaky_fraction > 0;
+}
+
+FaultSpec FaultSpec::scaled(double factor) const {
+  PRLC_REQUIRE(factor >= 0.0, "fault scale factor must be nonnegative");
+  const auto clamp01 = [factor](double rate) { return std::min(rate * factor, 1.0); };
+  FaultSpec out = *this;
+  out.timeout_rate = clamp01(timeout_rate);
+  out.transient_rate = clamp01(transient_rate);
+  out.corrupt_rate = clamp01(corrupt_rate);
+  out.truncate_rate = clamp01(truncate_rate);
+  out.crash_rate = clamp01(crash_rate);
+  out.slow_fraction = clamp01(slow_fraction);
+  out.flaky_fraction = clamp01(flaky_fraction);
+  return out;
+}
+
+void FaultSpec::validate() const {
+  const auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  PRLC_REQUIRE(in01(timeout_rate) && in01(transient_rate) && in01(corrupt_rate) &&
+                   in01(truncate_rate) && in01(crash_rate),
+               "fault rates must be probabilities in [0,1]");
+  PRLC_REQUIRE(in01(slow_fraction) && in01(flaky_fraction),
+               "slow/flaky fractions must be in [0,1]");
+  PRLC_REQUIRE(slow_multiplier >= 1.0 && flaky_multiplier >= 1.0,
+               "slow/flaky multipliers must be >= 1");
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, std::size_t nodes, Rng& rng)
+    : spec_(spec), active_(spec.active()) {
+  spec_.validate();
+  profiles_.resize(nodes);
+  if (!active_) return;
+  for (auto& p : profiles_) {
+    p.slow = rng.bernoulli(spec_.slow_fraction);
+    p.flaky = rng.bernoulli(spec_.flaky_fraction);
+  }
+}
+
+const NodeFaultProfile& FaultPlan::profile(NodeId node) const {
+  PRLC_REQUIRE(node < profiles_.size(), "node id outside the fault plan");
+  return profiles_[node];
+}
+
+FaultClass FaultPlan::draw_fault(NodeId node, Rng& rng) const {
+  if (!active_) return FaultClass::kNone;
+  const NodeFaultProfile& p = profile(node);
+  const double mult = p.flaky ? spec_.flaky_multiplier : 1.0;
+  // One uniform draw partitioned by the (saturating) cumulative rates.
+  const double u = rng.uniform_double();
+  double cum = spec_.crash_rate;
+  if (u < cum) return FaultClass::kCrash;
+  cum += spec_.timeout_rate * mult;
+  if (u < cum) return FaultClass::kTimeout;
+  cum += spec_.transient_rate * mult;
+  if (u < cum) return FaultClass::kTransient;
+  cum += spec_.corrupt_rate * mult;
+  if (u < cum) return FaultClass::kCorruption;
+  cum += spec_.truncate_rate * mult;
+  if (u < cum) return FaultClass::kTruncation;
+  return FaultClass::kNone;
+}
+
+std::uint64_t FaultPlan::draw_latency_us(NodeId node, Rng& rng) const {
+  if (!active_) return 0;
+  // Inverse-CDF exponential; 1 - u avoids log(0).
+  const double u = rng.uniform_double();
+  double latency = -static_cast<double>(spec_.mean_latency_us) * std::log(1.0 - u);
+  if (profile(node).slow) latency *= spec_.slow_multiplier;
+  return static_cast<std::uint64_t>(latency);
+}
+
+}  // namespace prlc::net

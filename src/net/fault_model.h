@@ -1,0 +1,109 @@
+// Deterministic retrieval-fault model (the adversity of Sec. 2 applied
+// *during* collection, not just before it).
+//
+// Churn (net/churn.h) removes nodes between dissemination and collection;
+// this module models what goes wrong while the collector is actively
+// fetching: request timeouts, transient connection errors, payload
+// corruption and mid-transfer truncation, straggler ("slow") nodes, and
+// nodes that crash mid-collection. A FaultPlan is drawn once per trial
+// from the trial's Rng — per-node profiles (slow/flaky) plus per-attempt
+// fault draws — so a fault-injected experiment stays bit-identical under
+// runtime::TrialRunner at any thread count: no wall clock, no global
+// state, every random choice flows from the trial seed.
+//
+// A default-constructed FaultPlan is the *null plan*: inactive, and
+// guaranteed to consume no Rng draws, so routing fault-free collection
+// through the channel leaves existing experiment streams untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/types.h"
+#include "util/random.h"
+
+namespace prlc::net {
+
+/// What happened to one fetch attempt.
+enum class FaultClass {
+  kNone,        ///< attempt delivered its bytes (possibly corrupted in-band)
+  kTimeout,     ///< no reply within the deadline; retryable
+  kTransient,   ///< connection refused / reset; retryable
+  kCorruption,  ///< payload bit-flip in flight (caught by the wire CRC)
+  kTruncation,  ///< transfer cut short (caught by the wire bounds checks)
+  kCrash,       ///< serving node died mid-collection; its blocks are gone
+  kDeadNode,    ///< owner was already gone when the fetch was issued
+};
+
+const char* to_string(FaultClass c);
+
+/// Per-attempt fault rates and latency shape. Rates are probabilities of
+/// mutually exclusive outcomes per fetch attempt; when their (flaky-
+/// multiplied) sum exceeds 1 the classes saturate in the order crash >
+/// timeout > transient > corruption > truncation.
+struct FaultSpec {
+  double timeout_rate = 0.0;
+  double transient_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double truncate_rate = 0.0;
+  double crash_rate = 0.0;
+  /// Fraction of nodes that are stragglers; their latency draws are
+  /// multiplied by slow_multiplier.
+  double slow_fraction = 0.0;
+  double slow_multiplier = 8.0;
+  /// Fraction of nodes that are flaky; their timeout/transient/corrupt/
+  /// truncate rates are multiplied by flaky_multiplier (crash is not).
+  double flaky_fraction = 0.0;
+  double flaky_multiplier = 3.0;
+  /// Mean of the exponential per-attempt latency draw.
+  std::uint64_t mean_latency_us = 300;
+
+  /// Whether any stochastic behaviour is configured. Inactive specs make
+  /// FaultPlan the null plan (zero Rng draws anywhere).
+  bool active() const;
+
+  /// Copy with every rate (and the slow/flaky fractions) multiplied by
+  /// `factor` and clamped to [0, 1] — the knob fault-sweep benches turn.
+  FaultSpec scaled(double factor) const;
+
+  /// All rates/fractions in [0, 1], multipliers >= 1, factor sanity.
+  void validate() const;
+};
+
+/// Static per-node character, drawn once when the plan is built.
+struct NodeFaultProfile {
+  bool slow = false;
+  bool flaky = false;
+};
+
+/// A seeded, immutable-per-trial assignment of fault behaviour to nodes.
+class FaultPlan {
+ public:
+  /// Null plan: inactive, draws nothing, injects nothing.
+  FaultPlan() = default;
+
+  /// Draw per-node profiles for `nodes` nodes from `rng`. Consumes Rng
+  /// draws only when `spec.active()`.
+  FaultPlan(const FaultSpec& spec, std::size_t nodes, Rng& rng);
+
+  bool active() const { return active_; }
+  const FaultSpec& spec() const { return spec_; }
+  const NodeFaultProfile& profile(NodeId node) const;
+
+  /// Outcome of one fetch attempt against `node`. One uniform draw when
+  /// active; kNone (and no draw) when not.
+  FaultClass draw_fault(NodeId node, Rng& rng) const;
+
+  /// Latency of one fetch attempt against `node` (exponential around
+  /// mean_latency_us, times slow_multiplier for slow nodes). One uniform
+  /// draw when active; 0 when not.
+  std::uint64_t draw_latency_us(NodeId node, Rng& rng) const;
+
+ private:
+  FaultSpec spec_{};
+  bool active_ = false;
+  std::vector<NodeFaultProfile> profiles_;
+};
+
+}  // namespace prlc::net

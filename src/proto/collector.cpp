@@ -1,34 +1,237 @@
 #include "proto/collector.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
 
+#include "codes/wire_format.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace prlc::proto {
 
-CollectionResult collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
-                         const CollectorOptions& options, Rng& rng, bool trace) {
+namespace {
+
+void validate_options(const CollectorOptions& options, const codes::PrioritySpec& spec) {
+  PRLC_REQUIRE(!options.max_blocks.has_value() || *options.max_blocks > 0,
+               "max_blocks must be positive when set (use nullopt for unlimited)");
+  PRLC_REQUIRE(!options.target_levels.has_value() || *options.target_levels <= spec.levels(),
+               "target_levels exceeds the spec's level count");
+  options.retry.validate();
+}
+
+/// Backoff before retry `attempt` (0-based), jittered deterministically
+/// from the trial Rng. Only called on the retry path, so fault-free
+/// collection consumes no extra draws.
+std::uint64_t backoff_us(const RetryPolicy& policy, std::size_t attempt, Rng& rng) {
+  double delay = static_cast<double>(policy.base_backoff_us) *
+                 std::pow(policy.backoff_multiplier, static_cast<double>(attempt));
+  delay = std::min(delay, static_cast<double>(policy.max_backoff_us));
+  if (policy.jitter > 0) {
+    delay *= 1.0 + policy.jitter * (2.0 * rng.uniform_double() - 1.0);
+  }
+  return static_cast<std::uint64_t>(delay);
+}
+
+}  // namespace
+
+void RetryPolicy::validate() const {
+  PRLC_REQUIRE(max_attempts >= 1, "need at least one fetch attempt per block");
+  PRLC_REQUIRE(backoff_multiplier >= 1.0, "backoff multiplier must be >= 1");
+  PRLC_REQUIRE(jitter >= 0.0 && jitter < 1.0, "backoff jitter must be in [0,1)");
+  PRLC_REQUIRE(node_fault_budget >= 1, "node fault budget must be >= 1");
+}
+
+CollectionOutcome collect_resilient(FaultyChannel& channel,
+                                    codes::PriorityDecoder<Field>& decoder,
+                                    const CollectorOptions& options, Rng& rng, bool trace) {
+  const Predistribution& dist = channel.dist();
   PRLC_REQUIRE(decoder.scheme() == dist.params().scheme,
                "decoder scheme must match the predistribution");
   PRLC_REQUIRE(decoder.spec() == dist.spec(), "decoder spec must match the predistribution");
+  validate_options(options, dist.spec());
+  const RetryPolicy& policy = options.retry;
 
-  CollectionResult result;
-  std::vector<net::LocationId> order = dist.surviving_locations();
+  static obs::Counter& retries_ctr = obs::counter("collector.retries");
+  static obs::Counter& corrupt_ctr = obs::counter("collector.corrupt_blocks");
+  static obs::Counter& hedges_ctr = obs::counter("collector.hedges");
+  static obs::Counter& timeouts_ctr = obs::counter("collector.timeouts");
+  static obs::Counter& transient_ctr = obs::counter("collector.transient_errors");
+  static obs::Counter& crashes_ctr = obs::counter("collector.node_crashes");
+  static obs::Counter& lost_ctr = obs::counter("collector.blocks_lost");
+  static obs::Counter& blacklist_ctr = obs::counter("collector.blacklisted_nodes");
+  static obs::LatencyHistogram& latency_hist = obs::histogram("collector.fetch_latency_us");
+
+  CollectionOutcome out;
+  CollectionResult& result = out.result;
+
+  std::vector<net::LocationId> order = channel.retrievable_locations();
   result.surviving_locations = order.size();
   rng.shuffle(std::span<net::LocationId>(order));
 
-  for (net::LocationId loc : order) {
-    if (options.max_blocks.has_value() && result.blocks_retrieved >= *options.max_blocks) break;
-    const StoredBlock* slot = dist.stored(loc);
-    PRLC_ASSERT(slot != nullptr, "surviving location lost its block");
-    ++result.blocks_retrieved;
-    if (decoder.add(slot->block)) ++result.innovative_blocks;
-    if (trace) result.level_trace.push_back(decoder.decoded_levels());
+  std::unordered_map<net::NodeId, std::size_t> node_faults;
+  std::unordered_set<net::NodeId> blacklisted;
+  std::size_t cursor = 0;
+
+  const auto done = [&] {
+    if (options.max_blocks.has_value() && result.blocks_retrieved >= *options.max_blocks) {
+      return true;
+    }
     if (options.target_levels.has_value() &&
         decoder.decoded_levels() >= *options.target_levels) {
       result.target_met = true;
-      break;
+      return true;
     }
+    return false;
+  };
+
+  /// Parse + feed one delivered frame; false (and a corrupt count) when
+  /// the wire layer rejects it or it does not belong to this collection.
+  const auto deliver = [&](const FetchReply& reply) {
+    try {
+      const codes::WireBlock wire = codes::decode_wire(reply.bytes);
+      if (wire.scheme != decoder.scheme() ||
+          wire.block.coeffs.size() != decoder.spec().total()) {
+        throw codes::WireFormatError("frame does not match this collection");
+      }
+      ++result.blocks_retrieved;
+      if (decoder.add(wire.block)) ++result.innovative_blocks;
+      if (trace) result.level_trace.push_back(decoder.decoded_levels());
+      return true;
+    } catch (const codes::WireFormatError&) {
+      ++out.faults.wire_errors;
+      corrupt_ctr.add();
+      return false;
+    }
+  };
+
+  /// Charge one retryable fault to `node`; true when the node just
+  /// exhausted its budget and got blacklisted.
+  const auto charge_fault = [&](net::NodeId node) {
+    if (++node_faults[node] < policy.node_fault_budget) return false;
+    if (blacklisted.insert(node).second) {
+      ++out.blacklisted_nodes;
+      blacklist_ctr.add();
+    }
+    return true;
+  };
+
+  /// Opportunistic single-attempt fetch of the next pending location,
+  /// issued when a primary reply blows the hedge deadline. No retries, no
+  /// nested hedging — a hedge is a bet, not a commitment.
+  const auto hedge_fetch = [&] {
+    while (cursor < order.size()) {
+      const net::LocationId loc = order[cursor++];
+      const net::NodeId node = channel.owner_of(loc);
+      if (blacklisted.contains(node) || channel.node_crashed(node)) {
+        ++out.blocks_lost;
+        lost_ctr.add();
+        continue;
+      }
+      ++out.hedges;
+      hedges_ctr.add();
+      const FetchReply reply = channel.fetch(loc, rng);
+      latency_hist.record(reply.latency_us);
+      out.sim_elapsed_us += reply.latency_us;
+      bool delivered = false;
+      switch (reply.fault) {
+        case net::FaultClass::kNone:
+          delivered = deliver(reply);
+          if (!delivered) charge_fault(reply.node);
+          break;
+        case net::FaultClass::kDeadNode:
+          ++out.faults.dead_nodes;
+          break;
+        case net::FaultClass::kCrash:
+          ++out.faults.crashes;
+          crashes_ctr.add();
+          break;
+        case net::FaultClass::kTimeout:
+          ++out.faults.timeouts;
+          timeouts_ctr.add();
+          charge_fault(reply.node);
+          break;
+        case net::FaultClass::kTransient:
+          ++out.faults.transient_errors;
+          transient_ctr.add();
+          charge_fault(reply.node);
+          break;
+        default:
+          PRLC_ASSERT(false, "channel returned an in-band fault class");
+      }
+      if (!delivered) {
+        ++out.blocks_lost;
+        lost_ctr.add();
+      }
+      return;
+    }
+  };
+
+  /// Full self-healing fetch of one location: retry loop with capped
+  /// exponential backoff, budget charging, hedging on slow replies.
+  const auto fetch_with_retry = [&](net::LocationId loc) {
+    const net::NodeId node = channel.owner_of(loc);
+    for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+      const FetchReply reply = channel.fetch(loc, rng);
+      latency_hist.record(reply.latency_us);
+      out.sim_elapsed_us += reply.latency_us;
+
+      // A reply slower than the deadline — delivered or not — triggers
+      // one hedged fetch of the next pending location (more blocks in
+      // flight is the erasure-coded answer to stragglers: any innovative
+      // block is as good as the slow one).
+      if (policy.hedging && reply.latency_us > policy.hedge_deadline_us && !done()) {
+        hedge_fetch();
+      }
+
+      switch (reply.fault) {
+        case net::FaultClass::kNone:
+          if (deliver(reply)) return;  // healed or clean — done with this block
+          break;                       // wire-rejected: retryable
+        case net::FaultClass::kDeadNode:
+          ++out.faults.dead_nodes;
+          ++out.blocks_lost;
+          lost_ctr.add();
+          return;  // nothing to retry against
+        case net::FaultClass::kCrash:
+          ++out.faults.crashes;
+          crashes_ctr.add();
+          ++out.blocks_lost;
+          lost_ctr.add();
+          return;  // the node is gone for the rest of the collection
+        case net::FaultClass::kTimeout:
+          ++out.faults.timeouts;
+          timeouts_ctr.add();
+          break;
+        case net::FaultClass::kTransient:
+          ++out.faults.transient_errors;
+          transient_ctr.add();
+          break;
+        default:
+          PRLC_ASSERT(false, "channel returned an in-band fault class");
+      }
+
+      if (charge_fault(node)) break;  // budget exhausted: write the block off
+      if (attempt + 1 < policy.max_attempts) {
+        ++out.retries;
+        retries_ctr.add();
+        out.sim_elapsed_us += backoff_us(policy, attempt, rng);
+      }
+    }
+    ++out.blocks_lost;
+    lost_ctr.add();
+  };
+
+  while (cursor < order.size() && !done()) {
+    const net::LocationId loc = order[cursor++];
+    const net::NodeId node = channel.owner_of(loc);
+    if (blacklisted.contains(node) || channel.node_crashed(node)) {
+      ++out.blocks_lost;
+      lost_ctr.add();
+      continue;
+    }
+    fetch_with_retry(loc);
   }
 
   result.decoded_levels = decoder.decoded_levels();
@@ -36,7 +239,17 @@ CollectionResult collect(const Predistribution& dist, codes::PriorityDecoder<Fie
   if (options.target_levels.has_value()) {
     result.target_met = result.decoded_levels >= *options.target_levels;
   }
-  return result;
+  out.degraded = out.blocks_lost > 0;
+  return out;
+}
+
+CollectionResult collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
+                         const CollectorOptions& options, Rng& rng, bool trace) {
+  // Null-plan channel: pristine bytes, zero extra Rng draws — but every
+  // block still round-trips encode_wire/decode_wire, so the CRC path is
+  // exercised by all callers (and any wire bug is counted, not thrown).
+  FaultyChannel channel(dist);
+  return collect_resilient(channel, decoder, options, rng, trace).result;
 }
 
 std::pair<CollectionResult, bool> collect_and_verify(const Predistribution& dist,

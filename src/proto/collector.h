@@ -1,4 +1,5 @@
-// Data-collecting server (Sec. 3.2 / Sec. 5 retrieval model).
+// Data-collecting server (Sec. 3.2 / Sec. 5 retrieval model), hardened
+// for retrieval under adversity.
 //
 // At analysis time a collector contacts the network and retrieves coded
 // blocks from surviving locations in random order, feeding each into the
@@ -6,27 +7,66 @@
 // application's requirement (a number of priority levels) is met — the
 // paper's "the data collecting server can stop collecting coded data once
 // the partially decoded data fulfill the application requirement".
+//
+// Every fetch travels the CRC-checked wire format through a FaultyChannel
+// (proto/fault_channel.h). The resilient path survives the channel's
+// injected adversity with:
+//   * a per-block retry loop under capped exponential backoff with
+//     deterministic (Rng-drawn) jitter;
+//   * per-node failure budgets — a node that keeps failing is
+//     blacklisted and its remaining blocks written off;
+//   * hedged re-fetch: when a reply is slower than the hedge deadline the
+//     collector opportunistically pulls the next pending location too;
+//   * graceful degradation — faults never throw; the collector returns
+//     the best decodable prefix plus a structured CollectionOutcome with
+//     per-fault-class counts.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "codes/decoder.h"
+#include "proto/fault_channel.h"
 #include "proto/predistribution.h"
 
 namespace prlc::proto {
 
+/// Self-healing knobs for collect_resilient(). Attempt k (0-based) of a
+/// block backs off min(base * multiplier^k, max) microseconds, jittered
+/// by +-jitter (a fraction, drawn deterministically from the trial Rng).
+struct RetryPolicy {
+  std::size_t max_attempts = 4;         ///< fetch attempts per block
+  std::uint64_t base_backoff_us = 200;  ///< first retry delay
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_us = 5000;  ///< backoff cap
+  double jitter = 0.25;                 ///< +- fraction of the delay
+  /// Retryable faults (timeout/transient/wire error) tolerated per node
+  /// before it is blacklisted and its remaining blocks written off.
+  std::size_t node_fault_budget = 8;
+  /// A delivered reply slower than this triggers a hedged fetch of the
+  /// next pending location (when hedging is on and one exists).
+  std::uint64_t hedge_deadline_us = 2000;
+  bool hedging = true;
+
+  void validate() const;
+};
+
 struct CollectorOptions {
   /// Stop after decoding this many leading levels (nullopt = drain all).
+  /// Must be <= the spec's level count.
   std::optional<std::size_t> target_levels;
   /// Retrieve at most this many blocks (nullopt = all surviving).
+  /// Must be positive when set.
   std::optional<std::size_t> max_blocks;
+  /// Self-healing knobs, used when collecting over a faulty channel.
+  RetryPolicy retry;
 };
 
 struct CollectionResult {
   std::size_t surviving_locations = 0;  ///< retrievable blocks after churn
-  std::size_t blocks_retrieved = 0;     ///< blocks actually pulled
+  std::size_t blocks_retrieved = 0;     ///< blocks delivered and decoded on the wire
   std::size_t innovative_blocks = 0;    ///< rank achieved
   std::size_t decoded_levels = 0;       ///< X — leading levels recovered
   std::size_t decoded_blocks = 0;       ///< leading source blocks recovered
@@ -36,8 +76,52 @@ struct CollectionResult {
   std::vector<std::size_t> level_trace;
 };
 
-/// Retrieve and decode. `decoder` must match the predistribution's scheme
-/// and spec; pass `trace=true` to record the per-retrieval progression.
+/// Faults the collector *detected*, by class. wire_errors counts frames
+/// decode_wire rejected (injected corruption/truncation, or any real
+/// serialization bug) — the collector never sees the channel's injection
+/// tally, only what the CRC/bounds checks catch.
+struct DetectedFaults {
+  std::size_t dead_nodes = 0;        ///< fetches that hit a gone owner
+  std::size_t crashes = 0;           ///< nodes that died mid-collection
+  std::size_t timeouts = 0;
+  std::size_t transient_errors = 0;
+  std::size_t wire_errors = 0;       ///< decode_wire rejections
+
+  std::size_t total() const {
+    return dead_nodes + crashes + timeouts + transient_errors + wire_errors;
+  }
+};
+
+/// Everything collect_resilient() can report: the classic result plus the
+/// adversity ledger. Faults never throw — degradation is data.
+struct CollectionOutcome {
+  CollectionResult result;
+  DetectedFaults faults;
+  std::size_t retries = 0;            ///< extra attempts after a retryable fault
+  std::size_t hedges = 0;             ///< hedged fetches issued
+  std::size_t blacklisted_nodes = 0;  ///< nodes that exhausted their budget
+  /// Locations retrievable at the start that were written off: their node
+  /// died/was blacklisted or every attempt failed. Untried locations
+  /// (early stop via target/max_blocks) are not "lost".
+  std::size_t blocks_lost = 0;
+  bool degraded = false;              ///< blocks_lost > 0
+  std::uint64_t sim_elapsed_us = 0;   ///< simulated retrieval time
+};
+
+/// Retrieve over `channel` and decode, surviving whatever the channel's
+/// FaultPlan injects. `decoder` must match the channel's predistribution.
+/// Never throws on faults (only on precondition violations).
+CollectionOutcome collect_resilient(FaultyChannel& channel,
+                                    codes::PriorityDecoder<Field>& decoder,
+                                    const CollectorOptions& options, Rng& rng,
+                                    bool trace = false);
+
+/// Retrieve and decode over a fault-free channel. Every block still
+/// round-trips the wire format (encode_wire -> decode_wire), so the CRC
+/// path is exercised by all callers; a frame the wire layer rejects is
+/// counted (collector.corrupt_blocks) and skipped, never propagated.
+/// `decoder` must match the predistribution's scheme and spec; pass
+/// `trace=true` to record the per-retrieval progression.
 CollectionResult collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
                          const CollectorOptions& options, Rng& rng, bool trace = false);
 

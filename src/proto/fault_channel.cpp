@@ -1,0 +1,82 @@
+#include "proto/fault_channel.h"
+
+#include <algorithm>
+
+#include "codes/wire_format.h"
+#include "util/check.h"
+
+namespace prlc::proto {
+
+FaultyChannel::FaultyChannel(const Predistribution& dist, net::FaultPlan plan)
+    : dist_(dist), plan_(std::move(plan)) {}
+
+std::vector<net::LocationId> FaultyChannel::retrievable_locations() const {
+  std::vector<net::LocationId> out = dist_.surviving_locations();
+  if (!crashed_.empty()) {
+    std::erase_if(out, [this](net::LocationId loc) {
+      const StoredBlock* slot = dist_.stored(loc);
+      return slot != nullptr && crashed_.contains(slot->owner);
+    });
+  }
+  return out;
+}
+
+net::NodeId FaultyChannel::owner_of(net::LocationId loc) const {
+  const StoredBlock* slot = dist_.stored(loc);
+  PRLC_REQUIRE(slot != nullptr, "no block was ever stored at this location");
+  return slot->owner;
+}
+
+FetchReply FaultyChannel::fetch(net::LocationId loc, Rng& rng) {
+  const StoredBlock* slot = dist_.stored(loc);
+  PRLC_REQUIRE(slot != nullptr, "no block was ever stored at this location");
+
+  FetchReply reply;
+  reply.node = slot->owner;
+  const net::Overlay& overlay = dist_.overlay();
+  if (!overlay.alive(slot->owner) ||
+      overlay.generation(slot->owner) != slot->owner_generation ||
+      crashed_.contains(slot->owner)) {
+    reply.fault = net::FaultClass::kDeadNode;
+    return reply;
+  }
+
+  net::FaultClass drawn = net::FaultClass::kNone;
+  if (plan_.active()) {
+    drawn = plan_.draw_fault(slot->owner, rng);
+    reply.latency_us = plan_.draw_latency_us(slot->owner, rng);
+    switch (drawn) {
+      case net::FaultClass::kCrash:
+        crashed_.insert(slot->owner);
+        ++injected_.crashes;
+        reply.fault = net::FaultClass::kCrash;
+        return reply;
+      case net::FaultClass::kTimeout:
+        ++injected_.timeouts;
+        reply.fault = net::FaultClass::kTimeout;
+        return reply;
+      case net::FaultClass::kTransient:
+        ++injected_.transient_errors;
+        reply.fault = net::FaultClass::kTransient;
+        return reply;
+      default:
+        break;
+    }
+  }
+
+  reply.bytes = codes::encode_wire(dist_.params().scheme, slot->block);
+  if (drawn == net::FaultClass::kCorruption) {
+    // Flip 1-3 bits inside one random byte: a <32-bit burst, so CRC-32
+    // detection is guaranteed, never probabilistic.
+    ++injected_.corruptions;
+    const std::size_t at = rng.uniform(reply.bytes.size());
+    reply.bytes[at] ^= static_cast<std::uint8_t>(1 + rng.uniform(7));
+  } else if (drawn == net::FaultClass::kTruncation) {
+    // Transfer cut short: keep a strictly shorter prefix.
+    ++injected_.truncations;
+    reply.bytes.resize(rng.uniform(reply.bytes.size()));
+  }
+  return reply;
+}
+
+}  // namespace prlc::proto

@@ -1,0 +1,88 @@
+// The retrieval channel between Predistribution storage and the
+// collector — every fetched block travels the CRC-checked wire format,
+// and a FaultPlan can break things on the way.
+//
+// Before this layer the collector read StoredBlocks straight out of
+// memory: intact, instant, and bypassing codes/wire_format entirely. A
+// FaultyChannel makes retrieval honest. Each fetch:
+//
+//   1. resolves the location's placement-time owner and refuses if that
+//      incarnation is gone (churn, rejoin, or an injected mid-collection
+//      crash) — FaultClass::kDeadNode;
+//   2. consults the FaultPlan for the attempt's outcome: crash (the node
+//      dies for the rest of the collection), timeout, or transient error;
+//   3. serializes the stored block via codes::encode_wire and, for
+//      corruption/truncation draws, damages the frame *in band* — the
+//      reply still claims success, and only decode_wire's CRC/bounds
+//      checks can unmask it downstream, exactly like a real wire.
+//
+// A channel built with the default (null) FaultPlan is a pure
+// serialization hop: no Rng draws, pristine bytes — which is how the
+// ordinary collect() path exercises the wire format on every fetch
+// without perturbing existing experiment streams.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/fault_model.h"
+#include "proto/predistribution.h"
+
+namespace prlc::proto {
+
+/// What one fetch attempt returned to the collector.
+struct FetchReply {
+  /// kNone means bytes were delivered — possibly damaged in-band; the
+  /// caller must validate them via codes::decode_wire. Corruption and
+  /// truncation are deliberately *not* reported here.
+  net::FaultClass fault = net::FaultClass::kNone;
+  std::vector<std::uint8_t> bytes;  ///< wire frame (empty on failed fetches)
+  std::uint64_t latency_us = 0;     ///< simulated attempt latency
+  net::NodeId node = 0;             ///< serving (placement-time) node
+};
+
+/// Tally of what the channel actually injected, by class. The collector
+/// keeps its own *detected* counts; comparing the two is how tests prove
+/// nothing slips through the CRC.
+struct InjectedFaults {
+  std::size_t timeouts = 0;
+  std::size_t transient_errors = 0;
+  std::size_t corruptions = 0;
+  std::size_t truncations = 0;
+  std::size_t crashes = 0;
+};
+
+class FaultyChannel {
+ public:
+  /// `plan` defaults to the null plan (fault-free serialization hop).
+  /// The channel keeps a reference to `dist`; it must outlive the channel.
+  explicit FaultyChannel(const Predistribution& dist, net::FaultPlan plan = {});
+
+  const Predistribution& dist() const { return dist_; }
+  const net::FaultPlan& plan() const { return plan_; }
+
+  /// Locations retrievable right now: the predistribution's surviving
+  /// locations minus those on nodes crashed mid-collection.
+  std::vector<net::LocationId> retrievable_locations() const;
+
+  /// Placement-time owner of a stored location (fetch routing target).
+  net::NodeId owner_of(net::LocationId loc) const;
+
+  bool node_crashed(net::NodeId node) const { return crashed_.contains(node); }
+  std::size_t crashed_nodes() const { return crashed_.size(); }
+  const InjectedFaults& injected() const { return injected_; }
+
+  /// One fetch attempt. Requires a block to ever have been stored at
+  /// `loc`. All randomness comes from `rng`; a null-plan fetch draws
+  /// nothing.
+  FetchReply fetch(net::LocationId loc, Rng& rng);
+
+ private:
+  const Predistribution& dist_;
+  net::FaultPlan plan_;
+  std::unordered_set<net::NodeId> crashed_;
+  InjectedFaults injected_;
+};
+
+}  // namespace prlc::proto

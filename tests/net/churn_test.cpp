@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "net/chord_network.h"
 #include "net/sensor_network.h"
 #include "util/check.h"
@@ -65,6 +68,49 @@ TEST(Churn, ExponentialDeathProbability) {
   EXPECT_NEAR(exponential_death_probability(10.0, 1000.0), 1.0, 1e-12);
   EXPECT_THROW(exponential_death_probability(0.0, 1.0), PreconditionError);
   EXPECT_THROW(exponential_death_probability(1.0, -1.0), PreconditionError);
+}
+
+TEST(Churn, ExponentialDeathProbabilityEdgeCases) {
+  // The guards must reject every flavour of nonsense lifetime/elapsed,
+  // not just the exact-zero case.
+  EXPECT_THROW(exponential_death_probability(-5.0, 1.0), PreconditionError);
+  EXPECT_THROW(exponential_death_probability(1.0, -1e-9), PreconditionError);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(exponential_death_probability(nan, 1.0), PreconditionError);
+  EXPECT_THROW(exponential_death_probability(1.0, nan), PreconditionError);
+  // Infinite inputs are legal limits with well-defined probabilities.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(exponential_death_probability(inf, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(exponential_death_probability(1.0, inf), 1.0);
+  // Tiny lifetimes / huge elapsed stay clamped inside [0, 1].
+  const double p = exponential_death_probability(1e-300, 1e300);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(Churn, ApplyExponentialChurnRejectsBadArgsWithoutKilling) {
+  SensorParams p;
+  p.nodes = 50;
+  p.locations = 5;
+  p.seed = 8;
+  SensorNetwork net(p);
+  Rng rng(97);
+  EXPECT_THROW(apply_exponential_churn(net, 0.0, 1.0, rng), PreconditionError);
+  EXPECT_THROW(apply_exponential_churn(net, -2.0, 1.0, rng), PreconditionError);
+  EXPECT_THROW(apply_exponential_churn(net, 1.0, -1.0, rng), PreconditionError);
+  // The precondition fires before any node is touched.
+  EXPECT_EQ(net.alive_count(), 50u);
+}
+
+TEST(Churn, ZeroElapsedKillsNothing) {
+  SensorParams p;
+  p.nodes = 50;
+  p.locations = 5;
+  p.seed = 9;
+  SensorNetwork net(p);
+  Rng rng(98);
+  EXPECT_TRUE(apply_exponential_churn(net, 10.0, 0.0, rng).empty());
+  EXPECT_EQ(net.alive_count(), 50u);
 }
 
 TEST(Churn, ExponentialChurnMatchesExpectation) {

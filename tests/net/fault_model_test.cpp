@@ -1,0 +1,133 @@
+#include "net/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace prlc::net {
+namespace {
+
+TEST(FaultSpec, InactiveByDefault) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.active());
+  spec.corrupt_rate = 0.1;
+  EXPECT_TRUE(spec.active());
+}
+
+TEST(FaultSpec, ScaledMultipliesAndClamps) {
+  FaultSpec spec;
+  spec.timeout_rate = 0.2;
+  spec.crash_rate = 0.4;
+  spec.slow_fraction = 0.3;
+  const FaultSpec doubled = spec.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.timeout_rate, 0.4);
+  EXPECT_DOUBLE_EQ(doubled.crash_rate, 0.8);
+  EXPECT_DOUBLE_EQ(doubled.slow_fraction, 0.6);
+  const FaultSpec saturated = spec.scaled(10.0);
+  EXPECT_DOUBLE_EQ(saturated.crash_rate, 1.0);
+  EXPECT_DOUBLE_EQ(saturated.timeout_rate, 1.0);
+  const FaultSpec zeroed = spec.scaled(0.0);
+  EXPECT_FALSE(zeroed.active());
+  EXPECT_THROW(spec.scaled(-1.0), PreconditionError);
+}
+
+TEST(FaultSpec, ValidateRejectsBadRates) {
+  FaultSpec spec;
+  spec.corrupt_rate = 1.5;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.corrupt_rate = -0.1;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.corrupt_rate = 0.5;
+  spec.slow_multiplier = 0.5;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+}
+
+TEST(FaultPlan, NullPlanDrawsNothing) {
+  Rng rng(11);
+  Rng untouched(11);
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  // 100 fetch-equivalents must not consume a single Rng draw: routing
+  // fault-free collection through the channel leaves streams untouched.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(plan.draw_fault(0, rng), FaultClass::kNone);
+    EXPECT_EQ(plan.draw_latency_us(0, rng), 0u);
+  }
+  EXPECT_EQ(rng(), untouched());
+}
+
+TEST(FaultPlan, DeterministicFromSeed) {
+  FaultSpec spec;
+  spec.timeout_rate = 0.2;
+  spec.corrupt_rate = 0.2;
+  spec.slow_fraction = 0.3;
+  spec.flaky_fraction = 0.2;
+  Rng a(42), b(42);
+  const FaultPlan pa(spec, 50, a);
+  const FaultPlan pb(spec, 50, b);
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(pa.profile(v).slow, pb.profile(v).slow);
+    EXPECT_EQ(pa.profile(v).flaky, pb.profile(v).flaky);
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(pa.draw_fault(i % 50, a), pb.draw_fault(i % 50, b));
+    EXPECT_EQ(pa.draw_latency_us(i % 50, a), pb.draw_latency_us(i % 50, b));
+  }
+}
+
+TEST(FaultPlan, CertainCrashAlwaysCrashes) {
+  FaultSpec spec;
+  spec.crash_rate = 1.0;
+  Rng rng(7);
+  const FaultPlan plan(spec, 4, rng);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(plan.draw_fault(2, rng), FaultClass::kCrash);
+}
+
+TEST(FaultPlan, RatesRoughlyRespected) {
+  FaultSpec spec;
+  spec.timeout_rate = 0.25;
+  Rng rng(13);
+  const FaultPlan plan(spec, 1, rng);
+  int timeouts = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const FaultClass f = plan.draw_fault(0, rng);
+    if (f == FaultClass::kTimeout) ++timeouts;
+    else EXPECT_EQ(f, FaultClass::kNone);
+  }
+  EXPECT_NEAR(static_cast<double>(timeouts) / draws, 0.25, 0.02);
+}
+
+TEST(FaultPlan, SlowNodesDrawLongerLatencies) {
+  FaultSpec spec;
+  spec.slow_fraction = 0.5;
+  spec.slow_multiplier = 16.0;
+  spec.mean_latency_us = 100;
+  Rng rng(17);
+  const FaultPlan plan(spec, 200, rng);
+  NodeId slow = 0, fast = 0;
+  bool found_slow = false, found_fast = false;
+  for (NodeId v = 0; v < 200; ++v) {
+    if (plan.profile(v).slow && !found_slow) { slow = v; found_slow = true; }
+    if (!plan.profile(v).slow && !found_fast) { fast = v; found_fast = true; }
+  }
+  ASSERT_TRUE(found_slow && found_fast);
+  double slow_sum = 0, fast_sum = 0;
+  for (int i = 0; i < 4000; ++i) {
+    slow_sum += static_cast<double>(plan.draw_latency_us(slow, rng));
+    fast_sum += static_cast<double>(plan.draw_latency_us(fast, rng));
+  }
+  EXPECT_GT(slow_sum, 8.0 * fast_sum);  // mean ratio is 16x; 8x is safe
+}
+
+TEST(FaultPlan, ProfileOutOfRangeRejected) {
+  FaultSpec spec;
+  spec.timeout_rate = 0.1;
+  Rng rng(19);
+  const FaultPlan plan(spec, 3, rng);
+  EXPECT_THROW(plan.profile(3), PreconditionError);
+  EXPECT_THROW(plan.draw_fault(7, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::net

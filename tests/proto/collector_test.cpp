@@ -120,6 +120,31 @@ TEST(Collector, SlcSchemeEndToEnd) {
   EXPECT_TRUE(verified);
 }
 
+TEST(Collector, OptionsValidated) {
+  TestHarness s;
+  Predistribution pd(s.overlay, s.spec, s.dist, s.params);
+  const auto source = codes::SourceData<Field>::random(s.spec.total(), 6, s.rng);
+  pd.disseminate(source, s.rng);
+  codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
+  CollectorOptions zero_blocks;
+  zero_blocks.max_blocks = 0;  // previously silently collected nothing
+  EXPECT_THROW(collect(pd, decoder, zero_blocks, s.rng), PreconditionError);
+  CollectorOptions too_many_levels;
+  too_many_levels.target_levels = s.spec.levels() + 1;  // previously never met
+  EXPECT_THROW(collect(pd, decoder, too_many_levels, s.rng), PreconditionError);
+  CollectorOptions bad_retry;
+  bad_retry.retry.max_attempts = 0;
+  EXPECT_THROW(collect(pd, decoder, bad_retry, s.rng), PreconditionError);
+  CollectorOptions bad_jitter;
+  bad_jitter.retry.jitter = 1.5;
+  EXPECT_THROW(collect(pd, decoder, bad_jitter, s.rng), PreconditionError);
+  // target_levels == levels() is the boundary and stays legal.
+  CollectorOptions all_levels;
+  all_levels.target_levels = s.spec.levels();
+  const auto result = collect(pd, decoder, all_levels, s.rng);
+  EXPECT_TRUE(result.target_met);
+}
+
 TEST(Collector, MismatchedDecoderRejected) {
   TestHarness s;
   Predistribution pd(s.overlay, s.spec, s.dist, s.params);
@@ -128,6 +153,180 @@ TEST(Collector, MismatchedDecoderRejected) {
   codes::PriorityDecoder<Field> wrong_spec(Scheme::kPlc, PrioritySpec({5, 5}),
                                            s.params.block_size);
   EXPECT_THROW(collect(pd, wrong_spec, {}, s.rng), PreconditionError);
+}
+
+// --- resilient collection over a FaultyChannel ---------------------------
+
+namespace {
+
+/// Deploy and hand back the pieces a resilient-collection test needs.
+struct FaultHarness : TestHarness {
+  Predistribution pd;
+  codes::SourceData<Field> source;
+
+  FaultHarness()
+      : pd(overlay, spec, dist, params),
+        source(codes::SourceData<Field>::random(spec.total(), 6, rng)) {
+    pd.disseminate(source, rng);
+  }
+
+  FaultyChannel channel(const net::FaultSpec& fault_spec) {
+    return FaultyChannel(pd, net::FaultPlan(fault_spec, overlay.nodes(), rng));
+  }
+
+  codes::PriorityDecoder<Field> decoder() {
+    return codes::PriorityDecoder<Field>(params.scheme, spec, params.block_size);
+  }
+
+  /// Every decoded payload must match the original source data.
+  void expect_verified(const codes::PriorityDecoder<Field>& d) {
+    for (std::size_t j = 0; j < spec.total(); ++j) {
+      if (!d.is_block_decoded(j)) continue;
+      const auto got = d.recovered(j);
+      const auto want = source.block(j);
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end())) << j;
+    }
+  }
+};
+
+}  // namespace
+
+TEST(ResilientCollector, NullChannelMatchesPlainCollect) {
+  FaultHarness h;
+  auto d1 = h.decoder();
+  Rng r1(9);
+  const CollectionResult plain = collect(h.pd, d1, {}, r1);
+  auto d2 = h.decoder();
+  Rng r2(9);
+  FaultyChannel channel(h.pd);
+  const CollectionOutcome outcome = collect_resilient(channel, d2, {}, r2);
+  EXPECT_EQ(outcome.result.decoded_levels, plain.decoded_levels);
+  EXPECT_EQ(outcome.result.blocks_retrieved, plain.blocks_retrieved);
+  EXPECT_EQ(outcome.result.innovative_blocks, plain.innovative_blocks);
+  EXPECT_EQ(outcome.faults.total(), 0u);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_EQ(outcome.hedges, 0u);
+  EXPECT_FALSE(outcome.degraded);
+  EXPECT_EQ(r1(), r2());  // identical draw streams
+}
+
+TEST(ResilientCollector, RetriesHealTransientCorruption) {
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.corrupt_rate = 0.5;  // every attempt is a coin flip; 4 attempts
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  const CollectionOutcome outcome = collect_resilient(channel, decoder, {}, h.rng);
+  // 60 locations for 20 unknowns and corruption heals on retry: still full.
+  EXPECT_EQ(outcome.result.decoded_levels, 3u);
+  EXPECT_GT(outcome.faults.wire_errors, 0u);
+  EXPECT_GT(outcome.retries, 0u);
+  h.expect_verified(decoder);
+}
+
+TEST(ResilientCollector, TotalCorruptionDegradesGracefullyNeverThrows) {
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.corrupt_rate = 1.0;  // every attempt of every fetch is corrupt
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  CollectionOutcome outcome;
+  ASSERT_NO_THROW(outcome = collect_resilient(channel, decoder, {}, h.rng));
+  EXPECT_EQ(outcome.result.decoded_levels, 0u);
+  EXPECT_EQ(outcome.result.blocks_retrieved, 0u);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_GT(outcome.faults.wire_errors, 0u);
+  // Nothing corrupt ever reached the decoder as a "good" block.
+  h.expect_verified(decoder);
+}
+
+TEST(ResilientCollector, CorruptedPayloadsNeverVerifyAsCorrect) {
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.corrupt_rate = 0.3;
+  faults.truncate_rate = 0.2;
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  const CollectionOutcome outcome = collect_resilient(channel, decoder, {}, h.rng);
+  EXPECT_GT(outcome.faults.wire_errors, 0u);
+  // Whatever decoded must be byte-identical to the original source.
+  h.expect_verified(decoder);
+}
+
+TEST(ResilientCollector, FailureBudgetBlacklistsHopelessNodes) {
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.transient_rate = 1.0;  // every attempt on every node fails
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  const CollectionOutcome outcome = collect_resilient(channel, decoder, {}, h.rng);
+  EXPECT_EQ(outcome.result.blocks_retrieved, 0u);
+  EXPECT_GT(outcome.blacklisted_nodes, 0u);
+  EXPECT_GT(outcome.retries, 0u);
+  EXPECT_EQ(outcome.blocks_lost, outcome.result.surviving_locations);
+  EXPECT_TRUE(outcome.degraded);
+}
+
+TEST(ResilientCollector, SlowNodesTriggerHedges) {
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.slow_fraction = 0.5;
+  faults.slow_multiplier = 64.0;
+  faults.mean_latency_us = 1000;  // slow draws land far beyond the deadline
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.retry.hedge_deadline_us = 2000;
+  const CollectionOutcome outcome = collect_resilient(channel, decoder, options, h.rng);
+  EXPECT_GT(outcome.hedges, 0u);
+  EXPECT_GT(outcome.sim_elapsed_us, 0u);
+  // Hedging costs nothing correctness-wise: everything still decodes.
+  EXPECT_EQ(outcome.result.decoded_levels, 3u);
+  h.expect_verified(decoder);
+}
+
+TEST(ResilientCollector, HedgingCanBeDisabled) {
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.slow_fraction = 0.5;
+  faults.slow_multiplier = 64.0;
+  faults.mean_latency_us = 1000;
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.retry.hedging = false;
+  const CollectionOutcome outcome = collect_resilient(channel, decoder, options, h.rng);
+  EXPECT_EQ(outcome.hedges, 0u);
+}
+
+TEST(ResilientCollector, MidCollectionCrashesLoseBlocksNotLevels) {
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.crash_rate = 0.1;
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  const CollectionOutcome outcome = collect_resilient(channel, decoder, {}, h.rng);
+  EXPECT_GT(outcome.faults.crashes, 0u);
+  EXPECT_GT(outcome.blocks_lost, 0u);
+  EXPECT_GT(channel.crashed_nodes(), 0u);
+  // 60 locations for 20 unknowns: ~10% crash losses leave plenty of margin.
+  EXPECT_EQ(outcome.result.decoded_levels, 3u);
+  h.expect_verified(decoder);
+}
+
+TEST(ResilientCollector, TargetLevelsStillStopsEarlyUnderFaults) {
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.corrupt_rate = 0.2;
+  faults.timeout_rate = 0.1;
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.target_levels = 1;
+  const CollectionOutcome outcome = collect_resilient(channel, decoder, options, h.rng);
+  EXPECT_TRUE(outcome.result.target_met);
+  EXPECT_GE(outcome.result.decoded_levels, 1u);
+  EXPECT_LT(outcome.result.blocks_retrieved, 60u);
 }
 
 }  // namespace

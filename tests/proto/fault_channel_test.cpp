@@ -1,0 +1,157 @@
+#include "proto/fault_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/wire_format.h"
+#include "net/chord_network.h"
+#include "net/churn.h"
+#include "util/check.h"
+
+namespace prlc::proto {
+namespace {
+
+using codes::PriorityDistribution;
+using codes::PrioritySpec;
+using codes::Scheme;
+
+struct TestHarness {
+  PrioritySpec spec{std::vector<std::size_t>{4, 6, 10}};  // N = 20
+  PriorityDistribution dist{std::vector<double>{0.3, 0.3, 0.4}};
+  net::ChordNetwork overlay;
+  ProtocolParams params;
+  Rng rng{77};
+
+  TestHarness() : overlay(make_net()) { params.block_size = 6; }
+
+  static net::ChordParams make_net() {
+    net::ChordParams p;
+    p.nodes = 80;
+    p.locations = 60;
+    p.seed = 23;
+    return p;
+  }
+
+  Predistribution deploy() {
+    Predistribution pd(overlay, spec, dist, params);
+    const auto source = codes::SourceData<Field>::random(spec.total(), 6, rng);
+    pd.disseminate(source, rng);
+    return pd;
+  }
+};
+
+TEST(FaultyChannel, NullPlanRoundTripsPristineBytes) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  FaultyChannel channel(pd);
+  Rng probe(5), untouched(5);
+  for (net::LocationId loc : channel.retrievable_locations()) {
+    const FetchReply reply = channel.fetch(loc, probe);
+    EXPECT_EQ(reply.fault, net::FaultClass::kNone);
+    EXPECT_EQ(reply.latency_us, 0u);
+    const codes::WireBlock wire = codes::decode_wire(reply.bytes);
+    const StoredBlock* slot = pd.stored(loc);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(wire.block.coeffs, slot->block.coeffs);
+    EXPECT_EQ(wire.block.payload, slot->block.payload);
+    EXPECT_EQ(wire.block.level, slot->block.level);
+  }
+  // The null plan must not consume a single Rng draw.
+  EXPECT_EQ(probe(), untouched());
+}
+
+TEST(FaultyChannel, CertainCorruptionIsAlwaysCaughtByTheWire) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  net::FaultSpec spec;
+  spec.corrupt_rate = 1.0;
+  net::FaultPlan plan(spec, h.overlay.nodes(), h.rng);
+  FaultyChannel channel(pd, std::move(plan));
+  for (net::LocationId loc : channel.retrievable_locations()) {
+    const FetchReply reply = channel.fetch(loc, h.rng);
+    ASSERT_EQ(reply.fault, net::FaultClass::kNone);  // corruption is in-band
+    EXPECT_THROW(codes::decode_wire(reply.bytes), codes::WireFormatError);
+  }
+  EXPECT_EQ(channel.injected().corruptions, channel.retrievable_locations().size());
+}
+
+TEST(FaultyChannel, CertainTruncationIsAlwaysCaughtByTheWire) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  net::FaultSpec spec;
+  spec.truncate_rate = 1.0;
+  net::FaultPlan plan(spec, h.overlay.nodes(), h.rng);
+  FaultyChannel channel(pd, std::move(plan));
+  const auto locs = channel.retrievable_locations();
+  for (net::LocationId loc : locs) {
+    const FetchReply reply = channel.fetch(loc, h.rng);
+    ASSERT_EQ(reply.fault, net::FaultClass::kNone);
+    EXPECT_THROW(codes::decode_wire(reply.bytes), codes::WireFormatError);
+  }
+  EXPECT_EQ(channel.injected().truncations, locs.size());
+}
+
+TEST(FaultyChannel, CrashRemovesTheNodeForTheRestOfTheCollection) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  net::FaultSpec spec;
+  spec.crash_rate = 1.0;
+  net::FaultPlan plan(spec, h.overlay.nodes(), h.rng);
+  FaultyChannel channel(pd, std::move(plan));
+  const auto locs = channel.retrievable_locations();
+  ASSERT_FALSE(locs.empty());
+  const FetchReply first = channel.fetch(locs[0], h.rng);
+  EXPECT_EQ(first.fault, net::FaultClass::kCrash);
+  EXPECT_TRUE(channel.node_crashed(first.node));
+  EXPECT_GE(channel.crashed_nodes(), 1u);
+  // A re-fetch from the same location now hits a dead node, no new draw.
+  const FetchReply again = channel.fetch(locs[0], h.rng);
+  EXPECT_EQ(again.fault, net::FaultClass::kDeadNode);
+  // And the location dropped out of the retrievable set.
+  const auto remaining = channel.retrievable_locations();
+  for (net::LocationId loc : remaining) {
+    EXPECT_NE(pd.stored(loc)->owner, first.node);
+  }
+  EXPECT_LT(remaining.size(), locs.size());
+}
+
+TEST(FaultyChannel, ChurnedOwnerReportsDeadNode) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  const auto locs = pd.surviving_locations();
+  ASSERT_FALSE(locs.empty());
+  const net::NodeId owner = pd.stored(locs[0])->owner;
+  h.overlay.fail_node(owner);
+  FaultyChannel channel(pd);
+  const FetchReply reply = channel.fetch(locs[0], h.rng);
+  EXPECT_EQ(reply.fault, net::FaultClass::kDeadNode);
+  EXPECT_TRUE(reply.bytes.empty());
+}
+
+TEST(FaultyChannel, FetchRequiresAStoredBlock) {
+  TestHarness h;
+  Predistribution pd(h.overlay, h.spec, h.dist, h.params);  // never disseminated
+  FaultyChannel channel(pd);
+  EXPECT_THROW(channel.fetch(0, h.rng), PreconditionError);
+  EXPECT_THROW(channel.owner_of(0), PreconditionError);
+}
+
+TEST(FaultyChannel, TimeoutAndTransientCarryNoBytes) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  net::FaultSpec spec;
+  spec.timeout_rate = 0.5;
+  spec.transient_rate = 0.5;
+  net::FaultPlan plan(spec, h.overlay.nodes(), h.rng);
+  FaultyChannel channel(pd, std::move(plan));
+  for (net::LocationId loc : channel.retrievable_locations()) {
+    const FetchReply reply = channel.fetch(loc, h.rng);
+    ASSERT_TRUE(reply.fault == net::FaultClass::kTimeout ||
+                reply.fault == net::FaultClass::kTransient);
+    EXPECT_TRUE(reply.bytes.empty());
+  }
+  EXPECT_GT(channel.injected().timeouts, 0u);
+  EXPECT_GT(channel.injected().transient_errors, 0u);
+}
+
+}  // namespace
+}  // namespace prlc::proto

@@ -29,20 +29,28 @@ echo "sanitizer run OK (${build_dir})"
 
 # Phase 2: ThreadSanitizer over the concurrent code: the obs metrics/trace
 # layers (relaxed atomics + one mutex) and the runtime thread pool /
-# trial runner. TSan runs just those suites plus one multi-threaded bench
-# smoke rather than paying the 5-20x slowdown across everything. TSan is
+# trial runner. TSan runs just those suites plus two multi-threaded bench
+# smokes rather than paying the 5-20x slowdown across everything. TSan is
 # incompatible with ASan, hence the separate build tree.
+#
+# The fault-injection suites (test_net fault model, test_proto channel +
+# resilient collector) run under ASan/UBSan as part of the full ctest
+# phase above; the abl_fault smoke below additionally exercises the
+# fault channel + retry/hedge paths across worker threads under TSan.
 tsan_build_dir="${TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
 
 cmake -B "${tsan_build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPRLC_SANITIZE=thread
 cmake --build "${tsan_build_dir}" -j"${jobs}" \
-  --target test_obs --target test_runtime --target abl_persistence_e2e
+  --target test_obs --target test_runtime --target abl_persistence_e2e \
+  --target abl_fault
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "${tsan_build_dir}" --output-on-failure -j"${jobs}" \
   -R '^test_obs$|^test_runtime$'
 PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_persistence_e2e" \
   --threads 4 --trials 64 > /dev/null
+PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_fault" \
+  --threads 4 --trials 32 > /dev/null
 echo "tsan run OK (${tsan_build_dir})"
