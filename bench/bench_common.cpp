@@ -35,6 +35,7 @@ constexpr int kUsageExit = 64;  // EX_USAGE
   std::cerr << "error: " << message << "\n"
             << "bench flags: --trials <n> --seed <u64> --threads <n> "
                "--scheme <rlc|slc|plc>\n"
+            << "             --payload-bytes <n[kmg]> --chunk-bytes <n[kmg]>\n"
             << "             --json <path> --metrics-json <path> "
                "--trace-json <path>\n";
   std::exit(kUsageExit);
@@ -73,6 +74,26 @@ std::optional<std::uint64_t> try_parse_u64(std::string_view text) {
   return value;
 }
 
+/// Byte-count parse: decimal digits with an optional single k/m/g suffix
+/// (case-insensitive, binary units). nullopt on garbage, overflow, or
+/// zero — every byte-count flag wants a positive value.
+std::optional<std::size_t> try_parse_bytes(std::string_view text) {
+  std::uint64_t mult = 1;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'k': case 'K': mult = std::uint64_t{1} << 10; break;
+      case 'm': case 'M': mult = std::uint64_t{1} << 20; break;
+      case 'g': case 'G': mult = std::uint64_t{1} << 30; break;
+      default: break;
+    }
+    if (mult != 1) text.remove_suffix(1);
+  }
+  const auto value = try_parse_u64(text);
+  if (!value || *value == 0) return std::nullopt;
+  if (*value > std::numeric_limits<std::uint64_t>::max() / mult) return std::nullopt;
+  return static_cast<std::size_t>(*value * mult);
+}
+
 }  // namespace
 
 const Options& options() { return g_options; }
@@ -80,12 +101,15 @@ const Options& options() { return g_options; }
 void parse_args(int& argc, char** argv, UnknownArgs unknown) {
   g_options = Options{};
   std::string trials_text, seed_text, threads_text, scheme_text;
+  std::string payload_text, chunk_text;
   int out = 1;
   for (int i = 1; i < argc;) {
     std::size_t used = match_flag("--trials", argc, argv, i, trials_text);
     if (used == 0) used = match_flag("--seed", argc, argv, i, seed_text);
     if (used == 0) used = match_flag("--threads", argc, argv, i, threads_text);
     if (used == 0) used = match_flag("--scheme", argc, argv, i, scheme_text);
+    if (used == 0) used = match_flag("--payload-bytes", argc, argv, i, payload_text);
+    if (used == 0) used = match_flag("--chunk-bytes", argc, argv, i, chunk_text);
     if (used == 0) used = match_flag("--json", argc, argv, i, g_options.json_path);
     if (used == 0) used = match_flag("--metrics-json", argc, argv, i, g_options.metrics_json_path);
     if (used == 0) used = match_flag("--trace-json", argc, argv, i, g_options.trace_json_path);
@@ -124,6 +148,26 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
     const auto scheme = codes::try_scheme_from_string(scheme_text);
     if (!scheme) usage_error("--scheme wants rlc, slc or plc, got '" + scheme_text + "'");
     g_options.scheme = *scheme;
+  }
+  if (!payload_text.empty()) {
+    const auto bytes = try_parse_bytes(payload_text);
+    if (!bytes) {
+      usage_error("--payload-bytes wants a positive byte count (k/m/g suffixes ok), got '" +
+                  payload_text + "'");
+    }
+    g_options.payload_bytes = *bytes;
+  }
+  if (!chunk_text.empty()) {
+    const auto bytes = try_parse_bytes(chunk_text);
+    if (!bytes) {
+      usage_error("--chunk-bytes wants a positive byte count (k/m/g suffixes ok), got '" +
+                  chunk_text + "'");
+    }
+    g_options.chunk_bytes = *bytes;
+  }
+  if (g_options.payload_bytes && g_options.chunk_bytes &&
+      *g_options.chunk_bytes > *g_options.payload_bytes) {
+    usage_error("--chunk-bytes must not exceed --payload-bytes");
   }
 
   if (!g_options.metrics_json_path.empty() || !g_options.trace_json_path.empty()) {

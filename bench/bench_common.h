@@ -12,6 +12,10 @@
 //   --seed <u64>           override the bench's root seed
 //   --threads <n>          Monte-Carlo thread budget (0 = hardware, 1 = serial)
 //   --scheme <rlc|slc|plc> restrict a multi-scheme bench to one scheme
+//   --payload-bytes <n>    payload size for throughput benches (positive;
+//                          suffixes k/m/g = KiB/MiB/GiB accepted)
+//   --chunk-bytes <n>      codec tile size (positive, same suffixes; must
+//                          not exceed --payload-bytes when both are given)
 //   --json <path>          structured bench results (BenchReport)
 //   --metrics-json <path>  dump of the obs::Registry after the run
 //   --trace-json <path>    Chrome-tracing timeline (chrome://tracing,
@@ -54,6 +58,8 @@ struct Options {
   std::optional<std::uint64_t> seed;     ///< --seed
   std::size_t threads = 0;               ///< --threads (TrialRunner convention)
   std::optional<codes::Scheme> scheme;   ///< --scheme
+  std::optional<std::size_t> payload_bytes;  ///< --payload-bytes
+  std::optional<std::size_t> chunk_bytes;    ///< --chunk-bytes
   std::string json_path;
   std::string metrics_json_path;
   std::string trace_json_path;

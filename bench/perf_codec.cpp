@@ -2,27 +2,165 @@
 //
 // Not a paper figure; engineering numbers for the library itself: field
 // kernels, encoder throughput, progressive-decoder cost at the paper's
-// scales, and batch RREF.
+// scales, batch RREF — and the payload sweep: PayloadCodec encode/decode
+// over real multi-MB objects across (payload, chunk, thread) grids, the
+// numbers behind BENCH_codec.json. The sweep runs first (a custom timed
+// loop, not google-benchmark) so its series is series[0] of --json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_common.h"
+#include "codec/payload_codec.h"
 #include "codes/decoder.h"
 #include "codes/encoder.h"
 #include "gf/gf256.h"
 #include "gf/gf256_kernels.h"
 #include "linalg/gauss_jordan.h"
 #include "linalg/progressive_decoder.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace {
 
 using namespace prlc;
 using F = gf::Gf256;
+
+// --- payload sweep ---------------------------------------------------------
+
+double seconds_since(std::uint64_t start_ns) {
+  return static_cast<double>(obs::ScopedTimer::now_ns() - start_ns) * 1e-9;
+}
+
+struct SweepMeasurement {
+  double encode_s = 0;
+  double decode_s = 0;
+  std::vector<std::vector<std::uint8_t>> coded;      // encode outputs
+  std::vector<std::vector<std::uint8_t>> eliminated; // decode-consumed buffers
+};
+
+/// One timed encode + decode pass of `codec` over the given rows/source.
+SweepMeasurement run_codec_pass(const codec::PayloadCodec& codec,
+                                std::span<const std::vector<std::uint8_t>> rows,
+                                const codes::SourceData<F>& source) {
+  SweepMeasurement m;
+  const std::uint64_t t0 = obs::ScopedTimer::now_ns();
+  m.coded = codec.encode(rows, source);
+  m.encode_s = seconds_since(t0);
+
+  m.eliminated = m.coded;  // decode eliminates in place; keep coded pristine
+  const std::uint64_t t1 = obs::ScopedTimer::now_ns();
+  const auto result = codec.decode(rows, m.eliminated);
+  m.decode_s = seconds_since(t1);
+  benchmark::DoNotOptimize(result.rank);
+  return m;
+}
+
+bool same_buffers(const std::vector<std::vector<std::uint8_t>>& a,
+                  const std::vector<std::vector<std::uint8_t>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// PayloadCodec throughput grid: payload-size x chunk-size x threads, PLC
+/// over 4 uniform levels. Reports bytes/s (object bytes per wall second)
+/// and speedup against the serial single-threaded reference path, and
+/// cross-checks that every multithreaded run produced bit-identical
+/// encode outputs and eliminated payload buffers.
+void run_payload_sweep(bench::BenchReport& report) {
+  const bench::Options& opt = bench::options();
+  const bool fast = bench::fast_mode();
+
+  std::vector<std::size_t> payload_sizes;
+  if (opt.payload_bytes) {
+    payload_sizes = {*opt.payload_bytes};
+  } else if (fast) {
+    payload_sizes = {std::size_t{1} << 20};
+  } else {
+    payload_sizes = {std::size_t{4} << 20, std::size_t{64} << 20};
+  }
+  std::vector<std::size_t> chunk_sizes;
+  if (opt.chunk_bytes) {
+    chunk_sizes = {*opt.chunk_bytes};
+  } else if (fast) {
+    chunk_sizes = {std::size_t{32} << 10};
+  } else {
+    chunk_sizes = {std::size_t{32} << 10, std::size_t{128} << 10};
+  }
+  std::vector<std::size_t> thread_counts;
+  if (opt.threads != 0) {
+    thread_counts = {opt.threads};
+  } else if (fast) {
+    thread_counts = {1, 2};
+  } else {
+    thread_counts = {1, 2, 4, 8};
+  }
+
+  const std::size_t levels = 4;
+  const std::size_t n = fast ? 16 : 64;  // source blocks (levels x n/levels)
+  Rng rng(opt.seed_or(0x5eedc0dec));
+
+  std::printf("payload sweep: PLC, %zu levels, N=%zu\n", levels, n);
+  for (const std::size_t requested : payload_sizes) {
+    const std::size_t block_size = std::max<std::size_t>(1, requested / n);
+    const std::size_t object_bytes = block_size * n;
+    const auto spec = codes::PrioritySpec::uniform(levels, n / levels);
+    const auto source = codes::SourceData<F>::random(n, block_size, rng);
+    // Lowest-priority PLC rows span all N source blocks: dense rows, the
+    // worst-case (and steady-state) payload workload.
+    const codes::PriorityEncoder<F> enc(codes::Scheme::kPlc, spec);
+    std::vector<std::vector<std::uint8_t>> rows;
+    for (std::size_t i = 0; i < n; ++i) {
+      rows.push_back(enc.encode(levels - 1, rng).coeffs);
+    }
+
+    for (const std::size_t chunk : chunk_sizes) {
+      const codec::PayloadCodec serial_codec(codes::Scheme::kPlc, spec,
+                                             {.chunk_bytes = chunk});
+      // Untimed warm-up so the timed serial baseline is not paying the
+      // first-touch page faults the later pool runs avoid.
+      run_codec_pass(serial_codec, rows, source);
+      const SweepMeasurement serial = run_codec_pass(serial_codec, rows, source);
+
+      for (const std::size_t threads : thread_counts) {
+        runtime::ThreadPool pool(threads);
+        const codec::PayloadCodec codec(codes::Scheme::kPlc, spec,
+                                        {.chunk_bytes = chunk, .pool = &pool});
+        const SweepMeasurement run = run_codec_pass(codec, rows, source);
+        const bool identical = same_buffers(run.coded, serial.coded) &&
+                               same_buffers(run.eliminated, serial.eliminated);
+        PRLC_REQUIRE(identical, "multithreaded codec output diverged from serial");
+
+        const double enc_bps = static_cast<double>(object_bytes) / run.encode_s;
+        const double dec_bps = static_cast<double>(object_bytes) / run.decode_s;
+        report.add_point("payload_sweep",
+                         {{"payload_bytes", json::Value(static_cast<std::int64_t>(object_bytes))},
+                          {"chunk_bytes", json::Value(static_cast<std::int64_t>(chunk))},
+                          {"threads", json::Value(static_cast<std::int64_t>(threads))},
+                          {"encode_bytes_per_s", json::Value(enc_bps)},
+                          {"decode_bytes_per_s", json::Value(dec_bps)},
+                          {"encode_speedup_vs_serial", json::Value(serial.encode_s / run.encode_s)},
+                          {"decode_speedup_vs_serial", json::Value(serial.decode_s / run.decode_s)},
+                          {"identical_to_serial", json::Value(identical)}});
+        std::printf(
+            "  payload %9zu  chunk %7zu  threads %zu  encode %8.1f MB/s (x%.2f)  "
+            "decode %8.1f MB/s (x%.2f)\n",
+            object_bytes, chunk, threads, enc_bps * 1e-6, serial.encode_s / run.encode_s,
+            dec_bps * 1e-6, serial.decode_s / run.decode_s);
+      }
+    }
+  }
+}
 
 void BM_GfMul(benchmark::State& state) {
   Rng rng(1);
@@ -232,6 +370,11 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   bench::BenchReport report("perf_codec");
   report.set_config("dispatch", json::Value(gf::gf256_active_ops().name));
+  report.set_config("gf_tile_bytes",
+                    json::Value(static_cast<std::int64_t>(gf::gf256_tile_bytes())));
+  // The payload sweep goes first so its series lands at series[0] of the
+  // --json report (smoke_codec's prlc_json_check paths rely on that).
+  run_payload_sweep(report);
   CaptureReporter reporter(report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   bench::finalize(&report);

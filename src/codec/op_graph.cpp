@@ -1,0 +1,308 @@
+#include "codec/op_graph.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "gf/gf256_kernels.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace prlc::codec {
+
+namespace {
+
+constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+obs::Counter& op_counter(OpKind kind) {
+  static obs::Counter& zero = obs::counter("codec.ops.zero");
+  static obs::Counter& copy = obs::counter("codec.ops.copy");
+  static obs::Counter& mul = obs::counter("codec.ops.mul_region");
+  static obs::Counter& axpy = obs::counter("codec.ops.axpy");
+  static obs::Counter& scale = obs::counter("codec.ops.scale");
+  switch (kind) {
+    case OpKind::kZero:
+      return zero;
+    case OpKind::kCopy:
+      return copy;
+    case OpKind::kMulRegion:
+      return mul;
+    case OpKind::kAxpy:
+      return axpy;
+    case OpKind::kScale:
+      return scale;
+  }
+  PRLC_ASSERT(false, "unknown op kind");
+}
+
+}  // namespace
+
+OpGraph::OpGraph(std::size_t tile_bytes) : tile_bytes_(tile_bytes) {
+  PRLC_REQUIRE(tile_bytes_ > 0, "tile size must be positive");
+}
+
+std::uint32_t OpGraph::register_buffer(const std::uint8_t* read, std::uint8_t* write,
+                                       std::size_t size) {
+  PRLC_REQUIRE(!finalized_, "graph is finalized");
+  PRLC_REQUIRE(size > 0, "buffers must be non-empty");
+  Buffer b;
+  b.read = read;
+  b.write = write;
+  b.size = size;
+  b.first_tile = static_cast<std::uint32_t>(last_writer_.size());
+  b.tiles = static_cast<std::uint32_t>((size + tile_bytes_ - 1) / tile_bytes_);
+  last_writer_.resize(last_writer_.size() + b.tiles, kNoNode);
+  readers_.resize(readers_.size() + b.tiles);
+  buffers_.push_back(b);
+  return static_cast<std::uint32_t>(buffers_.size() - 1);
+}
+
+std::uint32_t OpGraph::add_buffer(std::uint8_t* data, std::size_t size) {
+  return register_buffer(data, data, size);
+}
+
+std::uint32_t OpGraph::add_const_buffer(const std::uint8_t* data, std::size_t size) {
+  return register_buffer(data, nullptr, size);
+}
+
+void OpGraph::add_tile_node(OpKind kind, std::uint8_t factor, std::uint8_t* dst,
+                            const std::uint8_t* src, std::uint32_t len,
+                            std::uint32_t dst_tile, std::uint32_t src_tile) {
+  const auto id = static_cast<std::uint32_t>(kinds_.size());
+  kinds_.push_back(kind);
+  factors_.push_back(factor);
+  dsts_.push_back(dst);
+  srcs_.push_back(src);
+  lens_.push_back(len);
+  succ_build_.emplace_back();
+  bytes_scheduled_ += len;
+
+  // Predecessors: last writer of the source tile (RAW), last writer of the
+  // destination tile (WAW — and RAW for the read-modify-write ops), and
+  // every reader of the destination since its last write (WAR).
+  std::uint32_t preds[2] = {kNoNode, kNoNode};
+  std::size_t npreds = 0;
+  if (src_tile != kNoNode && last_writer_[src_tile] != kNoNode) {
+    preds[npreds++] = last_writer_[src_tile];
+  }
+  if (last_writer_[dst_tile] != kNoNode) preds[npreds++] = last_writer_[dst_tile];
+  if (npreds == 2 && preds[0] == preds[1]) npreds = 1;
+
+  std::uint32_t deps = 0;
+  for (std::size_t i = 0; i < npreds; ++i) {
+    succ_build_[preds[i]].push_back(id);
+    ++deps;
+  }
+  for (std::uint32_t reader : readers_[dst_tile]) {
+    if ((npreds > 0 && reader == preds[0]) || (npreds > 1 && reader == preds[1])) {
+      continue;
+    }
+    succ_build_[reader].push_back(id);
+    ++deps;
+  }
+
+  if (src_tile != kNoNode) readers_[src_tile].push_back(id);
+  last_writer_[dst_tile] = id;
+  readers_[dst_tile].clear();
+  dep_counts_.push_back(deps);
+}
+
+void OpGraph::add_op(OpKind kind, std::uint32_t dst, std::uint32_t src,
+                     std::uint8_t factor) {
+  PRLC_REQUIRE(!finalized_, "graph is finalized");
+  PRLC_REQUIRE(dst < buffers_.size(), "destination buffer out of range");
+  const Buffer& d = buffers_[dst];
+  PRLC_REQUIRE(d.write != nullptr, "destination buffer is read-only");
+  const bool unary = src == kNoBuffer;
+  const Buffer* s = nullptr;
+  if (!unary) {
+    PRLC_REQUIRE(src < buffers_.size(), "source buffer out of range");
+    s = &buffers_[src];
+    PRLC_REQUIRE(s->size == d.size, "source/destination size mismatch");
+    PRLC_REQUIRE(s->read != d.read, "source must differ from destination");
+  }
+  for (std::uint32_t t = 0; t < d.tiles; ++t) {
+    const std::size_t off = static_cast<std::size_t>(t) * tile_bytes_;
+    const auto len = static_cast<std::uint32_t>(std::min(tile_bytes_, d.size - off));
+    add_tile_node(kind, factor, d.write + off,
+                  unary ? (kind == OpKind::kScale ? d.write + off : nullptr)
+                        : s->read + off,
+                  len, d.first_tile + t, unary ? kNoNode : s->first_tile + t);
+  }
+}
+
+void OpGraph::zero(std::uint32_t dst) { add_op(OpKind::kZero, dst, kNoBuffer, 0); }
+
+void OpGraph::copy(std::uint32_t dst, std::uint32_t src) {
+  add_op(OpKind::kCopy, dst, src, 1);
+}
+
+void OpGraph::mul_region(std::uint32_t dst, std::uint32_t src, std::uint8_t factor) {
+  add_op(OpKind::kMulRegion, dst, src, factor);
+}
+
+void OpGraph::axpy(std::uint32_t dst, std::uint32_t src, std::uint8_t factor) {
+  add_op(OpKind::kAxpy, dst, src, factor);
+}
+
+void OpGraph::scale(std::uint32_t dst, std::uint8_t factor) {
+  add_op(OpKind::kScale, dst, kNoBuffer, factor);
+}
+
+void OpGraph::finalize() {
+  PRLC_REQUIRE(!finalized_, "graph is already finalized");
+  finalized_ = true;
+  const std::size_t n = kinds_.size();
+
+  std::size_t edges = 0;
+  for (const auto& s : succ_build_) edges += s.size();
+  succ_begin_.resize(n + 1);
+  succ_edges_.resize(edges);
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    succ_begin_[i] = static_cast<std::uint32_t>(at);
+    std::copy(succ_build_[i].begin(), succ_build_[i].end(), succ_edges_.begin() + at);
+    at += succ_build_[i].size();
+  }
+  succ_begin_[n] = static_cast<std::uint32_t>(at);
+  succ_build_.clear();
+  succ_build_.shrink_to_fit();
+  last_writer_.clear();
+  readers_.clear();
+
+  // Build order is topological (every edge points forward), so one pass
+  // computes the critical path.
+  std::vector<std::uint32_t> depth(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dep_counts_[i] == 0) roots_.push_back(static_cast<std::uint32_t>(i));
+    for (std::uint32_t e = succ_begin_[i]; e < succ_begin_[i + 1]; ++e) {
+      const std::uint32_t succ = succ_edges_[e];
+      depth[succ] = std::max(depth[succ], depth[i] + 1);
+    }
+    critical_path_ = std::max<std::size_t>(critical_path_, depth[i]);
+  }
+
+  static obs::Counter& graphs = obs::counter("codec.graphs_finalized");
+  static obs::Counter& nodes = obs::counter("codec.nodes_built");
+  graphs.add();
+  nodes.add(n);
+  obs::gauge("codec.graph.nodes").set(static_cast<std::int64_t>(n));
+  obs::gauge("codec.graph.critical_path").set(static_cast<std::int64_t>(critical_path_));
+}
+
+void OpGraph::run_node(std::uint32_t id) {
+  const auto& ops = gf::gf256_active_ops();
+  std::uint8_t* dst = dsts_[id];
+  const std::uint8_t* src = srcs_[id];
+  const std::uint32_t len = lens_[id];
+  static obs::LatencyHistogram& tile_ns = obs::histogram("codec.tile_ns");
+  static obs::Counter& bytes = obs::counter("codec.bytes_executed");
+  static obs::Counter& executed = obs::counter("codec.nodes_executed");
+  obs::ScopedTimer timer(tile_ns);
+  switch (kinds_[id]) {
+    case OpKind::kZero:
+      std::memset(dst, 0, len);
+      break;
+    case OpKind::kCopy:
+      std::memcpy(dst, src, len);
+      break;
+    case OpKind::kMulRegion:
+    case OpKind::kScale:
+      ops.mul_region(dst, src, factors_[id], len);
+      break;
+    case OpKind::kAxpy:
+      ops.axpy(dst, src, factors_[id], len);
+      break;
+  }
+  op_counter(kinds_[id]).add();
+  bytes.add(len);
+  executed.add();
+}
+
+void OpGraph::execute_serial() {
+  PRLC_REQUIRE(finalized_, "finalize() the graph before executing");
+  for (std::uint32_t id = 0; id < kinds_.size(); ++id) run_node(id);
+}
+
+void OpGraph::release_successors(std::uint32_t id, std::vector<std::uint32_t>& local) {
+  // One newly-ready successor stays with this worker (continuation — a
+  // tile's op chain runs back-to-back with the tile hot in cache); the
+  // rest are published for other workers.
+  std::size_t published = 0;
+  for (std::uint32_t e = succ_begin_[id]; e < succ_begin_[id + 1]; ++e) {
+    const std::uint32_t succ = succ_edges_[e];
+    if (pending_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      local.push_back(succ);
+    }
+  }
+  if (local.size() > 1) {
+    std::lock_guard<std::mutex> lk(ready_mu_);
+    while (local.size() > 1) {
+      ready_.push_back(local.back());
+      local.pop_back();
+      ++published;
+    }
+  }
+  if (published > 0) ready_cv_.notify_all();
+}
+
+void OpGraph::worker_drain() {
+  std::vector<std::uint32_t> local;
+  for (;;) {
+    std::uint32_t id = kNoNode;
+    if (!local.empty()) {
+      id = local.back();
+      local.pop_back();
+    } else {
+      std::unique_lock<std::mutex> lk(ready_mu_);
+      if (!ready_.empty()) {
+        id = ready_.back();
+        ready_.pop_back();
+      } else if (remaining_.load(std::memory_order_acquire) == 0) {
+        return;
+      } else {
+        // Our pending nodes are being released by other workers; sleep
+        // briefly, re-check (the timeout re-arms against lost wakeups).
+        ready_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+          return !ready_.empty() || remaining_.load(std::memory_order_acquire) == 0;
+        });
+        continue;
+      }
+    }
+    run_node(id);
+    release_successors(id, local);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(ready_mu_);
+      ready_cv_.notify_all();
+    }
+  }
+}
+
+void OpGraph::execute(runtime::ThreadPool& pool) {
+  PRLC_REQUIRE(finalized_, "finalize() the graph before executing");
+  const std::size_t n = kinds_.size();
+  if (n == 0) return;
+  if (pending_ == nullptr) pending_ = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending_[i].store(dep_counts_[i], std::memory_order_relaxed);
+  }
+  remaining_.store(n, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(ready_mu_);
+    ready_.assign(roots_.begin(), roots_.end());
+  }
+  const std::size_t workers = pool.thread_count();
+  pool.for_each_index(workers, [this](std::size_t) { worker_drain(); });
+  PRLC_ASSERT(remaining_.load(std::memory_order_acquire) == 0,
+              "graph execution finished with unexecuted nodes");
+}
+
+void OpGraph::run(runtime::ThreadPool* pool) {
+  if (pool != nullptr) {
+    execute(*pool);
+  } else {
+    execute_serial();
+  }
+}
+
+}  // namespace prlc::codec

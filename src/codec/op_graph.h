@@ -1,0 +1,152 @@
+// Execution graph of GF(2^8) span primitives over payload tiles.
+//
+// The payload data plane (encode, progressive decode, survivor
+// recombination) is a composition of four primitive operations over
+// equal-length byte rows: copy, zero, mul_region (dst = a*src) and axpy
+// (dst ^= a*src). An OpGraph expresses one such computation as a DAG:
+//
+//   * whole rows are registered as *buffers*;
+//   * row-level ops are split into cache-tile-sized chunks (one node per
+//     tile), so a 1 MiB axpy becomes 32 independent 32 KiB nodes;
+//   * dependencies are inferred from data flow per (buffer, tile):
+//     a node waits for the previous writer of every tile it touches and —
+//     for writes — for all readers since that writer (RAW, WAW and WAR
+//     hazards). Tiles never overlap, so two nodes on different tiles
+//     never conflict.
+//
+// Execution is dependency-counting: every node carries the number of
+// unsatisfied predecessors; finishing a node decrements its successors
+// and pushes the newly-ready ones onto a shared ready queue, with the
+// first successor executed inline ("continuation") so chains on one tile
+// stay on one core with the tile hot in cache.
+//
+// Determinism: all hazard pairs on a tile are ordered by graph edges in
+// program (build) order, so every schedule — serial, 2 threads, 16
+// threads, work stealing or not — applies the same byte-level operations
+// to each tile in the same order. Output bytes are identical to the
+// serial path by construction; tests assert it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace prlc::codec {
+
+enum class OpKind : std::uint8_t {
+  kZero,       ///< dst = 0
+  kCopy,       ///< dst = src
+  kMulRegion,  ///< dst = factor * src
+  kAxpy,       ///< dst ^= factor * src
+  kScale,      ///< dst = factor * dst
+};
+
+class OpGraph {
+ public:
+  static constexpr std::uint32_t kNoBuffer = 0xffffffffu;
+
+  /// `tile_bytes` is the chunk size row ops are split into (>= 1).
+  explicit OpGraph(std::size_t tile_bytes);
+
+  /// Register a writable row. The memory must outlive execution.
+  std::uint32_t add_buffer(std::uint8_t* data, std::size_t size);
+
+  /// Register a read-only row (source payloads). Ops may only read it.
+  std::uint32_t add_const_buffer(const std::uint8_t* data, std::size_t size);
+
+  std::size_t tile_bytes() const { return tile_bytes_; }
+  std::size_t buffer_count() const { return buffers_.size(); }
+  std::size_t node_count() const { return kinds_.size(); }
+
+  // Row-level ops, each split into per-tile nodes. Binary ops require the
+  // two buffers to have equal size; src may equal dst only for scale.
+  void zero(std::uint32_t dst);
+  void copy(std::uint32_t dst, std::uint32_t src);
+  void mul_region(std::uint32_t dst, std::uint32_t src, std::uint8_t factor);
+  void axpy(std::uint32_t dst, std::uint32_t src, std::uint8_t factor);
+  void scale(std::uint32_t dst, std::uint8_t factor);
+
+  /// Freeze the graph: flatten the successor lists, compute the critical
+  /// path, and collect the initial ready set. Required before execution;
+  /// no ops may be added afterwards.
+  void finalize();
+
+  /// Longest dependency chain, in nodes (0 for an empty graph).
+  std::size_t critical_path() const { return critical_path_; }
+
+  /// Total payload bytes the graph's nodes touch as destinations.
+  std::size_t bytes_scheduled() const { return bytes_scheduled_; }
+
+  /// Run every node on the calling thread, in build order (a topological
+  /// order by construction). The deterministic reference executor.
+  void execute_serial();
+
+  /// Run the graph across `pool` with dependency counting. Byte-identical
+  /// to execute_serial() for any pool size. Re-executable: each call
+  /// resets the dependency counters first.
+  void execute(runtime::ThreadPool& pool);
+
+  /// execute(pool) when a pool is given, execute_serial() otherwise.
+  void run(runtime::ThreadPool* pool);
+
+ private:
+  struct Buffer {
+    const std::uint8_t* read = nullptr;
+    std::uint8_t* write = nullptr;  ///< null for const buffers
+    std::size_t size = 0;
+    std::uint32_t first_tile = 0;  ///< index into the per-tile hazard state
+    std::uint32_t tiles = 0;
+  };
+
+  std::uint32_t register_buffer(const std::uint8_t* read, std::uint8_t* write,
+                                std::size_t size);
+  void add_op(OpKind kind, std::uint32_t dst, std::uint32_t src, std::uint8_t factor);
+  void add_tile_node(OpKind kind, std::uint8_t factor, std::uint8_t* dst,
+                     const std::uint8_t* src, std::uint32_t len, std::uint32_t dst_tile,
+                     std::uint32_t src_tile);
+  void run_node(std::uint32_t id);
+  void release_successors(std::uint32_t id, std::vector<std::uint32_t>& local);
+  void worker_drain();
+
+  std::size_t tile_bytes_;
+  std::vector<Buffer> buffers_;
+
+  // Node storage (structure-of-arrays keeps the execute loop's working
+  // set dense).
+  std::vector<OpKind> kinds_;
+  std::vector<std::uint8_t> factors_;
+  std::vector<std::uint8_t*> dsts_;
+  std::vector<const std::uint8_t*> srcs_;
+  std::vector<std::uint32_t> lens_;
+  std::vector<std::uint32_t> dep_counts_;
+
+  // Per-(buffer, tile) hazard state during build.
+  std::vector<std::uint32_t> last_writer_;            // kNoNode when unwritten
+  std::vector<std::vector<std::uint32_t>> readers_;   // readers since last write
+
+  // Successor edges: per-node vectors during build, flattened by
+  // finalize() into succ_edges_ with [succ_begin_[i], succ_begin_[i+1]).
+  std::vector<std::vector<std::uint32_t>> succ_build_;
+  std::vector<std::uint32_t> succ_edges_;
+  std::vector<std::uint32_t> succ_begin_;
+
+  std::vector<std::uint32_t> roots_;
+  std::size_t critical_path_ = 0;
+  std::size_t bytes_scheduled_ = 0;
+  bool finalized_ = false;
+
+  // Execution state (valid during execute()).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> pending_;
+  std::atomic<std::size_t> remaining_{0};
+  std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+  std::vector<std::uint32_t> ready_;
+};
+
+}  // namespace prlc::codec

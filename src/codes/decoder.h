@@ -45,23 +45,31 @@ class PriorityDecoder {
 
   /// Feed one coded block; returns true when it was innovative.
   bool add(const CodedBlock<F>& block) {
-    PRLC_REQUIRE(block.coeffs.size() == spec_.total(), "coded block width mismatch");
-    PRLC_REQUIRE(block.payload.size() == payload_size_, "coded block payload mismatch");
+    return add(block.level, block.coeffs, block.payload);
+  }
+
+  /// Span-based twin of add(): feeds coefficient/payload views without
+  /// materializing an owning CodedBlock (the zero-copy wire path — the
+  /// decoder copies into its own work buffers, so the views only need to
+  /// live for the call).
+  bool add(std::size_t level, std::span<const Symbol> coeffs,
+           std::span<const Symbol> payload) {
+    PRLC_REQUIRE(coeffs.size() == spec_.total(), "coded block width mismatch");
+    PRLC_REQUIRE(payload.size() == payload_size_, "coded block payload mismatch");
     ++blocks_seen_;
     if (scheme_ != Scheme::kSlc) {
-      return joint_decoder_->add(block.coeffs, block.payload);
+      return joint_decoder_->add(coeffs, payload);
     }
-    PRLC_REQUIRE(block.level < spec_.levels(), "coded block level out of range");
-    const std::size_t begin = spec_.level_begin(block.level);
-    const std::size_t len = spec_.level_size(block.level);
+    PRLC_REQUIRE(level < spec_.levels(), "coded block level out of range");
+    const std::size_t begin = spec_.level_begin(level);
+    const std::size_t len = spec_.level_size(level);
     // An SLC block must not reference blocks outside its level.
     for (std::size_t j = 0; j < spec_.total(); ++j) {
       const bool inside = j >= begin && j < begin + len;
-      PRLC_REQUIRE(inside || block.coeffs[j] == 0,
+      PRLC_REQUIRE(inside || coeffs[j] == 0,
                    "SLC coded block has support outside its level");
     }
-    return level_decoders_[block.level]->add(
-        std::span<const Symbol>(block.coeffs).subspan(begin, len), block.payload);
+    return level_decoders_[level]->add(coeffs.subspan(begin, len), payload);
   }
 
   std::size_t blocks_seen() const { return blocks_seen_; }

@@ -86,7 +86,7 @@ Scheme scheme_from_byte(std::uint8_t b) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_wire(Scheme scheme, const CodedBlock<gf::Gf256>& block) {
+std::vector<std::uint8_t> encode_wire(Scheme scheme, const CodedBlockView& block) {
   PRLC_REQUIRE(!block.coeffs.empty(), "cannot serialize a block with no coefficients");
 
   std::size_t nnz = 0;
@@ -129,7 +129,30 @@ std::vector<std::uint8_t> encode_wire(Scheme scheme, const CodedBlock<gf::Gf256>
   return out;
 }
 
-WireBlock decode_wire(std::span<const std::uint8_t> bytes) {
+std::vector<std::uint8_t> encode_wire(Scheme scheme, const CodedBlock<gf::Gf256>& block) {
+  return encode_wire(scheme, CodedBlockView{.level = block.level,
+                                           .coeffs = block.coeffs,
+                                           .payload = block.payload});
+}
+
+void WireBlockView::expand_coeffs(std::span<std::uint8_t> out) const {
+  PRLC_REQUIRE(out.size() == coeff_width, "coefficient output span has the wrong width");
+  if (!dense_coeffs.empty()) {
+    std::memcpy(out.data(), dense_coeffs.data(), coeff_width);
+    return;
+  }
+  std::memset(out.data(), 0, out.size());
+  const std::uint8_t* p = sparse_entries.data();
+  for (std::uint32_t i = 0; i < sparse_count; ++i, p += 5) {
+    const std::uint32_t idx = static_cast<std::uint32_t>(p[0]) |
+                              static_cast<std::uint32_t>(p[1]) << 8 |
+                              static_cast<std::uint32_t>(p[2]) << 16 |
+                              static_cast<std::uint32_t>(p[3]) << 24;
+    out[idx] = p[4];  // indices were bounds-checked by decode_wire_view
+  }
+}
+
+WireBlockView decode_wire_view(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 28) throw WireFormatError("shorter than the minimal frame");
   // CRC covers everything before the trailing 4 bytes.
   const auto body = bytes.subspan(0, bytes.size() - 4);
@@ -142,11 +165,11 @@ WireBlock decode_wire(std::span<const std::uint8_t> bytes) {
     if (r.u8() != m) throw WireFormatError("bad magic");
   }
   if (r.u8() != kVersion) throw WireFormatError("unsupported version");
-  WireBlock out;
+  WireBlockView out;
   out.scheme = scheme_from_byte(r.u8());
   r.u8();  // reserved
   r.u8();
-  out.block.level = r.u32();
+  out.level = r.u32();
   const std::uint32_t n = r.u32();
   const std::uint32_t payload_size = r.u32();
   if (n == 0) throw WireFormatError("zero coefficient width");
@@ -154,27 +177,41 @@ WireBlock decode_wire(std::span<const std::uint8_t> bytes) {
   // far larger than the frame itself, and the CRC already vouches for
   // integrity.
   if (n > (1u << 24)) throw WireFormatError("implausible coefficient width");
+  out.coeff_width = n;
   const std::uint32_t encoding = r.u32();
 
-  out.block.coeffs.assign(n, 0);
   if (encoding == kDense) {
-    const auto raw = r.raw(n);
-    std::memcpy(out.block.coeffs.data(), raw.data(), n);
+    out.dense_coeffs = r.raw(n);
   } else if (encoding == kSparse) {
     const std::uint32_t count = r.u32();
     if (count > n) throw WireFormatError("sparse count exceeds width");
+    out.sparse_count = count;
+    out.sparse_entries = r.raw(static_cast<std::size_t>(count) * 5);
     for (std::uint32_t i = 0; i < count; ++i) {
-      const std::uint32_t idx = r.u32();
+      const std::uint8_t* p = out.sparse_entries.data() + std::size_t{i} * 5;
+      const std::uint32_t idx = static_cast<std::uint32_t>(p[0]) |
+                                static_cast<std::uint32_t>(p[1]) << 8 |
+                                static_cast<std::uint32_t>(p[2]) << 16 |
+                                static_cast<std::uint32_t>(p[3]) << 24;
       if (idx >= n) throw WireFormatError("sparse index out of range");
-      out.block.coeffs[idx] = r.u8();
     }
   } else {
     throw WireFormatError("unknown coefficient encoding");
   }
 
-  const auto payload = r.raw(payload_size);
-  out.block.payload.assign(payload.begin(), payload.end());
+  out.payload = r.raw(payload_size);
   if (r.remaining() != 0) throw WireFormatError("trailing bytes after payload");
+  return out;
+}
+
+WireBlock decode_wire(std::span<const std::uint8_t> bytes) {
+  const WireBlockView view = decode_wire_view(bytes);
+  WireBlock out;
+  out.scheme = view.scheme;
+  out.block.level = view.level;
+  out.block.coeffs.resize(view.coeff_width);
+  view.expand_coeffs(out.block.coeffs);
+  out.block.payload.assign(view.payload.begin(), view.payload.end());
   return out;
 }
 

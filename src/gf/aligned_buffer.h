@@ -1,0 +1,75 @@
+// Cache-line-aligned byte buffers for payload tiles.
+//
+// The SIMD kernels accept unaligned spans, but aligned rows keep every
+// tile boundary off a straddled cache line and let the AVX2 loop run its
+// full-width path from byte 0. The payload codec allocates all working
+// rows (coded payloads, decode buffers) through this helper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace prlc::gf {
+
+/// Movable owner of `size` bytes aligned to `alignment` (a power of two,
+/// default one cache line). Contents start zero-initialized.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kDefaultAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t size, std::size_t alignment = kDefaultAlignment)
+      : size_(size), alignment_(alignment) {
+    if (size_ == 0) return;
+    data_ = static_cast<std::uint8_t*>(
+        ::operator new[](size_, std::align_val_t{alignment_}));
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = 0;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        alignment_(other.alignment_) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      alignment_ = other.alignment_;
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t alignment() const { return alignment_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<std::uint8_t> span() { return {data_, size_}; }
+  std::span<const std::uint8_t> span() const { return {data_, size_}; }
+
+ private:
+  void release() {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{alignment_});
+      data_ = nullptr;
+    }
+  }
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t alignment_ = kDefaultAlignment;
+};
+
+}  // namespace prlc::gf

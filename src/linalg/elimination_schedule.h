@@ -1,0 +1,70 @@
+// A recorded elimination schedule — the progressive decoder's row
+// operations as data instead of side effects.
+//
+// ProgressiveDecoder normally applies every row operation to coefficient
+// vectors *and* payload rows as each equation arrives. For multi-MB
+// payloads that serializes gigabytes of GF(2^8) work behind one thread.
+// With a recorder attached, a coefficient-only decoder instead emits the
+// exact payload-row operations it would have performed; the payload codec
+// (src/codec) then replays them as a tiled dependency graph across the
+// thread pool.
+//
+// Operands are *input indices*: equation k's payload buffer is buffer k.
+// The decoder works inside the arriving row's buffer and, when the row is
+// innovative, binds that same buffer to the row's pivot column — no
+// copies ever happen, so a schedule never references more buffers than
+// equations offered. Ops for equations that turn out redundant are
+// dropped (they only touched a buffer that is then abandoned), which is
+// also why replaying a schedule touches strictly less data than the eager
+// path would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prlc::linalg {
+
+/// Schedule of payload-row operations over per-equation buffers.
+/// `Symbol` matches the recording decoder's field symbol type.
+template <typename Symbol>
+struct BasicEliminationSchedule {
+  static constexpr std::uint32_t kNoInput = 0xffffffffu;
+
+  enum class OpKind : std::uint8_t {
+    kAxpy,   ///< buffer[target] ^= factor * buffer[source]
+    kScale,  ///< buffer[target] *= factor
+  };
+
+  struct Op {
+    OpKind kind;
+    Symbol factor;
+    std::uint32_t target;  ///< input-buffer index written
+    std::uint32_t source;  ///< input-buffer index read (kAxpy only)
+  };
+
+  /// Row operations in the order the eager decoder would apply them.
+  /// Replaying them (in this order, or any order respecting per-buffer
+  /// data dependencies) over the raw input payloads reproduces the eager
+  /// decoder's stored-row payloads byte for byte.
+  std::vector<Op> ops;
+
+  /// pivot_input[p] = input buffer holding pivot row p's payload after
+  /// replay; kNoInput when no pivot row exists for column p. When the
+  /// decoder reports unknown p decoded, buffer pivot_input[p] holds its
+  /// recovered payload.
+  std::vector<std::uint32_t> pivot_input;
+
+  /// Number of equations offered while recording (innovative or not).
+  std::size_t inputs = 0;
+
+  void reset(std::size_t unknowns) {
+    ops.clear();
+    pivot_input.assign(unknowns, kNoInput);
+    inputs = 0;
+  }
+};
+
+using EliminationSchedule = BasicEliminationSchedule<std::uint8_t>;
+
+}  // namespace prlc::linalg

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "gf/field_concept.h"
+#include "linalg/elimination_schedule.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -39,9 +40,24 @@ class ProgressiveDecoder {
     PRLC_REQUIRE(unknowns > 0, "decoder needs at least one unknown");
   }
 
+  using Schedule = BasicEliminationSchedule<Symbol>;
+
   std::size_t unknowns() const { return unknowns_; }
   std::size_t payload_size() const { return payload_size_; }
   std::size_t rank() const { return rank_; }
+
+  /// Attach a schedule recorder: every subsequent add() appends the
+  /// payload-row operations it performs (or would perform, on a
+  /// coefficient-only decoder) to `schedule` instead of leaving them
+  /// implicit. Must be attached before the first equation; pass nullptr
+  /// to detach. The recorded ops reference equations by arrival index —
+  /// see elimination_schedule.h for replay semantics.
+  void set_schedule_recorder(Schedule* schedule) {
+    PRLC_REQUIRE(schedule == nullptr || seen_ == 0,
+                 "schedule recording must start on a fresh decoder");
+    recorder_ = schedule;
+    if (recorder_ != nullptr) recorder_->reset(unknowns_);
+  }
 
   /// Number of equations offered via add(), innovative or not.
   std::size_t equations_seen() const { return seen_; }
@@ -65,6 +81,16 @@ class ProgressiveDecoder {
     work_payload_.assign(payload.begin(), payload.end());
     std::size_t end = support_end(work_coef_);
 
+    // This equation's input-buffer index for schedule recording. Ops land
+    // in pending_ops_ first and are committed only if the row turns out
+    // innovative — a redundant row's buffer is abandoned, so its ops
+    // cannot affect any stored payload.
+    const auto input = static_cast<std::uint32_t>(seen_ - 1);
+    if (recorder_ != nullptr) {
+      recorder_->inputs = seen_;
+      pending_ops_.clear();
+    }
+
     // Reduce against every existing pivot row (scanning left to right);
     // the first nonzero column without a pivot row becomes this row's
     // pivot, and elimination continues past it so the stored row is zero
@@ -81,6 +107,10 @@ class ProgressiveDecoder {
       }
       static obs::Counter& pivot_ops = obs::counter("decoder.pivot_ops");
       pivot_ops.add();
+      if (recorder_ != nullptr) {
+        pending_ops_.push_back({Schedule::OpKind::kAxpy, v, input,
+                                recorder_->pivot_input[j]});
+      }
       axpy_row(work_coef_, work_payload_, v, *existing);
       if (existing->end > end) end = existing->end;
       PRLC_ASSERT(work_coef_[j] == 0, "forward elimination left a nonzero pivot");
@@ -96,6 +126,9 @@ class ProgressiveDecoder {
       const Symbol piv_inv = F::inv(piv);
       F::scale(std::span<Symbol>(work_coef_).subspan(pivot, end - pivot), piv_inv);
       F::scale(std::span<Symbol>(work_payload_), piv_inv);
+      if (recorder_ != nullptr) {
+        pending_ops_.push_back({Schedule::OpKind::kScale, piv_inv, input, input});
+      }
     }
 
     auto row = std::make_unique<Row>();
@@ -103,6 +136,13 @@ class ProgressiveDecoder {
     row->end = end;
     row->coef = work_coef_;
     row->payload = work_payload_;
+
+    if (recorder_ != nullptr) {
+      // Commit: this buffer now *is* pivot row `pivot`. Back-elimination
+      // below records its ops directly (they are unconditional).
+      recorder_->ops.insert(recorder_->ops.end(), pending_ops_.begin(), pending_ops_.end());
+      recorder_->pivot_input[pivot] = input;
+    }
 
     back_eliminate(*row);
 
@@ -194,6 +234,8 @@ class ProgressiveDecoder {
   void back_eliminate(Row& row) {
     static obs::Counter& back_rows = obs::counter("decoder.back_elim_rows");
     const std::size_t pivot = row.pivot;
+    const std::uint32_t source =
+        recorder_ != nullptr ? recorder_->pivot_input[pivot] : 0;
     if constexpr (gf::BatchedFieldPolicy<F>) {
       batch_coef_targets_.clear();
       batch_payload_targets_.clear();
@@ -206,6 +248,10 @@ class ProgressiveDecoder {
         batch_coef_targets_.push_back(r->coef.data() + pivot);
         if (payload_size_ > 0) batch_payload_targets_.push_back(r->payload.data());
         batch_factors_.push_back(factor);
+        if (recorder_ != nullptr) {
+          recorder_->ops.push_back(
+              {Schedule::OpKind::kAxpy, factor, recorder_->pivot_input[p], source});
+        }
         if (row.end > r->end) r->end = row.end;
         r->nnz_valid = false;
       }
@@ -225,6 +271,10 @@ class ProgressiveDecoder {
         const Symbol factor = r->coef[pivot];
         if (factor == 0) continue;
         back_rows.add();
+        if (recorder_ != nullptr) {
+          recorder_->ops.push_back(
+              {Schedule::OpKind::kAxpy, factor, recorder_->pivot_input[p], source});
+        }
         axpy_row(r->coef, r->payload, factor, row);
         if (row.end > r->end) r->end = row.end;
         r->nnz_valid = false;
@@ -264,6 +314,10 @@ class ProgressiveDecoder {
   std::vector<Symbol*> batch_coef_targets_;
   std::vector<Symbol*> batch_payload_targets_;
   std::vector<Symbol> batch_factors_;
+  // Schedule recording (see set_schedule_recorder); pending_ops_ holds the
+  // current equation's forward-elimination ops until it proves innovative.
+  Schedule* recorder_ = nullptr;
+  std::vector<typename Schedule::Op> pending_ops_;
 };
 
 }  // namespace prlc::linalg

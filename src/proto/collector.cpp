@@ -88,15 +88,24 @@ CollectionOutcome collect_resilient(FaultyChannel& channel,
 
   /// Parse + feed one delivered frame; false (and a corrupt count) when
   /// the wire layer rejects it or it does not belong to this collection.
+  /// The zero-copy view path hands the decoder spans straight into the
+  /// reply buffer — no per-fetch payload copy; only sparse coefficient
+  /// frames expand into a scratch vector reused across fetches.
+  std::vector<std::uint8_t> coeff_scratch;
   const auto deliver = [&](const FetchReply& reply) {
     try {
-      const codes::WireBlock wire = codes::decode_wire(reply.bytes);
-      if (wire.scheme != decoder.scheme() ||
-          wire.block.coeffs.size() != decoder.spec().total()) {
+      const codes::WireBlockView view = codes::decode_wire_view(reply.bytes);
+      if (view.scheme != decoder.scheme() || view.coeff_width != decoder.spec().total()) {
         throw codes::WireFormatError("frame does not match this collection");
       }
+      std::span<const std::uint8_t> coeffs = view.dense_coeffs;
+      if (!view.dense()) {
+        coeff_scratch.resize(view.coeff_width);
+        view.expand_coeffs(coeff_scratch);
+        coeffs = coeff_scratch;
+      }
       ++result.blocks_retrieved;
-      if (decoder.add(wire.block)) ++result.innovative_blocks;
+      if (decoder.add(view.level, coeffs, view.payload)) ++result.innovative_blocks;
       if (trace) result.level_trace.push_back(decoder.decoded_levels());
       return true;
     } catch (const codes::WireFormatError&) {

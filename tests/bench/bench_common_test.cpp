@@ -1,0 +1,93 @@
+#include "bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace prlc::bench {
+namespace {
+
+/// Run parse_args over a copy of `args`; returns the parsed options and
+/// the argv entries that survived stripping.
+struct ParseResult {
+  Options options;
+  std::vector<std::string> leftover;
+};
+
+ParseResult parse(std::vector<std::string> args,
+                  UnknownArgs unknown = UnknownArgs::kReject) {
+  std::vector<char*> argv;
+  std::string name = "bench_test";
+  argv.push_back(name.data());
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  int argc = static_cast<int>(argv.size()) - 1;
+  parse_args(argc, argv.data(), unknown);
+  ParseResult out;
+  out.options = options();
+  for (int i = 1; i < argc; ++i) out.leftover.emplace_back(argv[i]);
+  return out;
+}
+
+TEST(BenchCommonFlags, ParsesPayloadAndChunkBytes) {
+  const auto r = parse({"--payload-bytes", "1048576", "--chunk-bytes", "32768"});
+  ASSERT_TRUE(r.options.payload_bytes.has_value());
+  ASSERT_TRUE(r.options.chunk_bytes.has_value());
+  EXPECT_EQ(*r.options.payload_bytes, 1048576u);
+  EXPECT_EQ(*r.options.chunk_bytes, 32768u);
+  EXPECT_TRUE(r.leftover.empty());
+}
+
+TEST(BenchCommonFlags, ParsesBinarySuffixesAndEqualsForm) {
+  const auto r = parse({"--payload-bytes=64m", "--chunk-bytes=128K"});
+  EXPECT_EQ(*r.options.payload_bytes, std::size_t{64} << 20);
+  EXPECT_EQ(*r.options.chunk_bytes, std::size_t{128} << 10);
+  const auto g = parse({"--payload-bytes", "2g"});
+  EXPECT_EQ(*g.options.payload_bytes, std::size_t{2} << 30);
+}
+
+TEST(BenchCommonFlags, UnsetByteFlagsStayNullopt) {
+  const auto r = parse({"--trials", "5"});
+  EXPECT_FALSE(r.options.payload_bytes.has_value());
+  EXPECT_FALSE(r.options.chunk_bytes.has_value());
+  EXPECT_EQ(*r.options.trials, 5u);
+}
+
+TEST(BenchCommonFlagsDeathTest, RejectsNonPositiveAndGarbageByteCounts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(parse({"--payload-bytes", "0"}), testing::ExitedWithCode(64),
+              "--payload-bytes");
+  EXPECT_EXIT(parse({"--chunk-bytes", "0"}), testing::ExitedWithCode(64), "--chunk-bytes");
+  EXPECT_EXIT(parse({"--payload-bytes", "-4"}), testing::ExitedWithCode(64),
+              "--payload-bytes");
+  EXPECT_EXIT(parse({"--payload-bytes", "12q"}), testing::ExitedWithCode(64),
+              "--payload-bytes");
+  EXPECT_EXIT(parse({"--chunk-bytes", "kk"}), testing::ExitedWithCode(64), "--chunk-bytes");
+  EXPECT_EXIT(parse({"--payload-bytes"}), testing::ExitedWithCode(64), "missing its value");
+}
+
+TEST(BenchCommonFlagsDeathTest, RejectsChunkLargerThanPayload) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(parse({"--payload-bytes", "4096", "--chunk-bytes", "8192"}),
+              testing::ExitedWithCode(64), "--chunk-bytes must not exceed");
+  // Equal is fine.
+  const auto r = parse({"--payload-bytes", "4096", "--chunk-bytes", "4096"});
+  EXPECT_EQ(*r.options.chunk_bytes, 4096u);
+  // Chunk alone is fine at any size: no payload to compare against.
+  const auto c = parse({"--chunk-bytes", "1g"});
+  EXPECT_EQ(*c.options.chunk_bytes, std::size_t{1} << 30);
+}
+
+TEST(BenchCommonFlagsDeathTest, RejectsUnknownArgumentsUnlessKept) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(parse({"--frobnicate"}), testing::ExitedWithCode(64), "unknown argument");
+  const auto kept = parse({"--benchmark_filter=BM_x", "--payload-bytes", "64k"},
+                          UnknownArgs::kKeep);
+  ASSERT_EQ(kept.leftover.size(), 1u);
+  EXPECT_EQ(kept.leftover[0], "--benchmark_filter=BM_x");
+  EXPECT_EQ(*kept.options.payload_bytes, std::size_t{64} << 10);
+}
+
+}  // namespace
+}  // namespace prlc::bench

@@ -1,0 +1,163 @@
+#include "codec/op_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "runtime/thread_pool.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::codec {
+namespace {
+
+using F = gf::Gf256;
+
+std::vector<std::uint8_t> random_row(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> row(n);
+  for (auto& v : row) v = static_cast<std::uint8_t>(rng.uniform(256));
+  return row;
+}
+
+/// Build a mixed workload over `rows` buffers of `n` bytes: mul_region /
+/// axpy chains plus a scale and a copy, enough hazards of every kind to
+/// exercise the scheduler.
+struct Workload {
+  std::vector<std::vector<std::uint8_t>> bufs;
+  std::vector<std::uint8_t> input;
+
+  Workload(std::size_t rows, std::size_t n, Rng& rng) : input(random_row(n, rng)) {
+    for (std::size_t i = 0; i < rows; ++i) bufs.push_back(random_row(n, rng));
+  }
+
+  void build(OpGraph& graph) {
+    const std::uint32_t src = graph.add_const_buffer(input.data(), input.size());
+    std::vector<std::uint32_t> ids;
+    for (auto& b : bufs) ids.push_back(graph.add_buffer(b.data(), b.size()));
+    graph.mul_region(ids[0], src, 0x1D);
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      graph.axpy(ids[i], ids[i - 1], static_cast<std::uint8_t>(i));  // RAW chain
+    }
+    graph.scale(ids[0], 0x8F);                  // WAR against the chain's reads
+    graph.copy(ids[1], ids[0]);                 // RAW on the scaled row
+    graph.axpy(ids[0], src, 0x33);              // WAW on row 0
+    if (ids.size() > 2) graph.zero(ids[2]);     // WAW after being read
+  }
+};
+
+TEST(OpGraph, SerialAndPooledExecutionAreByteIdentical) {
+  Rng rng(11);
+  const std::size_t n = 4096 + 17;  // unaligned: last tile is a partial one
+  Workload reference(4, n, rng);
+  OpGraph ref_graph(256);
+  reference.build(ref_graph);
+  ref_graph.finalize();
+  ref_graph.execute_serial();
+
+  for (std::size_t threads : {2u, 8u}) {
+    Rng replay(11);
+    Workload subject(4, n, replay);
+    OpGraph graph(256);
+    subject.build(graph);
+    graph.finalize();
+    runtime::ThreadPool pool(threads);
+    graph.execute(pool);
+    for (std::size_t i = 0; i < subject.bufs.size(); ++i) {
+      EXPECT_EQ(subject.bufs[i], reference.bufs[i]) << "buffer " << i << " diverged at "
+                                                    << threads << " threads";
+    }
+  }
+}
+
+TEST(OpGraph, ReExecutionIsIdempotentForWriteOnlyGraphs) {
+  // A graph whose every buffer is fully overwritten before being read
+  // computes the same bytes when executed twice.
+  Rng rng(12);
+  std::vector<std::uint8_t> src = random_row(1024, rng);
+  std::vector<std::uint8_t> dst(1024, 0xAA);
+  OpGraph graph(128);
+  const std::uint32_t s = graph.add_const_buffer(src.data(), src.size());
+  const std::uint32_t d = graph.add_buffer(dst.data(), dst.size());
+  graph.mul_region(d, s, 0x02);
+  graph.axpy(d, s, 0x07);
+  graph.finalize();
+  runtime::ThreadPool pool(2);
+  graph.execute(pool);
+  const std::vector<std::uint8_t> first = dst;
+  graph.execute(pool);
+  EXPECT_EQ(dst, first);
+}
+
+TEST(OpGraph, TilingSplitsRowsAndCountsBytes) {
+  std::vector<std::uint8_t> a(1000), b(1000);
+  OpGraph graph(256);
+  const std::uint32_t ia = graph.add_buffer(a.data(), a.size());
+  const std::uint32_t ib = graph.add_buffer(b.data(), b.size());
+  graph.zero(ia);
+  graph.axpy(ib, ia, 1);
+  graph.finalize();
+  // 1000 bytes at 256-byte tiles = 4 tiles per row op.
+  EXPECT_EQ(graph.node_count(), 8u);
+  EXPECT_EQ(graph.bytes_scheduled(), 2000u);
+  // Each axpy tile depends on the zero of the same tile: depth 2.
+  EXPECT_EQ(graph.critical_path(), 2u);
+}
+
+TEST(OpGraph, CriticalPathTracksDependencyChains) {
+  std::vector<std::uint8_t> a(64), b(64), c(64);
+  OpGraph graph(64);
+  const std::uint32_t ia = graph.add_buffer(a.data(), a.size());
+  const std::uint32_t ib = graph.add_buffer(b.data(), b.size());
+  const std::uint32_t ic = graph.add_buffer(c.data(), c.size());
+  graph.zero(ia);
+  graph.copy(ib, ia);
+  graph.axpy(ic, ib, 3);   // needs ib's copy -> chain of 3
+  graph.scale(ic, 5);      // WAW extends it to 4
+  graph.finalize();
+  EXPECT_EQ(graph.critical_path(), 4u);
+}
+
+TEST(OpGraph, IndependentRowsHaveUnitCriticalPath) {
+  std::vector<std::vector<std::uint8_t>> rows(6, std::vector<std::uint8_t>(512));
+  OpGraph graph(128);
+  for (auto& r : rows) {
+    graph.zero(graph.add_buffer(r.data(), r.size()));
+  }
+  graph.finalize();
+  EXPECT_EQ(graph.critical_path(), 1u);
+  EXPECT_EQ(graph.node_count(), 6u * 4u);
+}
+
+TEST(OpGraph, RejectsInvalidOps) {
+  std::vector<std::uint8_t> a(64), b(32);
+  OpGraph graph(64);
+  const std::uint32_t ia = graph.add_buffer(a.data(), a.size());
+  const std::uint32_t ib = graph.add_buffer(b.data(), b.size());
+  const std::uint32_t ic = graph.add_const_buffer(a.data(), a.size());
+  EXPECT_THROW(graph.axpy(ia, ib, 1), PreconditionError);   // size mismatch
+  EXPECT_THROW(graph.axpy(ia, ia, 1), PreconditionError);   // aliased src/dst
+  EXPECT_THROW(graph.zero(ic), PreconditionError);          // const dst
+  EXPECT_THROW(OpGraph(0), PreconditionError);              // zero tile
+}
+
+TEST(OpGraph, MatchesDirectKernelComputation) {
+  Rng rng(13);
+  const std::size_t n = 777;
+  std::vector<std::uint8_t> x = random_row(n, rng);
+  std::vector<std::uint8_t> y = random_row(n, rng);
+  std::vector<std::uint8_t> want = y;
+  F::axpy(std::span<std::uint8_t>(want), 0x5A, std::span<const std::uint8_t>(x));
+
+  OpGraph graph(100);
+  const std::uint32_t ix = graph.add_const_buffer(x.data(), n);
+  const std::uint32_t iy = graph.add_buffer(y.data(), n);
+  graph.axpy(iy, ix, 0x5A);
+  graph.finalize();
+  graph.execute_serial();
+  EXPECT_EQ(y, want);
+}
+
+}  // namespace
+}  // namespace prlc::codec

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "gf/gf256_kernels.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::gf {
+namespace {
+
+/// Restores the process-wide tile size on scope exit so this test cannot
+/// perturb the other kernel tests in the binary.
+struct TileGuard {
+  std::size_t saved = gf256_tile_bytes();
+  ~TileGuard() { gf256_set_tile_bytes(saved); }
+};
+
+TEST(Gf256Tile, SetterRoundTripsAndValidates) {
+  TileGuard guard;
+  gf256_set_tile_bytes(32768);
+  EXPECT_EQ(gf256_tile_bytes(), 32768u);
+  gf256_set_tile_bytes(kGf256TileMin);
+  EXPECT_EQ(gf256_tile_bytes(), kGf256TileMin);
+  EXPECT_THROW(gf256_set_tile_bytes(0), PreconditionError);
+  EXPECT_THROW(gf256_set_tile_bytes(kGf256TileMin - 1), PreconditionError);
+  EXPECT_THROW(gf256_set_tile_bytes(kGf256TileMax + 1), PreconditionError);
+}
+
+TEST(Gf256Tile, AxpyBatchIsTileSizeInvariant) {
+  TileGuard guard;
+  Rng rng(31);
+  const std::size_t n = 100000;  // several tiles at every candidate size
+  const std::size_t rows = 7;
+  std::vector<std::uint8_t> x(n);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform(256));
+  std::vector<std::uint8_t> coeffs;
+  for (std::size_t r = 0; r < rows; ++r) {
+    coeffs.push_back(static_cast<std::uint8_t>(1 + rng.uniform(255)));
+  }
+  const std::vector<std::vector<std::uint8_t>> initial(rows, x);
+
+  std::vector<std::vector<std::uint8_t>> want;
+  for (const std::size_t tile : {std::size_t{64}, std::size_t{4096}, std::size_t{32768},
+                                 std::size_t{131072}}) {
+    gf256_set_tile_bytes(tile);
+    auto targets = initial;
+    std::vector<std::uint8_t*> ptrs;
+    for (auto& t : targets) ptrs.push_back(t.data());
+    Gf256::axpy_batch(std::span<std::uint8_t* const>(ptrs),
+                      std::span<const std::uint8_t>(coeffs),
+                      std::span<const std::uint8_t>(x));
+    if (want.empty()) {
+      want = targets;
+    } else {
+      EXPECT_EQ(targets, want) << "tile " << tile << " changed axpy_batch output";
+    }
+  }
+}
+
+TEST(Gf256Tile, AutotunePicksACandidateWithoutSettingIt) {
+  TileGuard guard;
+  gf256_set_tile_bytes(8192);
+  const std::size_t candidates[] = {16384, 65536};
+  const std::size_t best = gf256_autotune_tile_bytes(candidates);
+  EXPECT_TRUE(best == 16384 || best == 65536);
+  EXPECT_EQ(gf256_tile_bytes(), 8192u);  // autotune only measures
+}
+
+}  // namespace
+}  // namespace prlc::gf

@@ -1,0 +1,114 @@
+#include "linalg/elimination_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "linalg/progressive_decoder.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::linalg {
+namespace {
+
+using F = gf::Gf256;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& v : out) v = static_cast<std::uint8_t>(rng.uniform(256));
+  return out;
+}
+
+/// Apply a recorded schedule to the raw input payloads, scalar-wise.
+void replay(const EliminationSchedule& schedule,
+            std::vector<std::vector<std::uint8_t>>& payloads) {
+  for (const auto& op : schedule.ops) {
+    auto& target = payloads[op.target];
+    switch (op.kind) {
+      case EliminationSchedule::OpKind::kAxpy: {
+        const auto& source = payloads[op.source];
+        for (std::size_t k = 0; k < target.size(); ++k) {
+          target[k] ^= F::mul(op.factor, source[k]);
+        }
+        break;
+      }
+      case EliminationSchedule::OpKind::kScale:
+        for (auto& v : target) v = F::mul(op.factor, v);
+        break;
+    }
+  }
+}
+
+TEST(EliminationSchedule, ReplayReproducesTheEagerDecoderSolutions) {
+  Rng rng(41);
+  const std::size_t n = 24;
+  const std::size_t payload = 37;
+  const std::size_t equations = n + 5;  // redundancy: dropped-op path covered
+
+  std::vector<std::vector<std::uint8_t>> rows, payloads;
+  for (std::size_t i = 0; i < equations; ++i) {
+    rows.push_back(random_bytes(n, rng));
+    payloads.push_back(random_bytes(payload, rng));
+  }
+
+  // Reference: eager decoder carrying the payloads itself.
+  ProgressiveDecoder<F> eager(n, payload);
+  // Subject: coefficient-only decoder recording the payload schedule.
+  ProgressiveDecoder<F> recording(n);
+  EliminationSchedule schedule;
+  recording.set_schedule_recorder(&schedule);
+  for (std::size_t i = 0; i < equations; ++i) {
+    const bool a = eager.add(rows[i], payloads[i]);
+    const bool b = recording.add(rows[i]);
+    EXPECT_EQ(a, b) << "innovation verdicts diverged at row " << i;
+  }
+  ASSERT_EQ(recording.rank(), eager.rank());
+  EXPECT_EQ(schedule.inputs, equations);
+
+  auto replayed = payloads;
+  replay(schedule, replayed);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(recording.is_decoded(i));
+    const std::uint32_t input = schedule.pivot_input[i];
+    ASSERT_NE(input, EliminationSchedule::kNoInput);
+    const auto want = eager.solution(i);
+    const auto& got = replayed[input];
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
+        << "unknown " << i << " bound to input " << input;
+  }
+}
+
+TEST(EliminationSchedule, PartialRankBindsOnlyDecodedPivots) {
+  Rng rng(42);
+  const std::size_t n = 12;
+  ProgressiveDecoder<F> recording(n);
+  EliminationSchedule schedule;
+  recording.set_schedule_recorder(&schedule);
+  // Only 5 equations over the first 6 unknowns.
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::vector<std::uint8_t> row(n, 0);
+    for (std::size_t j = 0; j < 6; ++j) row[j] = static_cast<std::uint8_t>(rng.uniform(256));
+    recording.add(row);
+  }
+  std::size_t bound = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (schedule.pivot_input[i] != EliminationSchedule::kNoInput) ++bound;
+  }
+  EXPECT_EQ(bound, recording.rank());
+  for (std::size_t i = 6; i < n; ++i) {
+    EXPECT_EQ(schedule.pivot_input[i], EliminationSchedule::kNoInput);
+  }
+}
+
+TEST(EliminationSchedule, RecorderRequiresAFreshDecoder) {
+  ProgressiveDecoder<F> decoder(4);
+  decoder.add(std::vector<std::uint8_t>{1, 0, 0, 0});
+  EliminationSchedule schedule;
+  EXPECT_THROW(decoder.set_schedule_recorder(&schedule), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::linalg

@@ -43,12 +43,15 @@ cmake -B "${tsan_build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPRLC_SANITIZE=thread
 cmake --build "${tsan_build_dir}" -j"${jobs}" \
-  --target test_obs --target test_runtime --target abl_persistence_e2e \
-  --target abl_fault
+  --target test_obs --target test_runtime --target test_codec \
+  --target abl_persistence_e2e --target abl_fault
 
+# test_codec drives the dependency-counting OpGraph executor (the codec's
+# multithreaded data plane) across pools of 1/2/8 workers — the prime
+# TSan target this repo has.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "${tsan_build_dir}" --output-on-failure -j"${jobs}" \
-  -R '^test_obs$|^test_runtime$'
+  -R '^test_obs$|^test_runtime$|^test_codec$'
 PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_persistence_e2e" \
   --threads 4 --trials 64 > /dev/null
 PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_fault" \
