@@ -1,18 +1,35 @@
-// Ablation — sparse encoding with O(ln N) coefficients (Sec. 4 claim).
+// Ablation — sparse encoding + hybrid peeling/GE decoding at N up to 1e5.
 //
-// The paper leans on Dimakis et al.: a coded block that mixes only
-// O(ln N) randomly chosen source blocks still yields an invertible
-// decoding matrix with high probability, which cuts the pre-distribution
-// cost from N messages per coded block to O(ln N). This bench sweeps the
-// sparsity factor c (row weight = ceil(c ln N)) and reports the decoded
-// fraction from 1.25 N coded blocks, for PLC and RLC — the threshold
-// behaviour around c ~ 1..3 is the expected shape.
+// Two claims are measured, both in machine-readable form (--json):
+//
+//  1. Dense regime (N = 500): the hybrid decoder's routing machinery is
+//     free when rows are dense — ns_per_equation for dense-model blocks
+//     fed as full-width spans is the legacy Gauss-Jordan cost, and for
+//     sparse-model blocks the sparse (index, value) feed is no slower
+//     than expanding the same equations to dense spans.
+//
+//  2. Large N (1e4..1e5): with O(ln w)-sparse chunked coefficients
+//     (EncoderOptions.chunk_size, after "Expander Chunked Codes") the
+//     decode cost per equation stays near-flat as N grows 10x — fill-in
+//     is bounded by the chunk width, so total decode cost is near-linear
+//     in the number of equations. The decoded fraction and the decoder's
+//     storage statistics (sparse vs dense rows, peel operations,
+//     densifications, resident coefficient bytes) are reported per point.
+//
+// The curves themselves are unchanged by any of this: the sparse emitter
+// consumes the RNG exactly like the dense one and the hybrid decoder is
+// arithmetically identical to dense Gauss-Jordan (tests/linalg fuzz).
+#include <chrono>
+#include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "codes/decoding_curve.h"
+#include "codes/coded_block.h"
+#include "codes/encoder.h"
 #include "gf/gf256.h"
-#include "util/stats.h"
+#include "linalg/progressive_decoder.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -20,52 +37,173 @@ namespace {
 using namespace prlc;
 using F = gf::Gf256;
 
-double decoded_fraction(codes::Scheme scheme, const codes::PrioritySpec& spec,
-                        const codes::EncoderOptions& enc, std::size_t coded_blocks,
-                        std::size_t trials, std::uint64_t seed) {
+struct RunResult {
+  std::size_t equations = 0;
+  double decode_ns = 0;           ///< wall time of the add loop only
+  std::size_t decoded_prefix = 0;
+  std::size_t decoded_levels = 0;
+  linalg::ProgressiveDecoder<F>::Stats stats;
+
+  double ns_per_equation() const {
+    return equations == 0 ? 0.0 : decode_ns / static_cast<double>(equations);
+  }
+};
+
+/// Generate `m` coded blocks up front, then time only the decode loop.
+/// `sparse_feed` routes blocks through add_sparse (the O(nnz) hybrid
+/// entry); otherwise they are expanded to full-width spans first — the
+/// legacy dense feed.
+RunResult run_decode(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                     const codes::EncoderOptions& enc_opts, std::size_t m,
+                     std::uint64_t seed, bool sparse_feed) {
+  const codes::PriorityEncoder<F> encoder(scheme, spec, enc_opts, nullptr);
   const auto dist = codes::PriorityDistribution::uniform(spec.levels());
-  codes::CurveOptions opt;
-  opt.block_counts = {coded_blocks};
-  opt.trials = trials;
-  opt.seed = seed;
-  opt.threads = bench::options().threads;
-  opt.encoder = enc;
-  const auto curve = codes::simulate_decoding_curve<F>(scheme, spec, dist, opt);
-  return curve[0].mean_blocks / static_cast<double>(spec.total());
+  Rng rng(seed);
+
+  RunResult out;
+  out.equations = m;
+  linalg::ProgressiveDecoder<F> decoder(spec.total());
+  if (sparse_feed) {
+    std::vector<codes::SparseCodedBlock<F>> blocks;
+    blocks.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      blocks.push_back(encoder.encode_sparse_random(dist, rng));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& b : blocks) decoder.add_sparse(b.indices, b.values);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.decode_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  } else {
+    std::vector<codes::CodedBlock<F>> blocks;
+    blocks.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      blocks.push_back(encoder.encode_random(dist, rng));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& b : blocks) decoder.add(b.coeffs);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.decode_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  }
+  out.decoded_prefix = decoder.decoded_prefix();
+  out.decoded_levels = spec.levels_covered_by_prefix(out.decoded_prefix);
+  out.stats = decoder.stats();
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::parse_args(argc, argv);
-  bench::banner("Ablation — O(ln N) sparse encoding",
-                "Decoded fraction from 1.25N blocks vs sparsity factor c.");
-  const std::size_t trials = bench::options().trials_or(30, 6);
+  bench::banner("Ablation — sparse coding x hybrid peeling/GE decoder",
+                "Decode cost per equation: dense regime (N=500) and chunked "
+                "sparse runs at N = 1e4..1e5.");
   const std::uint64_t seed = bench::options().seed_or(0);
-  const auto spec = codes::PrioritySpec::uniform(5, 100);  // N = 500
-  const std::size_t m = 625;                               // 1.25 N
+  bench::BenchReport report("abl_sparsity");
 
-  TablePrinter table({"sparsity factor c", "row weight (last level)",
-                      "PLC decoded fraction", "RLC decoded fraction"});
-  for (double c : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0}) {
-    codes::EncoderOptions enc;
-    enc.model = codes::CoefficientModel::kSparse;
-    enc.sparsity_factor = c;
-    const auto weight = static_cast<std::size_t>(std::ceil(c * std::log(500.0)));
-    table.add_row(
-        {fmt_double(c, 1), std::to_string(weight),
-         fmt_double(decoded_fraction(codes::Scheme::kPlc, spec, enc, m, trials, seed + 11), 3),
-         fmt_double(decoded_fraction(codes::Scheme::kRlc, spec, enc, m, trials, seed + 13), 3)});
+  // ---- 1. Dense regime: hybrid overhead at small N ------------------------
+  {
+    const auto spec = codes::PrioritySpec::uniform(5, 100);  // N = 500
+    const std::size_t m = bench::options().trials_or(625, 625);  // 1.25 N: decodes fully
+    report.set_config("small_n", static_cast<double>(spec.total()));
+
+    TablePrinter table({"model", "feed", "decode ms", "ns/equation", "decoded prefix"});
+    struct Case {
+      const char* model_name;
+      codes::CoefficientModel model;
+      bool sparse_feed;
+    };
+    const Case cases[] = {
+        {"dense-uniform", codes::CoefficientModel::kDenseUniform, false},
+        {"sparse c=3", codes::CoefficientModel::kSparse, false},
+        {"sparse c=3", codes::CoefficientModel::kSparse, true},
+    };
+    for (const auto& c : cases) {
+      codes::EncoderOptions enc;
+      enc.model = c.model;
+      enc.sparsity_factor = 3.0;
+      // Same seed for both feeds of the sparse model: identical equations,
+      // so the timing difference is purely the feed path.
+      const auto r = run_decode(codes::Scheme::kPlc, spec, enc, m,
+                                seed + (c.model == codes::CoefficientModel::kSparse ? 23 : 19),
+                                c.sparse_feed);
+      table.add_row({c.model_name, c.sparse_feed ? "sparse pairs" : "dense span",
+                     fmt_double(r.decode_ns / 1e6, 3), fmt_double(r.ns_per_equation(), 0),
+                     std::to_string(r.decoded_prefix)});
+      report.add_point("small_n_overhead",
+                       {{"model", std::string(c.model_name)},
+                        {"feed", std::string(c.sparse_feed ? "sparse" : "dense")},
+                        {"n", static_cast<double>(spec.total())},
+                        {"equations", static_cast<double>(r.equations)},
+                        {"decode_ns", r.decode_ns},
+                        {"ns_per_equation", r.ns_per_equation()},
+                        {"decoded_prefix", static_cast<double>(r.decoded_prefix)}});
+    }
+    table.emit("abl_sparsity_small_n");
   }
-  codes::EncoderOptions dense;
-  table.add_row(
-      {"dense", "500",
-       fmt_double(decoded_fraction(codes::Scheme::kPlc, spec, dense, m, trials, seed + 17), 3),
-       fmt_double(decoded_fraction(codes::Scheme::kRlc, spec, dense, m, trials, seed + 19), 3)});
-  table.emit("abl_sparsity");
-  std::cout << "\nExpected shape: decoded fraction jumps from ~0 to ~1 as c passes a\n"
-               "small constant (the O(ln N) threshold); c >= 3 matches dense coding,\n"
-               "at ~ c ln N / N of the dissemination cost.\n";
-  bench::finalize(nullptr);
+
+  // ---- 2. Chunked sparse decoding at N = 1e4 .. 1e5 -----------------------
+  {
+    const std::size_t chunk = 256;
+    const double redundancy = 1.3;
+    std::vector<std::size_t> sizes = {10000, 31623, 100000};
+    std::vector<double> factors = {1.5, 3.0};
+    if (bench::fast_mode()) {
+      sizes = {10000};
+      factors = {3.0};
+    }
+    report.set_config("chunk_size", static_cast<double>(chunk));
+    report.set_config("redundancy", redundancy);
+
+    TablePrinter table({"scheme", "N", "c", "decode ms", "ns/equation", "decoded frac",
+                        "peel ops", "sparse rows", "dense rows", "coef MiB"});
+    for (const auto scheme : {codes::Scheme::kRlc, codes::Scheme::kPlc}) {
+      if (!bench::options().scheme_enabled(scheme)) continue;
+      for (const std::size_t n : sizes) {
+        for (const double c : factors) {
+          const auto spec = codes::PrioritySpec::uniform(5, n / 5);
+          codes::EncoderOptions enc;
+          enc.model = codes::CoefficientModel::kSparse;
+          enc.sparsity_factor = c;
+          enc.chunk_size = chunk;
+          const auto m = static_cast<std::size_t>(redundancy * static_cast<double>(n));
+          const auto r = run_decode(scheme, spec, enc, m, seed + 31 + n + sizes.size(),
+                                    /*sparse_feed=*/true);
+          const double frac =
+              static_cast<double>(r.decoded_prefix) / static_cast<double>(spec.total());
+          table.add_row({std::string(codes::to_string(scheme)), std::to_string(n),
+                         fmt_double(c, 1), fmt_double(r.decode_ns / 1e6, 1),
+                         fmt_double(r.ns_per_equation(), 0), fmt_double(frac, 3),
+                         std::to_string(r.stats.peel_ops),
+                         std::to_string(r.stats.sparse_rows),
+                         std::to_string(r.stats.dense_rows),
+                         fmt_double(static_cast<double>(r.stats.coef_bytes) / (1024.0 * 1024.0), 1)});
+          report.add_point(
+              std::string("hybrid_large_n/") + codes::to_string(scheme),
+              {{"n", static_cast<double>(n)},
+               {"sparsity_factor", c},
+               {"chunk_size", static_cast<double>(chunk)},
+               {"equations", static_cast<double>(r.equations)},
+               {"decode_ns", r.decode_ns},
+               {"ns_per_equation", r.ns_per_equation()},
+               {"decoded_fraction", frac},
+               {"decoded_levels", static_cast<double>(r.decoded_levels)},
+               {"peel_ops", static_cast<double>(r.stats.peel_ops)},
+               {"sparse_rows", static_cast<double>(r.stats.sparse_rows)},
+               {"dense_rows", static_cast<double>(r.stats.dense_rows)},
+               {"densifications", static_cast<double>(r.stats.densifications)},
+               {"coef_bytes", static_cast<double>(r.stats.coef_bytes)}});
+        }
+      }
+    }
+    table.emit("abl_sparsity_large_n");
+  }
+
+  std::cout << "\nExpected shape: ns/equation stays near-flat as N grows 10x\n"
+               "(chunked fill-in is bounded by the chunk width, so decode cost is\n"
+               "near-linear in equations), and the sparse feed at small N costs no\n"
+               "more than expanding the same equations to dense spans.\n";
+  bench::finalize(&report);
   return 0;
 }

@@ -72,6 +72,37 @@ class PriorityDecoder {
     return level_decoders_[level]->add(coeffs.subspan(begin, len), payload);
   }
 
+  /// Feed one sparse coded block; returns true when it was innovative.
+  bool add(const SparseCodedBlock<F>& block) {
+    return add_sparse(block.level, block.indices, block.values, block.payload);
+  }
+
+  /// Sparse twin of add(): the equation arrives as sorted (index, value)
+  /// pairs and is routed straight into the hybrid peeling/GE path without
+  /// ever materializing a dense coefficient vector — the only O(nnz) entry
+  /// point, which is what makes N = 10^5 runs practical.
+  bool add_sparse(std::size_t level, std::span<const std::uint32_t> indices,
+                  std::span<const Symbol> values, std::span<const Symbol> payload) {
+    PRLC_REQUIRE(payload.size() == payload_size_, "coded block payload mismatch");
+    ++blocks_seen_;
+    if (scheme_ != Scheme::kSlc) {
+      return joint_decoder_->add_sparse(indices, values, payload);
+    }
+    PRLC_REQUIRE(level < spec_.levels(), "coded block level out of range");
+    const std::size_t begin = spec_.level_begin(level);
+    const std::size_t len = spec_.level_size(level);
+    // An SLC block must not reference blocks outside its level; translate
+    // indices into the per-level decoder's coordinate frame.
+    slc_idx_.clear();
+    slc_idx_.reserve(indices.size());
+    for (const std::uint32_t j : indices) {
+      PRLC_REQUIRE(j >= begin && j < begin + len,
+                   "SLC coded block has support outside its level");
+      slc_idx_.push_back(j - static_cast<std::uint32_t>(begin));
+    }
+    return level_decoders_[level]->add_sparse(slc_idx_, values, payload);
+  }
+
   std::size_t blocks_seen() const { return blocks_seen_; }
 
   /// Total rank accumulated (across per-level decoders for SLC).
@@ -137,6 +168,7 @@ class PriorityDecoder {
   std::size_t payload_size_;
   std::unique_ptr<linalg::ProgressiveDecoder<F>> joint_decoder_;
   std::vector<std::unique_ptr<linalg::ProgressiveDecoder<F>>> level_decoders_;
+  std::vector<std::uint32_t> slc_idx_;  ///< add_sparse level-translation scratch
   std::size_t blocks_seen_ = 0;
 };
 

@@ -42,6 +42,12 @@ struct EncoderOptions {
   /// Nonzeros per block = ceil(sparsity_factor * ln(support size)) under
   /// kSparse (clamped to [1, support size]).
   double sparsity_factor = 3.0;
+  /// When nonzero, each block's support is further restricted to one
+  /// randomly chosen chunk_size-aligned slice of the scheme support.
+  /// Chunking bounds decoder fill-in by the chunk width — the structured
+  /// sparsity of "Expander Chunked Codes" (PAPERS.md) that keeps hybrid
+  /// decoding near-linear at N = 10^5 (bench/abl_sparsity). 0 disables.
+  std::size_t chunk_size = 0;
 };
 
 template <gf::FieldPolicy F>
@@ -87,13 +93,37 @@ class PriorityEncoder {
     CodedBlock<F> block;
     block.level = level;
     block.coeffs.assign(spec_.total(), Symbol{0});
-    draw_coefficients(block.coeffs, begin, end, rng);
+    std::vector<std::uint32_t> idx;
+    std::vector<Symbol> val;
+    draw_support(begin, end, rng, idx, val);
+    for (std::size_t k = 0; k < idx.size(); ++k) block.coeffs[idx[k]] = val[k];
     if (source_ != nullptr) {
       block.payload.assign(source_->block_size(), Symbol{0});
-      for (std::size_t j = begin; j < end; ++j) {
-        if (block.coeffs[j] != 0) {
-          F::axpy(std::span<Symbol>(block.payload), block.coeffs[j], source_->block(j));
-        }
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        F::axpy(std::span<Symbol>(block.payload), val[k], source_->block(idx[k]));
+      }
+    }
+    return block;
+  }
+
+  /// Produce one coded block of the given level in sparse form. Consumes
+  /// the RNG exactly as encode() does, so from the same seed the dense and
+  /// sparse emitters produce the same equation stream: expanding the
+  /// returned (indices, values) pairs reproduces encode()'s coefficient
+  /// vector and payload bit for bit.
+  SparseCodedBlock<F> encode_sparse(std::size_t level, Rng& rng) const {
+    const auto [begin, end] = support(level);
+    static obs::Counter& blocks_encoded = obs::counter("encoder.blocks_encoded");
+    blocks_encoded.add();
+    SparseCodedBlock<F> block;
+    block.level = level;
+    draw_support(begin, end, rng, block.indices, block.values);
+    sort_support(block.indices, block.values);
+    if (source_ != nullptr) {
+      block.payload.assign(source_->block_size(), Symbol{0});
+      for (std::size_t k = 0; k < block.indices.size(); ++k) {
+        F::axpy(std::span<Symbol>(block.payload), block.values[k],
+                source_->block(block.indices[k]));
       }
     }
     return block;
@@ -106,9 +136,30 @@ class PriorityEncoder {
     return encode(dist.sample_level(rng), rng);
   }
 
+  /// Sample the block's level from `dist`, then encode in sparse form.
+  SparseCodedBlock<F> encode_sparse_random(const PriorityDistribution& dist, Rng& rng) const {
+    PRLC_REQUIRE(dist.levels() == spec_.levels(),
+                 "priority distribution and spec disagree on level count");
+    return encode_sparse(dist.sample_level(rng), rng);
+  }
+
  private:
-  void draw_coefficients(std::vector<Symbol>& coeffs, std::size_t begin, std::size_t end,
-                         Rng& rng) const {
+  /// Draw one block's nonzero support as (index, value) pairs, in *draw
+  /// order* (kSparse pairs come out in sample order — sort_support makes
+  /// them canonical). This is the single source of randomness for both
+  /// emitters; any change here must keep the RNG consumption of the dense
+  /// and sparse paths identical.
+  void draw_support(std::size_t begin, std::size_t end, Rng& rng,
+                    std::vector<std::uint32_t>& idx, std::vector<Symbol>& val) const {
+    idx.clear();
+    val.clear();
+    // Chunked sparsity: restrict the block to one chunk_size-aligned slice
+    // of the scheme support (see EncoderOptions.chunk_size).
+    if (options_.chunk_size > 0 && end - begin > options_.chunk_size) {
+      const std::size_t chunks = (end - begin + options_.chunk_size - 1) / options_.chunk_size;
+      begin += rng.uniform(chunks) * options_.chunk_size;
+      end = std::min(end, begin + options_.chunk_size);
+    }
     const std::size_t width = end - begin;
     PRLC_ASSERT(width > 0, "empty coding support");
     static obs::Counter& symbols_drawn = obs::counter("encoder.symbols_drawn");
@@ -116,32 +167,32 @@ class PriorityEncoder {
     switch (options_.model) {
       case CoefficientModel::kDenseUniform: {
         bool first_draw = true;
-        bool any = false;
         do {
           if (!first_draw) redraws.add();
           first_draw = false;
           symbols_drawn.add(width);
-          // Reset the support explicitly before each (re)draw. Today every
-          // slot is overwritten below, but a sparse-support refactor that
-          // skips slots must not inherit stale values from a rejected draw.
-          std::fill(coeffs.begin() + static_cast<std::ptrdiff_t>(begin),
-                    coeffs.begin() + static_cast<std::ptrdiff_t>(end), Symbol{0});
-          any = false;
+          // Reset the pairs before each (re)draw: a rejected all-zero
+          // attempt must not leak stale entries.
+          idx.clear();
+          val.clear();
           for (std::size_t j = begin; j < end; ++j) {
-            coeffs[j] = static_cast<Symbol>(rng.uniform(F::order()));
-            any = any || coeffs[j] != 0;
+            const auto c = static_cast<Symbol>(rng.uniform(F::order()));
+            if (c != 0) {
+              idx.push_back(static_cast<std::uint32_t>(j));
+              val.push_back(c);
+            }
           }
-        } while (!any);
-        PRLC_ASSERT(std::any_of(coeffs.begin() + static_cast<std::ptrdiff_t>(begin),
-                                coeffs.begin() + static_cast<std::ptrdiff_t>(end),
-                                [](Symbol c) { return c != 0; }),
-                    "dense-uniform draw produced an all-zero row");
+        } while (idx.empty());
+        PRLC_ASSERT(!idx.empty(), "dense-uniform draw produced an all-zero row");
         return;
       }
       case CoefficientModel::kDenseNonzero: {
         symbols_drawn.add(width);
+        idx.reserve(width);
+        val.reserve(width);
         for (std::size_t j = begin; j < end; ++j) {
-          coeffs[j] = static_cast<Symbol>(1 + rng.uniform(F::order() - 1));
+          idx.push_back(static_cast<std::uint32_t>(j));
+          val.push_back(static_cast<Symbol>(1 + rng.uniform(F::order() - 1)));
         }
         return;
       }
@@ -151,13 +202,33 @@ class PriorityEncoder {
         const std::size_t nnz =
             std::clamp<std::size_t>(static_cast<std::size_t>(target), 1, width);
         symbols_drawn.add(nnz);
+        idx.reserve(nnz);
+        val.reserve(nnz);
         for (std::size_t offset : rng.sample_without_replacement(width, nnz)) {
-          coeffs[begin + offset] = static_cast<Symbol>(1 + rng.uniform(F::order() - 1));
+          idx.push_back(static_cast<std::uint32_t>(begin + offset));
+          val.push_back(static_cast<Symbol>(1 + rng.uniform(F::order() - 1)));
         }
         return;
       }
     }
     PRLC_ASSERT(false, "unknown coefficient model");
+  }
+
+  /// Put (index, value) pairs into strictly increasing index order.
+  static void sort_support(std::vector<std::uint32_t>& idx, std::vector<Symbol>& val) {
+    if (std::is_sorted(idx.begin(), idx.end())) return;
+    std::vector<std::size_t> perm(idx.size());
+    for (std::size_t k = 0; k < perm.size(); ++k) perm[k] = k;
+    std::sort(perm.begin(), perm.end(),
+              [&](std::size_t a, std::size_t b) { return idx[a] < idx[b]; });
+    std::vector<std::uint32_t> sorted_idx(idx.size());
+    std::vector<Symbol> sorted_val(val.size());
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+      sorted_idx[k] = idx[perm[k]];
+      sorted_val[k] = val[perm[k]];
+    }
+    idx.swap(sorted_idx);
+    val.swap(sorted_val);
   }
 
   Scheme scheme_;

@@ -1,4 +1,4 @@
-// Iterative peeling decoder for XOR-based codes (Growth Codes, LT-style).
+// Iterative peeling decoder for sparse codes (Growth Codes, LT-style).
 //
 // Growth Codes (Kamra et al., SIGCOMM 2006 — the related work the paper
 // contrasts against in Sec. 6) XOR small sets of source blocks. Decoding
@@ -7,6 +7,18 @@
 // never solves coupled systems — degree-2 symbols over undecoded blocks
 // just wait — which is exactly the behaviour the Growth-Codes degree
 // schedule is designed around.
+//
+// Beyond plain XOR the decoder peels GF(256) combinations: a symbol of
+// degree 1 with coefficient c decodes its unknown as payload / c, and
+// cascade reductions subtract c_i * solution_i. This is the standalone
+// peeling pass the hybrid ProgressiveDecoder subsumes (see
+// linalg/progressive_decoder.h): singleton elimination there is exactly
+// the operation here, so the two agree wherever peeling alone suffices.
+//
+// Memory discipline: buffered (undecoded) symbols own their payload
+// buffers; a retired symbol's storage is released immediately, so
+// resident bytes are bounded by the *live* symbol set, not by everything
+// ever received (buffered_payload_bytes() exposes the watermark).
 #pragma once
 
 #include <cstdint>
@@ -25,11 +37,18 @@ class PeelingDecoder {
   std::size_t unknowns() const { return decoded_.size(); }
   std::size_t payload_size() const { return payload_size_; }
 
-  /// Add a symbol: XOR of the source blocks listed in `indices` (distinct,
-  /// in range) with the XORed payload. Returns the number of source
+  /// Add an XOR symbol: the XOR of the source blocks listed in `indices`
+  /// (distinct, in range — duplicates are rejected even when the
+  /// duplicated block is already decoded). Returns the number of source
   /// blocks newly decoded by the resulting cascade (0 if none).
   std::size_t add(std::span<const std::size_t> indices,
                   std::span<const std::uint8_t> payload = {});
+
+  /// Add a GF(256) symbol: sum of coefficients[k] * block[indices[k]].
+  /// Coefficients must be nonzero and indices distinct/in range.
+  std::size_t add(std::span<const std::size_t> indices,
+                  std::span<const std::uint8_t> coefficients,
+                  std::span<const std::uint8_t> payload);
 
   std::size_t decoded_count() const { return decoded_count_; }
   bool is_decoded(std::size_t i) const {
@@ -46,13 +65,24 @@ class PeelingDecoder {
   std::size_t symbols_seen() const { return symbols_seen_; }
   /// Symbols currently buffered undecoded (memory the sink holds).
   std::size_t buffered_symbols() const { return buffered_; }
+  /// Payload bytes resident in buffered symbols. Retired symbols release
+  /// their storage, so this tracks live memory, not history.
+  std::size_t buffered_payload_bytes() const { return buffered_payload_bytes_; }
 
  private:
   struct Symbol {
-    std::vector<std::size_t> pending;  ///< still-undecoded indices
+    std::vector<std::size_t> pending;     ///< still-undecoded indices
+    std::vector<std::uint8_t> coef;       ///< matching GF(256) coefficients
     std::vector<std::uint8_t> payload;
     bool retired = false;
   };
+
+  std::size_t add_impl(std::span<const std::size_t> indices,
+                       std::span<const std::uint8_t> coefficients,
+                       std::span<const std::uint8_t> payload);
+
+  /// Release a retired symbol's buffers (bounded-memory discipline).
+  void retire(Symbol& sym);
 
   /// Mark unknown `i` decoded with `payload`; cascade through waiters.
   void resolve(std::size_t i, std::vector<std::uint8_t> payload, std::size_t& newly);
@@ -62,9 +92,11 @@ class PeelingDecoder {
   std::vector<std::vector<std::uint8_t>> solutions_;
   std::vector<Symbol> symbols_;
   std::vector<std::vector<std::size_t>> waiters_;  ///< unknown -> symbol ids
+  std::vector<std::size_t> scratch_;               ///< add-time dup check
   std::size_t decoded_count_ = 0;
   std::size_t symbols_seen_ = 0;
   std::size_t buffered_ = 0;
+  std::size_t buffered_payload_bytes_ = 0;
 };
 
 }  // namespace prlc::codes

@@ -1,5 +1,5 @@
 // Online Gauss-Jordan elimination with payload rows — the partial-decoding
-// engine of Sec. 3.2.
+// engine of Sec. 3.2 — extended with a hybrid peeling/GE sparse path.
 //
 // Coded blocks arrive one at a time at the data-collecting server. Each
 // block contributes one linear equation (coefficients over the source
@@ -10,12 +10,42 @@
 // cares about. The RREF of a matrix is unique for a given row space, so
 // this online variant solves exactly what batch Gauss-Jordan would.
 //
-// Complexity: an innovative row costs O(r * w) symbol operations where r
-// is the current rank and w the row support width. Priority codes keep w
-// small for high-priority rows (support is the level prefix), which is
-// what makes decoding-curve simulations at N = 1000 practical.
+// Hybrid storage (the N >= 10^5 path). The paper leans on O(ln N)-sparse
+// coefficients (Dimakis et al., "Decentralized Erasure Codes"), and dense
+// full-width rows cap experiments near N = 1000: storing N rows of N
+// symbols is O(N^2) memory and every insertion scans all pivot rows.
+// This decoder therefore keeps two row representations behind one RREF
+// invariant:
+//
+//   * sparse rows — sorted (column, value) pairs, indexed by a
+//     column -> rows map (`cols_`) so eliminations only touch rows that
+//     actually intersect the new pivot column. Eliminating against a
+//     *singleton* row (one nonzero == a decoded unknown) is the GF(2^q)
+//     generalization of XOR peeling: subtract value * solution, O(1) per
+//     reference (see codes/peeling_decoder.{h,cpp} for the standalone
+//     XOR/GF(256) peeling decoder this path subsumes).
+//   * dense rows — a contiguous coefficient window [pivot, end), used
+//     once a row's fill-in passes the density threshold (see
+//     `should_store_dense`). Dense rows are found through a coarse
+//     block-granular cover index (`dense_cover_`) and are updated with
+//     the batched SIMD axpy path (PR 2 kernels) during back-elimination
+//     — the "dense residual" of the hybrid: only rows peeling could not
+//     keep sparse pay the SIMD-row cost.
+//
+// Both representations run the same elimination order over exact field
+// arithmetic, so results (rank, innovation verdicts, decoded set, and
+// recovered payload bytes) are identical to the legacy dense decoder —
+// the differential fuzz suite in tests/linalg asserts this byte for byte.
+//
+// Complexity: an equation that peels costs O(nnz); an innovative sparse
+// row costs O(fill-in); only densified rows pay O(window) SIMD work.
+// Priority codes keep windows small for high-priority rows (support is
+// the level prefix), and chunked sparsity (see EncoderOptions.chunk_size)
+// bounds fill-in by the chunk width, which is what makes decoding-curve
+// runs at N = 10^5 practical (bench/abl_sparsity).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -36,8 +66,15 @@ class ProgressiveDecoder {
   /// `payload_size` symbols each (0 = coefficient-only decoding, used by
   /// decoding-curve simulations where only *which* blocks decode matters).
   explicit ProgressiveDecoder(std::size_t unknowns, std::size_t payload_size = 0)
-      : unknowns_(unknowns), payload_size_(payload_size), by_pivot_(unknowns) {
+      : unknowns_(unknowns),
+        payload_size_(payload_size),
+        by_pivot_(unknowns),
+        cols_(unknowns),
+        dense_cover_((unknowns + kCoverBlock - 1) / kCoverBlock),
+        work_coef_(unknowns, Symbol{0}),
+        in_heap_(unknowns, 0) {
     PRLC_REQUIRE(unknowns > 0, "decoder needs at least one unknown");
+    PRLC_REQUIRE(unknowns <= 0xffffffffu, "decoder caps unknowns at 2^32-1");
   }
 
   using Schedule = BasicEliminationSchedule<Symbol>;
@@ -62,98 +99,49 @@ class ProgressiveDecoder {
   /// Number of equations offered via add(), innovative or not.
   std::size_t equations_seen() const { return seen_; }
 
-  /// Insert one equation. `coeffs` must have length unknowns();
-  /// `payload` must have length payload_size(). Returns true when the
-  /// equation was innovative (increased the rank).
+  /// Insert one equation from a full-width coefficient vector. `coeffs`
+  /// must have length unknowns(); `payload` must have length
+  /// payload_size(). Returns true when the equation was innovative
+  /// (increased the rank). Internally routes sparse content (few
+  /// nonzeros) through the peeling/sparse path, so callers holding dense
+  /// buffers — the wire/collector path — still benefit from sparsity.
   bool add(std::span<const Symbol> coeffs, std::span<const Symbol> payload = {}) {
     PRLC_REQUIRE(coeffs.size() == unknowns_, "coefficient vector width mismatch");
-    PRLC_REQUIRE(payload.size() == payload_size_, "payload width mismatch");
-    ++seen_;
-    // Shared across field instantiations: the registry dedupes by name.
-    static obs::Counter& rows_received = obs::counter("decoder.rows_received");
-    static obs::Counter& rows_innovative = obs::counter("decoder.rows_innovative");
-    static obs::Counter& rows_redundant = obs::counter("decoder.rows_redundant");
-    static obs::LatencyHistogram& add_ns = obs::histogram("decoder.add_ns");
-    rows_received.add();
-    obs::ScopedTimer timer(add_ns);
-
-    work_coef_.assign(coeffs.begin(), coeffs.end());
-    work_payload_.assign(payload.begin(), payload.end());
-    std::size_t end = support_end(work_coef_);
-
-    // This equation's input-buffer index for schedule recording. Ops land
-    // in pending_ops_ first and are committed only if the row turns out
-    // innovative — a redundant row's buffer is abandoned, so its ops
-    // cannot affect any stored payload.
-    const auto input = static_cast<std::uint32_t>(seen_ - 1);
-    if (recorder_ != nullptr) {
-      recorder_->inputs = seen_;
-      pending_ops_.clear();
-    }
-
-    // Reduce against every existing pivot row (scanning left to right);
-    // the first nonzero column without a pivot row becomes this row's
-    // pivot, and elimination continues past it so the stored row is zero
-    // at *all* other pivot columns — the RREF invariant the decoded-unknown
-    // check relies on.
-    std::size_t pivot = unknowns_;
-    for (std::size_t j = 0; j < end; ++j) {
-      const Symbol v = work_coef_[j];
-      if (v == 0) continue;
-      const Row* existing = by_pivot_[j].get();
-      if (existing == nullptr) {
-        if (pivot == unknowns_) pivot = j;
-        continue;
+    // Route through the sparse path when the row is sparse enough that
+    // gathering pays for itself; the two paths are exactly equivalent.
+    std::size_t nnz = 0;
+    for (const Symbol c : coeffs) nnz += c != 0 ? 1 : 0;
+    if (nnz * kDensityDivisor <= unknowns_) {
+      in_idx_.clear();
+      in_val_.clear();
+      in_idx_.reserve(nnz);
+      in_val_.reserve(nnz);
+      for (std::size_t j = 0; j < coeffs.size(); ++j) {
+        if (coeffs[j] != 0) {
+          in_idx_.push_back(static_cast<std::uint32_t>(j));
+          in_val_.push_back(coeffs[j]);
+        }
       }
-      static obs::Counter& pivot_ops = obs::counter("decoder.pivot_ops");
-      pivot_ops.add();
-      if (recorder_ != nullptr) {
-        pending_ops_.push_back({Schedule::OpKind::kAxpy, v, input,
-                                recorder_->pivot_input[j]});
-      }
-      axpy_row(work_coef_, work_payload_, v, *existing);
-      if (existing->end > end) end = existing->end;
-      PRLC_ASSERT(work_coef_[j] == 0, "forward elimination left a nonzero pivot");
+      return add_gathered(in_idx_, in_val_, payload);
     }
-    if (pivot == unknowns_) {
-      rows_redundant.add();
-      return false;  // linearly dependent
+    return add_dense_scan(coeffs, payload);
+  }
+
+  /// Insert one equation given in sparse form: strictly increasing
+  /// in-range `indices` with matching nonzero `values`. Exactly
+  /// equivalent to add() on the expanded row; cost O(nnz + fill-in)
+  /// instead of O(unknowns).
+  bool add_sparse(std::span<const std::uint32_t> indices, std::span<const Symbol> values,
+                  std::span<const Symbol> payload = {}) {
+    PRLC_REQUIRE(indices.size() == values.size(),
+                 "sparse row index/value length mismatch");
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      PRLC_REQUIRE(indices[k] < unknowns_, "sparse row index out of range");
+      PRLC_REQUIRE(k == 0 || indices[k - 1] < indices[k],
+                   "sparse row indices must be strictly increasing");
+      PRLC_REQUIRE(values[k] != 0, "sparse row stores nonzero values only");
     }
-
-    // Normalize so the pivot coefficient is 1.
-    const Symbol piv = work_coef_[pivot];
-    if (piv != 1) {
-      const Symbol piv_inv = F::inv(piv);
-      F::scale(std::span<Symbol>(work_coef_).subspan(pivot, end - pivot), piv_inv);
-      F::scale(std::span<Symbol>(work_payload_), piv_inv);
-      if (recorder_ != nullptr) {
-        pending_ops_.push_back({Schedule::OpKind::kScale, piv_inv, input, input});
-      }
-    }
-
-    auto row = std::make_unique<Row>();
-    row->pivot = pivot;
-    row->end = end;
-    row->coef = work_coef_;
-    row->payload = work_payload_;
-
-    if (recorder_ != nullptr) {
-      // Commit: this buffer now *is* pivot row `pivot`. Back-elimination
-      // below records its ops directly (they are unconditional).
-      recorder_->ops.insert(recorder_->ops.end(), pending_ops_.begin(), pending_ops_.end());
-      recorder_->pivot_input[pivot] = input;
-    }
-
-    back_eliminate(*row);
-
-    row->nnz_valid = false;
-    by_pivot_[pivot] = std::move(row);
-    ++rank_;
-    rows_innovative.add();
-    advance_prefix();
-    static obs::Gauge& watermark = obs::gauge("decoder.prefix_watermark");
-    watermark.set_max(static_cast<std::int64_t>(decoded_prefix_));
-    return true;
+    return add_gathered(indices, values, payload);
   }
 
   /// True when unknown `i` is fully determined (e_i lies in the row space).
@@ -161,7 +149,7 @@ class ProgressiveDecoder {
   bool is_decoded(std::size_t i) const {
     PRLC_REQUIRE(i < unknowns_, "unknown index out of range");
     const Row* r = by_pivot_[i].get();
-    return r != nullptr && row_nnz(*r) == 1;
+    return r != nullptr && is_singleton(*r);
   }
 
   /// Largest k such that unknowns 0..k-1 are all decoded — the paper's
@@ -172,7 +160,7 @@ class ProgressiveDecoder {
   std::size_t decoded_count() const {
     std::size_t n = 0;
     for (std::size_t i = 0; i < unknowns_; ++i) {
-      if (by_pivot_[i] != nullptr && row_nnz(*by_pivot_[i]) == 1) ++n;
+      if (by_pivot_[i] != nullptr && is_singleton(*by_pivot_[i])) ++n;
     }
     return n;
   }
@@ -191,113 +179,619 @@ class ProgressiveDecoder {
     return by_pivot_[i] != nullptr;
   }
 
-  /// Coefficient vector (full width) of the pivot row for column i.
-  /// Inspection hook for invariant checks; requires has_pivot(i).
-  std::span<const Symbol> row_coefficients(std::size_t i) const {
-    PRLC_REQUIRE(has_pivot(i), "no pivot row for this column");
-    return by_pivot_[i]->coef;
+  /// Coefficient of pivot row `pivot` at column `col`. Inspection hook
+  /// for invariant checks; requires has_pivot(pivot).
+  Symbol row_coefficient(std::size_t pivot, std::size_t col) const {
+    PRLC_REQUIRE(has_pivot(pivot), "no pivot row for this column");
+    PRLC_REQUIRE(col < unknowns_, "column out of range");
+    const Row& r = *by_pivot_[pivot];
+    if (col < r.pivot || col >= r.end) return 0;
+    if (r.dense) return r.coef[col - r.pivot];
+    const auto it = std::lower_bound(r.idx.begin(), r.idx.end(),
+                                     static_cast<std::uint32_t>(col));
+    if (it == r.idx.end() || *it != col) return 0;
+    return r.val[static_cast<std::size_t>(it - r.idx.begin())];
+  }
+
+  /// Exclusive support bound of pivot row `pivot` — kept tight: the
+  /// coefficient at end-1 is always nonzero (the satellite fix for the
+  /// grow-only bound the dense decoder used to keep).
+  std::size_t row_support_end(std::size_t pivot) const {
+    PRLC_REQUIRE(has_pivot(pivot), "no pivot row for this column");
+    return by_pivot_[pivot]->end;
+  }
+
+  /// Storage/behaviour statistics for benches and tests.
+  struct Stats {
+    std::size_t sparse_rows = 0;   ///< rows stored as (index, value) pairs
+    std::size_t dense_rows = 0;    ///< rows stored as dense windows
+    std::size_t coef_bytes = 0;    ///< resident coefficient bytes (both kinds)
+    std::size_t peel_ops = 0;      ///< eliminations against singleton rows
+    std::size_t densifications = 0;  ///< sparse rows converted to dense
+  };
+  Stats stats() const {
+    Stats s;
+    s.peel_ops = peel_ops_;
+    s.densifications = densifications_;
+    for (std::size_t i = 0; i < unknowns_; ++i) {
+      const Row* r = by_pivot_[i].get();
+      if (r == nullptr) continue;
+      if (r->dense) {
+        ++s.dense_rows;
+        s.coef_bytes += r->coef.capacity() * sizeof(Symbol);
+      } else {
+        ++s.sparse_rows;
+        s.coef_bytes += r->idx.capacity() * sizeof(std::uint32_t) +
+                        r->val.capacity() * sizeof(Symbol);
+      }
+    }
+    return s;
   }
 
  private:
+  // Sparse storage costs ~(sizeof idx + sizeof val) per entry vs
+  // sizeof(Symbol) per window slot, and scalar scatter ops instead of
+  // SIMD; a row converts to a dense window once nnz exceeds 1/8 of its
+  // support window (see should_store_dense).
+  static constexpr std::size_t kDensityDivisor = 8;
+  // Dense rows are indexed at this column granularity (dense_cover_).
+  static constexpr std::size_t kCoverBlock = 256;
+
   struct Row {
     std::size_t pivot = 0;
-    std::size_t end = 0;  // exclusive upper bound of coefficient support
-    std::vector<Symbol> coef;
+    std::size_t end = 0;  ///< exclusive support bound, kept tight
+    bool dense = false;
+    std::vector<Symbol> coef;         ///< dense: window [pivot, end)
+    std::vector<std::uint32_t> idx;   ///< sparse: sorted support columns
+    std::vector<Symbol> val;          ///< sparse: values matching idx
     std::vector<Symbol> payload;
-    mutable std::size_t nnz = 0;
-    mutable bool nnz_valid = false;
+    std::uint32_t cover_end_block = 0;  ///< dense_cover_ registration bound
   };
 
-  static std::size_t support_end(const std::vector<Symbol>& v) {
-    std::size_t end = v.size();
-    while (end > 0 && v[end - 1] == 0) --end;
-    return end;
+  static bool should_store_dense(std::size_t nnz, std::size_t window) {
+    return nnz * kDensityDivisor >= window;
   }
 
-  /// target -= factor * source (XOR-add in characteristic 2), restricted
-  /// to the source row's support window, payloads included.
-  void axpy_row(std::vector<Symbol>& coef, std::vector<Symbol>& payload, Symbol factor,
-                const Row& source) {
-    F::axpy(std::span<Symbol>(coef).subspan(source.pivot, source.end - source.pivot), factor,
-            std::span<const Symbol>(source.coef).subspan(source.pivot, source.end - source.pivot));
-    if (payload_size_ > 0) {
-      F::axpy(std::span<Symbol>(payload), factor, std::span<const Symbol>(source.payload));
+  /// O(1) check for a decoded row (support bounds are kept tight, so a
+  /// one-column window means exactly the unit pivot).
+  static bool is_singleton(const Row& r) {
+    return r.dense ? r.end == r.pivot + 1 : r.idx.size() == 1;
+  }
+
+  // ---- shared elimination machinery -------------------------------------
+
+  /// Record a forward-elimination op against pivot row `j`.
+  void record_forward(std::size_t j, Symbol factor, std::uint32_t input) {
+    if (recorder_ != nullptr) {
+      pending_ops_.push_back(
+          {Schedule::OpKind::kAxpy, factor, input, recorder_->pivot_input[j]});
     }
   }
 
-  /// Eliminate the new pivot column from every stored row. Stored rows all
-  /// keep full-width coefficient vectors (end is only a logical support
-  /// bound), so for a batched field the whole step collapses into two
-  /// multi-row axpy calls — one over the coefficient windows, one over the
-  /// payloads — letting the kernel tile the shared source row through
-  /// cache once instead of re-streaming it per target row.
+  /// work_payload_ -= factor * source payload.
+  void payload_axpy(Symbol factor, const Row& source) {
+    if (payload_size_ > 0) {
+      F::axpy(std::span<Symbol>(work_payload_), factor,
+              std::span<const Symbol>(source.payload));
+    }
+  }
+
+  /// Dense-scan forward elimination: the legacy path for rows that are
+  /// already dense. Scans columns left to right over the work buffer.
+  bool add_dense_scan(std::span<const Symbol> coeffs, std::span<const Symbol> payload) {
+    PRLC_REQUIRE(payload.size() == payload_size_, "payload width mismatch");
+    ++seen_;
+    static obs::Counter& rows_received = obs::counter("decoder.rows_received");
+    static obs::Counter& rows_innovative = obs::counter("decoder.rows_innovative");
+    static obs::Counter& rows_redundant = obs::counter("decoder.rows_redundant");
+    static obs::LatencyHistogram& add_ns = obs::histogram("decoder.add_ns");
+    rows_received.add();
+    obs::ScopedTimer timer(add_ns);
+
+    std::copy(coeffs.begin(), coeffs.end(), work_coef_.begin());
+    work_payload_.assign(payload.begin(), payload.end());
+    std::size_t end = unknowns_;
+    while (end > 0 && work_coef_[end - 1] == 0) --end;
+
+    const auto input = static_cast<std::uint32_t>(seen_ - 1);
+    if (recorder_ != nullptr) {
+      recorder_->inputs = seen_;
+      pending_ops_.clear();
+    }
+
+    static obs::Counter& pivot_ops = obs::counter("decoder.pivot_ops");
+    std::size_t pivot = unknowns_;
+    for (std::size_t j = 0; j < end; ++j) {
+      const Symbol v = work_coef_[j];
+      if (v == 0) continue;
+      const Row* existing = by_pivot_[j].get();
+      if (existing == nullptr) {
+        if (pivot == unknowns_) pivot = j;
+        continue;
+      }
+      pivot_ops.add();
+      if (is_singleton(*existing)) ++peel_ops_;
+      record_forward(j, v, input);
+      eliminate_into_work(v, *existing);
+      if (existing->end > end) end = existing->end;
+      PRLC_ASSERT(work_coef_[j] == 0, "forward elimination left a nonzero pivot");
+    }
+    if (pivot == unknowns_) {
+      // Restore the scratch row to all-zeros for the next call.
+      std::fill(work_coef_.begin(), work_coef_.begin() + static_cast<std::ptrdiff_t>(end),
+                Symbol{0});
+      rows_redundant.add();
+      return false;
+    }
+    while (end > pivot && work_coef_[end - 1] == 0) --end;
+    normalize_work(pivot, end, input);
+    store_and_back_eliminate(pivot, end, input, /*from_sparse=*/false);
+    // store_and_back_eliminate consumed and re-zeroed the scratch window.
+    rows_innovative.add();
+    return true;
+  }
+
+  /// Sparse/heap forward elimination: processes only columns that are (or
+  /// become) nonzero, in increasing order — identical column order, hence
+  /// identical arithmetic, to the dense scan.
+  bool add_gathered(std::span<const std::uint32_t> indices, std::span<const Symbol> values,
+                    std::span<const Symbol> payload) {
+    PRLC_REQUIRE(payload.size() == payload_size_, "payload width mismatch");
+    ++seen_;
+    static obs::Counter& rows_received = obs::counter("decoder.rows_received");
+    static obs::Counter& rows_innovative = obs::counter("decoder.rows_innovative");
+    static obs::Counter& rows_redundant = obs::counter("decoder.rows_redundant");
+    static obs::LatencyHistogram& add_ns = obs::histogram("decoder.add_ns");
+    rows_received.add();
+    obs::ScopedTimer timer(add_ns);
+
+    work_payload_.assign(payload.begin(), payload.end());
+    heap_.clear();
+    touched_.clear();
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const std::uint32_t j = indices[k];
+      work_coef_[j] = values[k];
+      touched_.push_back(j);
+      heap_push(j);
+    }
+
+    const auto input = static_cast<std::uint32_t>(seen_ - 1);
+    if (recorder_ != nullptr) {
+      recorder_->inputs = seen_;
+      pending_ops_.clear();
+    }
+
+    static obs::Counter& pivot_ops = obs::counter("decoder.pivot_ops");
+    std::size_t pivot = unknowns_;
+    while (!heap_.empty()) {
+      const std::uint32_t j = heap_pop();
+      const Symbol v = work_coef_[j];
+      if (v == 0) continue;  // cancelled by an earlier elimination
+      const Row* existing = by_pivot_[j].get();
+      if (existing == nullptr) {
+        if (pivot == unknowns_) pivot = j;
+        continue;
+      }
+      pivot_ops.add();
+      if (is_singleton(*existing)) ++peel_ops_;
+      record_forward(j, v, input);
+      eliminate_into_work_tracked(v, *existing);
+      PRLC_ASSERT(work_coef_[j] == 0, "forward elimination left a nonzero pivot");
+    }
+    if (pivot == unknowns_) {
+      for (const std::uint32_t j : touched_) work_coef_[j] = 0;
+      touched_.clear();
+      rows_redundant.add();
+      return false;
+    }
+    std::size_t end = 0;
+    for (const std::uint32_t j : touched_) {
+      if (work_coef_[j] != 0 && j + 1 > end) end = j + 1;
+    }
+    normalize_work_touched(pivot, input);
+    store_and_back_eliminate(pivot, end, input, /*from_sparse=*/true);
+    rows_innovative.add();
+    return true;
+  }
+
+  /// Subtract factor * source from the work row (dense-scan variant: no
+  /// fill-in tracking needed, the scan visits every column up to end).
+  void eliminate_into_work(Symbol factor, const Row& source) {
+    if (source.dense) {
+      F::axpy(std::span<Symbol>(work_coef_).subspan(source.pivot, source.end - source.pivot),
+              factor, std::span<const Symbol>(source.coef));
+    } else {
+      for (std::size_t k = 0; k < source.idx.size(); ++k) {
+        work_coef_[source.idx[k]] ^= F::mul(factor, source.val[k]);
+      }
+    }
+    payload_axpy(factor, source);
+  }
+
+  /// Same, but pushes every column the source may have filled in onto the
+  /// elimination heap (sparse/heap variant).
+  void eliminate_into_work_tracked(Symbol factor, const Row& source) {
+    if (source.dense) {
+      F::axpy(std::span<Symbol>(work_coef_).subspan(source.pivot, source.end - source.pivot),
+              factor, std::span<const Symbol>(source.coef));
+      for (std::size_t j = source.pivot; j < source.end; ++j) {
+        const auto col = static_cast<std::uint32_t>(j);
+        if (in_heap_[col] == 0) touched_.push_back(col);
+        heap_push(col);
+      }
+    } else {
+      for (std::size_t k = 0; k < source.idx.size(); ++k) {
+        const std::uint32_t col = source.idx[k];
+        work_coef_[col] ^= F::mul(factor, source.val[k]);
+        if (in_heap_[col] == 0) touched_.push_back(col);
+        heap_push(col);
+      }
+    }
+    payload_axpy(factor, source);
+  }
+
+  void heap_push(std::uint32_t col) {
+    if (in_heap_[col] != 0) return;
+    in_heap_[col] = 1;
+    heap_.push_back(col);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  }
+
+  std::uint32_t heap_pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const std::uint32_t col = heap_.back();
+    heap_.pop_back();
+    in_heap_[col] = 0;
+    return col;
+  }
+
+  /// Normalize the work row (dense-scan variant) so the pivot is 1.
+  void normalize_work(std::size_t pivot, std::size_t end, std::uint32_t input) {
+    const Symbol piv = work_coef_[pivot];
+    if (piv == 1) return;
+    const Symbol piv_inv = F::inv(piv);
+    F::scale(std::span<Symbol>(work_coef_).subspan(pivot, end - pivot), piv_inv);
+    if (payload_size_ > 0) F::scale(std::span<Symbol>(work_payload_), piv_inv);
+    if (recorder_ != nullptr) {
+      pending_ops_.push_back({Schedule::OpKind::kScale, piv_inv, input, input});
+    }
+  }
+
+  /// Normalize the work row (sparse variant): only touched columns.
+  void normalize_work_touched(std::size_t pivot, std::uint32_t input) {
+    const Symbol piv = work_coef_[pivot];
+    if (piv == 1) return;
+    const Symbol piv_inv = F::inv(piv);
+    for (const std::uint32_t j : touched_) {
+      if (work_coef_[j] != 0) work_coef_[j] = F::mul(piv_inv, work_coef_[j]);
+    }
+    if (payload_size_ > 0) F::scale(std::span<Symbol>(work_payload_), piv_inv);
+    if (recorder_ != nullptr) {
+      pending_ops_.push_back({Schedule::OpKind::kScale, piv_inv, input, input});
+    }
+  }
+
+  /// Build the stored row from the work buffers (consuming and re-zeroing
+  /// them), commit recorder state, back-eliminate every stored row that
+  /// intersects the new pivot column, and register the new row.
+  void store_and_back_eliminate(std::size_t pivot, std::size_t end, std::uint32_t input,
+                                bool from_sparse) {
+    auto row = std::make_unique<Row>();
+    row->pivot = pivot;
+    row->end = end;
+    std::size_t nnz = 0;
+    if (!from_sparse) {
+      // Dense-scan path: support is the contiguous window [pivot, end).
+      for (std::size_t j = pivot; j < end; ++j) nnz += work_coef_[j] != 0 ? 1 : 0;
+      if (should_store_dense(nnz, end - pivot)) {
+        row->dense = true;
+        row->coef.assign(work_coef_.begin() + static_cast<std::ptrdiff_t>(pivot),
+                         work_coef_.begin() + static_cast<std::ptrdiff_t>(end));
+      } else {
+        row->idx.reserve(nnz);
+        row->val.reserve(nnz);
+        for (std::size_t j = pivot; j < end; ++j) {
+          if (work_coef_[j] != 0) {
+            row->idx.push_back(static_cast<std::uint32_t>(j));
+            row->val.push_back(work_coef_[j]);
+          }
+        }
+      }
+      std::fill(work_coef_.begin() + static_cast<std::ptrdiff_t>(pivot),
+                work_coef_.begin() + static_cast<std::ptrdiff_t>(end), Symbol{0});
+    } else {
+      std::sort(touched_.begin(), touched_.end());
+      for (const std::uint32_t j : touched_) nnz += work_coef_[j] != 0 ? 1 : 0;
+      if (should_store_dense(nnz, end - pivot)) {
+        row->dense = true;
+        row->coef.assign(work_coef_.begin() + static_cast<std::ptrdiff_t>(pivot),
+                         work_coef_.begin() + static_cast<std::ptrdiff_t>(end));
+      } else {
+        row->idx.reserve(nnz);
+        row->val.reserve(nnz);
+        std::uint32_t prev = 0xffffffffu;
+        for (const std::uint32_t j : touched_) {
+          if (j == prev || work_coef_[j] == 0) continue;
+          prev = j;
+          row->idx.push_back(j);
+          row->val.push_back(work_coef_[j]);
+        }
+      }
+      for (const std::uint32_t j : touched_) work_coef_[j] = 0;
+      touched_.clear();
+    }
+    row->payload = std::move(work_payload_);
+    work_payload_.clear();
+    PRLC_ASSERT(row->end > row->pivot, "stored row has an empty support window");
+    PRLC_DASSERT(row_coefficient_of(*row, row->end - 1) != 0,
+                 "stored row support bound is not tight");
+
+    if (recorder_ != nullptr) {
+      // Commit: this buffer now *is* pivot row `pivot`. Back-elimination
+      // below records its ops directly (they are unconditional).
+      recorder_->ops.insert(recorder_->ops.end(), pending_ops_.begin(), pending_ops_.end());
+      recorder_->pivot_input[pivot] = input;
+    }
+
+    back_eliminate(*row);
+
+    register_row(*row, static_cast<std::uint32_t>(pivot));
+    by_pivot_[pivot] = std::move(row);
+    ++rank_;
+    advance_prefix();
+    static obs::Gauge& watermark = obs::gauge("decoder.prefix_watermark");
+    watermark.set_max(static_cast<std::int64_t>(decoded_prefix_));
+  }
+
+  Symbol row_coefficient_of(const Row& r, std::size_t col) const {
+    if (col < r.pivot || col >= r.end) return 0;
+    if (r.dense) return r.coef[col - r.pivot];
+    const auto it = std::lower_bound(r.idx.begin(), r.idx.end(),
+                                     static_cast<std::uint32_t>(col));
+    if (it == r.idx.end() || *it != col) return 0;
+    return r.val[static_cast<std::size_t>(it - r.idx.begin())];
+  }
+
+  /// Index a freshly stored (or densified) row so later back-eliminations
+  /// can find it. Singleton rows are skipped: their only nonzero is their
+  /// own pivot column, which no future row can carry after forward
+  /// elimination.
+  void register_row(Row& row, std::uint32_t pivot_id) {
+    if (is_singleton(row)) return;
+    if (row.dense) {
+      register_dense_cover(row, pivot_id);
+    } else {
+      for (const std::uint32_t col : row.idx) {
+        if (col != row.pivot) cols_[col].push_back(pivot_id);
+      }
+    }
+  }
+
+  void register_dense_cover(Row& row, std::uint32_t pivot_id) {
+    const auto first = static_cast<std::uint32_t>(row.pivot / kCoverBlock);
+    const auto last = static_cast<std::uint32_t>((row.end - 1) / kCoverBlock);
+    const std::uint32_t from = std::max(first, row.cover_end_block);
+    for (std::uint32_t b = from; b <= last; ++b) dense_cover_[b].push_back(pivot_id);
+    if (last + 1 > row.cover_end_block) row.cover_end_block = last + 1;
+  }
+
+  /// Eliminate the new pivot column from every stored row that carries a
+  /// nonzero there. Sparse targets are found through the exact column
+  /// index; dense targets through the block cover. Payload updates for
+  /// *all* targets — and coefficient updates for dense-on-dense — share
+  /// the batched SIMD axpy when the field provides one (the PR 2 kernel
+  /// path): that is the "dense residual" of the hybrid.
   void back_eliminate(Row& row) {
     static obs::Counter& back_rows = obs::counter("decoder.back_elim_rows");
     const std::size_t pivot = row.pivot;
     const std::uint32_t source =
         recorder_ != nullptr ? recorder_->pivot_input[pivot] : 0;
-    if constexpr (gf::BatchedFieldPolicy<F>) {
-      batch_coef_targets_.clear();
-      batch_payload_targets_.clear();
-      batch_factors_.clear();
-      for (std::size_t p = 0; p < unknowns_; ++p) {
-        Row* r = by_pivot_[p].get();
-        if (r == nullptr || pivot >= r->end) continue;
-        const Symbol factor = r->coef[pivot];
-        if (factor == 0) continue;
-        batch_coef_targets_.push_back(r->coef.data() + pivot);
-        if (payload_size_ > 0) batch_payload_targets_.push_back(r->payload.data());
-        batch_factors_.push_back(factor);
-        if (recorder_ != nullptr) {
-          recorder_->ops.push_back(
-              {Schedule::OpKind::kAxpy, factor, recorder_->pivot_input[p], source});
-        }
-        if (row.end > r->end) r->end = row.end;
-        r->nnz_valid = false;
+
+    // Gather targets: stored rows with a nonzero coefficient at `pivot`.
+    targets_.clear();
+    auto& col_entries = cols_[pivot];
+    std::sort(col_entries.begin(), col_entries.end());
+    std::uint32_t prev = 0xffffffffu;
+    for (const std::uint32_t id : col_entries) {
+      if (id == prev) continue;  // duplicate registration (re-filled column)
+      prev = id;
+      const Row* r = by_pivot_[id].get();
+      if (r == nullptr || r->dense) continue;  // stale: densified since
+      if (row_coefficient_of(*r, pivot) != 0) targets_.push_back(id);
+    }
+    // After this elimination every stored row is zero at `pivot`, and no
+    // future merge can refill it (all sources are zero there too): the
+    // column's index can be dropped for good — bounded memory, the same
+    // trick the peeling decoder plays with its waiter lists.
+    col_entries.clear();
+    col_entries.shrink_to_fit();
+    auto& cover = dense_cover_[pivot / kCoverBlock];
+    std::size_t kept = 0;
+    for (const std::uint32_t id : cover) {
+      Row* r = by_pivot_[id].get();
+      if (r == nullptr || !r->dense || is_singleton(*r)) continue;  // stale
+      cover[kept++] = id;
+      if (pivot >= r->pivot && pivot < r->end && r->coef[pivot - r->pivot] != 0) {
+        targets_.push_back(id);
       }
-      back_rows.add(batch_factors_.size());
-      F::axpy_batch(std::span<Symbol* const>(batch_coef_targets_),
-                    std::span<const Symbol>(batch_factors_),
-                    std::span<const Symbol>(row.coef).subspan(pivot, row.end - pivot));
-      if (payload_size_ > 0) {
+    }
+    cover.resize(kept);
+
+    back_rows.add(targets_.size());
+    if (targets_.empty()) return;
+
+    batch_payload_targets_.clear();
+    batch_coef_targets_.clear();
+    batch_coef_factors_.clear();
+    batch_factors_.clear();
+    for (const std::uint32_t id : targets_) {
+      Row& r = *by_pivot_[id];
+      const Symbol factor = row_coefficient_of(r, pivot);
+      if (recorder_ != nullptr) {
+        recorder_->ops.push_back(
+            {Schedule::OpKind::kAxpy, factor, recorder_->pivot_input[id], source});
+      }
+      if (payload_size_ > 0) batch_payload_targets_.push_back(r.payload.data());
+      batch_factors_.push_back(factor);
+      if (row.dense && r.dense) {
+        // Dense-on-dense: grow the window now, defer the axpy to the
+        // batched kernel below (one cache-tiled pass over the source).
+        if (row.end > r.end) {
+          r.coef.resize(row.end - r.pivot, Symbol{0});
+          r.end = row.end;
+          register_dense_cover(r, id);
+        }
+        batch_coef_targets_.push_back(r.coef.data() + (pivot - r.pivot));
+        batch_coef_factors_.push_back(factor);
+      } else {
+        eliminate_stored(r, factor, row, id);
+      }
+    }
+    if (!batch_coef_targets_.empty()) {
+      if constexpr (gf::BatchedFieldPolicy<F>) {
+        F::axpy_batch(std::span<Symbol* const>(batch_coef_targets_),
+                      std::span<const Symbol>(batch_coef_factors_),
+                      std::span<const Symbol>(row.coef));
+      } else {
+        for (std::size_t t = 0; t < batch_coef_targets_.size(); ++t) {
+          F::axpy(std::span<Symbol>(batch_coef_targets_[t], row.end - pivot),
+                  batch_coef_factors_[t], std::span<const Symbol>(row.coef));
+        }
+      }
+      // Re-tighten the deferred dense-on-dense targets.
+      for (const std::uint32_t id : targets_) {
+        Row& r = *by_pivot_[id];
+        if (row.dense && r.dense) tighten_dense(r);
+      }
+    }
+    if (payload_size_ > 0) {
+      if constexpr (gf::BatchedFieldPolicy<F>) {
         F::axpy_batch(std::span<Symbol* const>(batch_payload_targets_),
                       std::span<const Symbol>(batch_factors_),
                       std::span<const Symbol>(row.payload));
-      }
-    } else {
-      for (std::size_t p = 0; p < unknowns_; ++p) {
-        Row* r = by_pivot_[p].get();
-        if (r == nullptr || pivot >= r->end) continue;
-        const Symbol factor = r->coef[pivot];
-        if (factor == 0) continue;
-        back_rows.add();
-        if (recorder_ != nullptr) {
-          recorder_->ops.push_back(
-              {Schedule::OpKind::kAxpy, factor, recorder_->pivot_input[p], source});
+      } else {
+        for (std::size_t t = 0; t < batch_payload_targets_.size(); ++t) {
+          F::axpy(std::span<Symbol>(batch_payload_targets_[t], payload_size_),
+                  batch_factors_[t], std::span<const Symbol>(row.payload));
         }
-        axpy_row(r->coef, r->payload, factor, row);
-        if (row.end > r->end) r->end = row.end;
-        r->nnz_valid = false;
       }
     }
   }
 
-  std::size_t row_nnz(const Row& r) const {
-    if (!r.nnz_valid) {
-      std::size_t n = 0;
-      for (std::size_t c = r.pivot; c < r.end; ++c) {
-        if (r.coef[c] != 0) ++n;
-      }
-      r.nnz = n;
-      r.nnz_valid = true;
+  /// Re-tighten a dense row's support bound after an elimination zeroed
+  /// trailing coefficients (the satellite fix for the grow-only bound the
+  /// dense decoder used to keep) and drop the now-dead tail storage.
+  void tighten_dense(Row& target) {
+    while (target.end > target.pivot + 1 && target.coef[target.end - target.pivot - 1] == 0) {
+      --target.end;
     }
-    return r.nnz;
+    target.coef.resize(target.end - target.pivot);
+    PRLC_DASSERT(target.coef[target.end - target.pivot - 1] != 0,
+                 "dense row support bound is not tight");
+  }
+
+  /// target -= factor * source (coefficients only; payloads are batched by
+  /// the caller). Maintains representation invariants: window growth,
+  /// tight support bound, density threshold, and index registration.
+  void eliminate_stored(Row& target, Symbol factor, const Row& source,
+                        std::uint32_t target_id) {
+    if (target.dense) {
+      // Grow the window right if the source extends past it (the source's
+      // pivot is inside the target's window already — it held a nonzero).
+      if (source.end > target.end) {
+        target.coef.resize(source.end - target.pivot, Symbol{0});
+        target.end = source.end;
+        register_dense_cover(target, target_id);
+      }
+      const std::size_t off = source.pivot - target.pivot;
+      if (source.dense) {
+        F::axpy(std::span<Symbol>(target.coef).subspan(off, source.end - source.pivot),
+                factor, std::span<const Symbol>(source.coef));
+      } else {
+        for (std::size_t k = 0; k < source.idx.size(); ++k) {
+          target.coef[source.idx[k] - target.pivot] ^= F::mul(factor, source.val[k]);
+        }
+      }
+      tighten_dense(target);
+      return;
+    }
+
+    // Sparse target: merge the scaled source support into the sorted
+    // (idx, val) arrays, dropping cancellations and registering fill-in.
+    merge_idx_.clear();
+    merge_val_.clear();
+    fill_cols_.clear();
+    const auto emit = [&](std::uint32_t col, Symbol value) {
+      if (value == 0) return;
+      merge_idx_.push_back(col);
+      merge_val_.push_back(value);
+    };
+    std::size_t a = 0;  // cursor over target.idx
+    const auto source_at = [&](std::size_t k) -> std::pair<std::uint32_t, Symbol> {
+      if (source.dense) {
+        return {static_cast<std::uint32_t>(source.pivot + k), source.coef[k]};
+      }
+      return {source.idx[k], source.val[k]};
+    };
+    const std::size_t src_n = source.dense ? source.end - source.pivot : source.idx.size();
+    std::size_t b = 0;
+    while (a < target.idx.size() || b < src_n) {
+      // Advance past zero slots in a dense source window.
+      if (b < src_n && source_at(b).second == 0) {
+        ++b;
+        continue;
+      }
+      if (b >= src_n || (a < target.idx.size() && target.idx[a] < source_at(b).first)) {
+        emit(target.idx[a], target.val[a]);
+        ++a;
+      } else if (a >= target.idx.size() || source_at(b).first < target.idx[a]) {
+        // Fill-in: a column the target did not carry before. The product
+        // of two nonzero field elements is nonzero, so this always lands.
+        const auto [col, sval] = source_at(b);
+        emit(col, F::mul(factor, sval));
+        fill_cols_.push_back(col);
+        ++b;
+      } else {
+        const auto [col, sval] = source_at(b);
+        emit(col, static_cast<Symbol>(target.val[a] ^ F::mul(factor, sval)));
+        ++a;
+        ++b;
+      }
+    }
+    target.idx.swap(merge_idx_);
+    target.val.swap(merge_val_);
+    target.end = target.idx.empty() ? target.pivot + 1 : target.idx.back() + 1;
+    PRLC_ASSERT(!target.idx.empty() && target.idx.front() == target.pivot,
+                "sparse row lost its pivot during elimination");
+    if (should_store_dense(target.idx.size(), target.end - target.pivot)) {
+      densify(target, target_id);
+      return;
+    }
+    for (const std::uint32_t col : fill_cols_) cols_[col].push_back(target_id);
+  }
+
+  void densify(Row& target, std::uint32_t target_id) {
+    ++densifications_;
+    static obs::Counter& densified = obs::counter("decoder.rows_densified");
+    densified.add();
+    target.dense = true;
+    target.coef.assign(target.end - target.pivot, Symbol{0});
+    for (std::size_t k = 0; k < target.idx.size(); ++k) {
+      target.coef[target.idx[k] - target.pivot] = target.val[k];
+    }
+    target.idx.clear();
+    target.idx.shrink_to_fit();
+    target.val.clear();
+    target.val.shrink_to_fit();
+    // Old cols_ entries go stale and are dropped lazily; the cover index
+    // takes over.
+    register_dense_cover(target, target_id);
   }
 
   void advance_prefix() {
     while (decoded_prefix_ < unknowns_) {
       const Row* r = by_pivot_[decoded_prefix_].get();
-      if (r == nullptr || row_nnz(*r) != 1) break;
+      if (r == nullptr || !is_singleton(*r)) break;
       ++decoded_prefix_;
     }
   }
@@ -305,15 +799,35 @@ class ProgressiveDecoder {
   std::size_t unknowns_;
   std::size_t payload_size_;
   std::vector<std::unique_ptr<Row>> by_pivot_;
+  /// Exact column -> sparse-row index (pivot ids); entries may be stale
+  /// (cancelled or densified rows) and are dropped lazily.
+  std::vector<std::vector<std::uint32_t>> cols_;
+  /// Coarse block -> dense-row cover index (pivot ids), kCoverBlock wide.
+  std::vector<std::vector<std::uint32_t>> dense_cover_;
   std::size_t rank_ = 0;
   std::size_t seen_ = 0;
   std::size_t decoded_prefix_ = 0;
+  std::size_t peel_ops_ = 0;
+  std::size_t densifications_ = 0;
+  /// Full-width scratch row, all-zero between add() calls.
   std::vector<Symbol> work_coef_;
   std::vector<Symbol> work_payload_;
-  // Scratch for the batched back-elimination (reused across add() calls).
-  std::vector<Symbol*> batch_coef_targets_;
+  // Sparse-path scratch: pending-column min-heap + membership flags, the
+  // list of columns ever touched, and gathered input indices/values.
+  std::vector<std::uint32_t> heap_;
+  std::vector<std::uint8_t> in_heap_;
+  std::vector<std::uint32_t> touched_;
+  std::vector<std::uint32_t> in_idx_;
+  std::vector<Symbol> in_val_;
+  // Back-elimination scratch (reused across add() calls).
+  std::vector<std::uint32_t> targets_;
   std::vector<Symbol*> batch_payload_targets_;
   std::vector<Symbol> batch_factors_;
+  std::vector<Symbol*> batch_coef_targets_;
+  std::vector<Symbol> batch_coef_factors_;
+  std::vector<std::uint32_t> merge_idx_;
+  std::vector<Symbol> merge_val_;
+  std::vector<std::uint32_t> fill_cols_;
   // Schedule recording (see set_schedule_recorder); pending_ops_ holds the
   // current equation's forward-elimination ops until it proves innovative.
   Schedule* recorder_ = nullptr;

@@ -116,6 +116,57 @@ TEST(DecodingCurve, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST(DecodingCurve, SparseBlocksMatchDenseBlocksAcrossThreads) {
+  // The sparse streaming path must reproduce the dense curve bit for bit
+  // (same RNG consumption in the encoder, exactly equivalent decoder
+  // arithmetic), at every thread count.
+  const auto spec = PrioritySpec::uniform(4, 12);  // N = 48
+  const auto dist = PriorityDistribution::uniform(4);
+  for (const auto scheme : {Scheme::kRlc, Scheme::kSlc, Scheme::kPlc}) {
+    CurveOptions opt;
+    opt.block_counts = make_block_counts(10, 120, 6);
+    opt.trials = 12;
+    opt.seed = 77;
+    opt.threads = 1;
+    opt.encoder.model = CoefficientModel::kSparse;
+    opt.encoder.sparsity_factor = 2.0;
+    const auto dense = simulate_decoding_curve<F>(scheme, spec, dist, opt);
+    opt.sparse_blocks = true;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      opt.threads = threads;
+      const auto sparse = simulate_decoding_curve<F>(scheme, spec, dist, opt);
+      ASSERT_EQ(dense.size(), sparse.size());
+      for (std::size_t i = 0; i < dense.size(); ++i) {
+        EXPECT_EQ(dense[i].mean_levels, sparse[i].mean_levels)
+            << "scheme " << static_cast<int>(scheme) << " threads " << threads;
+        EXPECT_EQ(dense[i].ci95_levels, sparse[i].ci95_levels);
+        EXPECT_EQ(dense[i].mean_blocks, sparse[i].mean_blocks);
+        EXPECT_EQ(dense[i].ci95_blocks, sparse[i].ci95_blocks);
+      }
+    }
+  }
+}
+
+TEST(DecodingCurve, ChunkedSparsityStillDecodesEverything) {
+  // Chunked supports cover every chunk with enough blocks, so the curve
+  // still saturates — with far less decoder fill-in (the N = 1e5 regime's
+  // enabling structure, asserted here at test scale).
+  const auto spec = PrioritySpec::uniform(2, 32);  // N = 64
+  const auto dist = PriorityDistribution::uniform(2);
+  CurveOptions opt;
+  opt.block_counts = {400};
+  opt.trials = 6;
+  opt.seed = 11;
+  opt.threads = 1;
+  opt.encoder.model = CoefficientModel::kSparse;
+  opt.encoder.sparsity_factor = 3.0;
+  opt.encoder.chunk_size = 16;
+  opt.sparse_blocks = true;
+  const auto curve = simulate_decoding_curve<F>(Scheme::kPlc, spec, dist, opt);
+  EXPECT_NEAR(curve.back().mean_levels, 2.0, 1e-9);
+  EXPECT_NEAR(curve.back().mean_blocks, 64.0, 1e-9);
+}
+
 TEST(DecodingCurve, ValidatesOptions) {
   const auto spec = PrioritySpec::uniform(2, 5);
   const auto dist = PriorityDistribution::uniform(2);

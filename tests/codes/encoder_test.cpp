@@ -164,6 +164,63 @@ TEST(Encoder, RejectsMismatchedInputs) {
   EXPECT_THROW(enc.encode_random(bad, rng), PreconditionError);
 }
 
+TEST(Encoder, SparseEmitterMatchesDenseEmitter) {
+  // encode() and encode_sparse() must consume the RNG identically and
+  // describe the same equation: expanding the sparse block reproduces the
+  // dense block's coefficients and payload bit for bit, for every
+  // coefficient model, scheme, and the chunked-sparsity option.
+  Rng seed_rng(101);
+  const auto spec = small_spec();
+  const auto source = SourceData<F>::random(spec.total(), 7, seed_rng);
+  const EncoderOptions configs[] = {
+      {CoefficientModel::kDenseUniform, 3.0, 0},
+      {CoefficientModel::kDenseNonzero, 3.0, 0},
+      {CoefficientModel::kSparse, 1.5, 0},
+      {CoefficientModel::kSparse, 1.5, 4},  // chunked
+  };
+  for (const auto scheme : {Scheme::kRlc, Scheme::kSlc, Scheme::kPlc}) {
+    for (const auto& opts : configs) {
+      const PriorityEncoder<F> enc(scheme, spec, opts, &source);
+      for (std::size_t level = 0; level < spec.levels(); ++level) {
+        for (int t = 0; t < 20; ++t) {
+          const std::uint64_t s = 5000 + 100 * t + level;
+          Rng rng_dense(s);
+          Rng rng_sparse(s);
+          const auto dense = enc.encode(level, rng_dense);
+          const auto sparse = enc.encode_sparse(level, rng_sparse);
+          ASSERT_EQ(dense.level, sparse.level);
+          std::vector<std::uint8_t> expanded(spec.total(), 0);
+          for (std::size_t k = 0; k < sparse.indices.size(); ++k) {
+            ASSERT_NE(sparse.values[k], 0);
+            ASSERT_TRUE(k == 0 || sparse.indices[k - 1] < sparse.indices[k])
+                << "sparse indices must be strictly increasing";
+            expanded[sparse.indices[k]] = sparse.values[k];
+          }
+          ASSERT_EQ(expanded, dense.coeffs);
+          ASSERT_EQ(sparse.payload, dense.payload);
+        }
+      }
+    }
+  }
+}
+
+TEST(Encoder, ChunkedSupportStaysInsideOneChunk) {
+  const auto spec = PrioritySpec::uniform(1, 64);  // N = 64, one level
+  EncoderOptions opts;
+  opts.model = CoefficientModel::kSparse;
+  opts.chunk_size = 16;
+  const PriorityEncoder<F> enc(Scheme::kRlc, spec, opts);
+  Rng rng(103);
+  for (int t = 0; t < 200; ++t) {
+    const auto block = enc.encode_sparse(0, rng);
+    ASSERT_FALSE(block.indices.empty());
+    const std::size_t chunk = block.indices.front() / 16;
+    for (const auto j : block.indices) {
+      ASSERT_EQ(j / 16, chunk) << "support crossed a chunk boundary";
+    }
+  }
+}
+
 TEST(SourceData, RandomAndAccessors) {
   Rng rng(100);
   auto d = SourceData<F>::random(5, 3, rng);

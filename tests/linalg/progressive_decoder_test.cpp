@@ -208,18 +208,108 @@ TEST(ProgressiveDecoder, RrefInvariantHoldsAfterEveryInsertion) {
 
     for (std::size_t p = 0; p < n; ++p) {
       if (!d.has_pivot(p)) continue;
-      const auto row = d.row_coefficients(p);
-      ASSERT_EQ(row.size(), n);
-      ASSERT_EQ(row[p], 1) << "step " << step << ": pivot " << p << " not normalized";
+      ASSERT_EQ(d.row_coefficient(p, p), 1)
+          << "step " << step << ": pivot " << p << " not normalized";
+      // Support bound is tight: the last in-window coefficient is nonzero.
+      const std::size_t end = d.row_support_end(p);
+      ASSERT_GT(end, p);
+      ASSERT_NE(d.row_coefficient(p, end - 1), 0)
+          << "step " << step << ": pivot " << p << " stale support bound";
       for (std::size_t q = 0; q < n; ++q) {
         if (q == p || !d.has_pivot(q)) continue;
-        ASSERT_EQ(row[q], 0) << "step " << step << ": row " << p
-                             << " nonzero at pivot column " << q;
+        ASSERT_EQ(d.row_coefficient(p, q), 0)
+            << "step " << step << ": row " << p << " nonzero at pivot column " << q;
       }
     }
   }
   EXPECT_EQ(d.rank(), n);
   EXPECT_EQ(d.decoded_prefix(), n);
+}
+
+TEST(ProgressiveDecoder, SupportBoundTightensAfterBackElimination) {
+  // Regression: Row::end used to only grow. [1,1,1,1] back-eliminated by
+  // [0,1,1,1] collapses to the unit vector e0 — the support bound must
+  // come back down to pivot+1 and the unknown must count as decoded.
+  ProgressiveDecoder<F> d(4);
+  EXPECT_TRUE(d.add(std::vector<std::uint8_t>{1, 1, 1, 1}));
+  EXPECT_EQ(d.row_support_end(0), 4u);
+  EXPECT_FALSE(d.is_decoded(0));
+  EXPECT_TRUE(d.add(std::vector<std::uint8_t>{0, 1, 1, 1}));
+  EXPECT_EQ(d.row_support_end(0), 1u);
+  EXPECT_TRUE(d.is_decoded(0));
+  EXPECT_EQ(d.decoded_prefix(), 1u);
+}
+
+TEST(ProgressiveDecoder, SparseAddValidatesInput) {
+  ProgressiveDecoder<F> d(8);
+  const std::vector<std::uint8_t> vals2 = {1, 2};
+  // Length mismatch.
+  EXPECT_THROW(d.add_sparse(std::vector<std::uint32_t>{0}, vals2), PreconditionError);
+  // Out of range.
+  EXPECT_THROW(d.add_sparse(std::vector<std::uint32_t>{3, 8}, vals2), PreconditionError);
+  // Not strictly increasing (duplicates included).
+  EXPECT_THROW(d.add_sparse(std::vector<std::uint32_t>{5, 5}, vals2), PreconditionError);
+  EXPECT_THROW(d.add_sparse(std::vector<std::uint32_t>{5, 3}, vals2), PreconditionError);
+  // Explicit zeros are not allowed in sparse form.
+  EXPECT_THROW(d.add_sparse(std::vector<std::uint32_t>{1, 2},
+                            std::vector<std::uint8_t>{1, 0}),
+               PreconditionError);
+  EXPECT_EQ(d.rank(), 0u);
+}
+
+TEST(ProgressiveDecoder, SparseAddMatchesDenseAdd) {
+  // Feeding the same equations through add() and add_sparse() must give
+  // identical state after every insertion (rank, prefix, verdicts).
+  Rng rng(79);
+  const std::size_t n = 40;
+  const std::size_t payload = 9;
+  ProgressiveDecoder<F> dense(n, payload);
+  ProgressiveDecoder<F> sparse(n, payload);
+  for (std::size_t step = 0; step < 4 * n; ++step) {
+    std::vector<std::uint8_t> coeffs(n, 0);
+    const std::size_t nnz = 1 + rng.uniform(6);
+    for (std::size_t k = 0; k < nnz; ++k) {
+      coeffs[rng.uniform(n)] = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    }
+    std::vector<std::uint8_t> pay(payload);
+    for (auto& v : pay) v = static_cast<std::uint8_t>(rng.uniform(256));
+    std::vector<std::uint32_t> idx;
+    std::vector<std::uint8_t> val;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (coeffs[j] != 0) {
+        idx.push_back(static_cast<std::uint32_t>(j));
+        val.push_back(coeffs[j]);
+      }
+    }
+    const bool a = dense.add(coeffs, pay);
+    const bool b = sparse.add_sparse(idx, val, pay);
+    ASSERT_EQ(a, b) << "step " << step;
+    ASSERT_EQ(dense.rank(), sparse.rank());
+    ASSERT_EQ(dense.decoded_prefix(), sparse.decoded_prefix());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(dense.is_decoded(i), sparse.is_decoded(i)) << i;
+    if (!dense.is_decoded(i)) continue;
+    const auto x = dense.solution(i);
+    const auto y = sparse.solution(i);
+    ASSERT_TRUE(std::equal(x.begin(), x.end(), y.begin(), y.end())) << i;
+  }
+}
+
+TEST(ProgressiveDecoder, StatsTrackPeelAndStorage) {
+  // Singleton equations decode unknowns directly; equations referencing
+  // decoded unknowns peel in O(1). The stats surface both.
+  ProgressiveDecoder<F> d(16);
+  const std::vector<std::uint32_t> i0 = {0};
+  const std::vector<std::uint8_t> v0 = {5};
+  EXPECT_TRUE(d.add_sparse(i0, v0));
+  const std::vector<std::uint32_t> i1 = {0, 1};
+  const std::vector<std::uint8_t> v1 = {3, 7};
+  EXPECT_TRUE(d.add_sparse(i1, v1));  // peels against the decoded x0
+  const auto s = d.stats();
+  EXPECT_GE(s.peel_ops, 1u);
+  EXPECT_EQ(s.sparse_rows + s.dense_rows, 2u);
+  EXPECT_EQ(d.decoded_prefix(), 2u);
 }
 
 TEST(ProgressiveDecoder, WorksOverGf16) {

@@ -4,7 +4,9 @@
 # The GF(2^8) SIMD kernels do unaligned vector loads and hand-rolled tail
 # handling — exactly the code where out-of-bounds reads hide — so CI (or a
 # developer, before touching src/gf) should run this script in addition to
-# the plain test suite.
+# the plain test suite. The hybrid peeling/GE decoder's differential fuzz
+# (test_linalg: sparse row merges, densification, batched window growth)
+# runs in this ASan/UBSan phase as part of the full suite.
 #
 #   tools/run_sanitizers.sh            # build into build-sanitize/ and test
 #   BUILD_DIR=/tmp/san tools/run_sanitizers.sh
@@ -43,7 +45,7 @@ cmake -B "${tsan_build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPRLC_SANITIZE=thread
 cmake --build "${tsan_build_dir}" -j"${jobs}" \
-  --target test_obs --target test_runtime --target test_codec \
+  --target test_obs --target test_runtime --target test_codec --target test_codes \
   --target abl_persistence_e2e --target abl_fault
 
 # test_codec drives the dependency-counting OpGraph executor (the codec's
@@ -56,4 +58,10 @@ PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_persistence_e2e" \
   --threads 4 --trials 64 > /dev/null
 PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_fault" \
   --threads 4 --trials 32 > /dev/null
+# Hybrid sparse-vs-dense decode driven through the TrialRunner at 1/2/8
+# worker threads: each trial owns its decoder, so the only shared state is
+# the runner's work distribution — exactly what TSan should vet.
+"${tsan_build_dir}/tests/test_codes" \
+  --gtest_filter='DecodingCurve.ThreadCountDoesNotChangeResults:DecodingCurve.SparseBlocksMatchDenseBlocksAcrossThreads' \
+  > /dev/null
 echo "tsan run OK (${tsan_build_dir})"
