@@ -5,7 +5,10 @@
 #include <limits>
 #include <string_view>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace prlc::bench {
@@ -37,7 +40,8 @@ constexpr int kUsageExit = 64;  // EX_USAGE
                "--scheme <rlc|slc|plc>\n"
             << "             --payload-bytes <n[kmg]> --chunk-bytes <n[kmg]>\n"
             << "             --json <path> --metrics-json <path> "
-               "--trace-json <path>\n";
+               "--trace-json <path>\n"
+            << "             --events-jsonl <path> --timeseries-jsonl <path>\n";
   std::exit(kUsageExit);
 }
 
@@ -113,6 +117,10 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
     if (used == 0) used = match_flag("--json", argc, argv, i, g_options.json_path);
     if (used == 0) used = match_flag("--metrics-json", argc, argv, i, g_options.metrics_json_path);
     if (used == 0) used = match_flag("--trace-json", argc, argv, i, g_options.trace_json_path);
+    if (used == 0) used = match_flag("--events-jsonl", argc, argv, i, g_options.events_jsonl_path);
+    if (used == 0) {
+      used = match_flag("--timeseries-jsonl", argc, argv, i, g_options.timeseries_jsonl_path);
+    }
     if (used == 0) {
       argv[out++] = argv[i++];
     } else {
@@ -176,6 +184,8 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
   if (!g_options.trace_json_path.empty()) {
     obs::TraceRecorder::global().start();
   }
+  if (!g_options.events_jsonl_path.empty()) obs::set_events_enabled(true);
+  if (!g_options.timeseries_jsonl_path.empty()) obs::set_timeseries_enabled(true);
 }
 
 void BenchReport::set_config(const std::string& key, json::Value value) {
@@ -195,11 +205,14 @@ void BenchReport::add_point(const std::string& series,
   series_points_[idx].push_back(std::move(point));
 }
 
+void BenchReport::set_profile(json::Value profile) { profile_ = std::move(profile); }
+
 json::Value BenchReport::to_value() const {
   json::Value root = json::Value::object();
   root.set("bench", json::Value(name_));
   root.set("fast_mode", json::Value(fast_mode()));
   root.set("config", config_);
+  if (profile_.has_value()) root.set("profile", *profile_);
   json::Value series = json::Value::array();
   for (std::size_t i = 0; i < series_order_.size(); ++i) {
     json::Value entry = json::Value::object();
@@ -217,7 +230,15 @@ void BenchReport::write(const std::string& path) const {
   json::write_file(path, to_value().dump(2));
 }
 
-void finalize(const BenchReport* report) {
+void finalize(BenchReport* report) {
+  // Stop the trace before anything reads it so the span profile and the
+  // written timeline agree.
+  if (!g_options.trace_json_path.empty()) obs::TraceRecorder::global().stop();
+  if (report != nullptr && !g_options.json_path.empty() &&
+      !g_options.trace_json_path.empty()) {
+    const obs::ProfileNode profile = obs::build_profile(obs::TraceRecorder::global());
+    report->set_profile(json::Value::parse(obs::profile_to_json(profile)));
+  }
   if (report != nullptr && !g_options.json_path.empty()) {
     report->write(g_options.json_path);
     std::cout << "bench json: " << g_options.json_path << "\n";
@@ -227,9 +248,16 @@ void finalize(const BenchReport* report) {
     std::cout << "metrics json: " << g_options.metrics_json_path << "\n";
   }
   if (!g_options.trace_json_path.empty()) {
-    obs::TraceRecorder::global().stop();
     obs::TraceRecorder::global().write(g_options.trace_json_path);
     std::cout << "trace json: " << g_options.trace_json_path << "\n";
+  }
+  if (!g_options.events_jsonl_path.empty()) {
+    obs::EventJournal::global().write(g_options.events_jsonl_path);
+    std::cout << "events jsonl: " << g_options.events_jsonl_path << "\n";
+  }
+  if (!g_options.timeseries_jsonl_path.empty()) {
+    obs::TimeSeriesRecorder::global().write_jsonl(g_options.timeseries_jsonl_path);
+    std::cout << "timeseries jsonl: " << g_options.timeseries_jsonl_path << "\n";
   }
 }
 

@@ -20,6 +20,8 @@
 //   --metrics-json <path>  dump of the obs::Registry after the run
 //   --trace-json <path>    Chrome-tracing timeline (chrome://tracing,
 //                          Perfetto) of the run
+//   --events-jsonl <path>  deterministic structured event journal
+//   --timeseries-jsonl <path>  deterministic logical-time series
 // A malformed value ("--trials zero", "--scheme xyz") is a usage error:
 // parse_args prints a message to stderr and exits with code 64, it never
 // aborts through PRLC_REQUIRE.
@@ -63,6 +65,8 @@ struct Options {
   std::string json_path;
   std::string metrics_json_path;
   std::string trace_json_path;
+  std::string events_jsonl_path;      ///< --events-jsonl
+  std::string timeseries_jsonl_path;  ///< --timeseries-jsonl
 
   /// Trial count: the --trials override if given, else the fast/full pair.
   std::size_t trials_or(std::size_t full, std::size_t fast) const {
@@ -115,19 +119,26 @@ class BenchReport {
   void add_point(const std::string& series,
                  std::vector<std::pair<std::string, json::Value>> fields);
 
+  /// Attach a span-aggregation profile tree (see obs/profile.h); emitted
+  /// as a top-level "profile" key. finalize() fills this in when both
+  /// --json and --trace-json were requested.
+  void set_profile(json::Value profile);
+
   json::Value to_value() const;
   void write(const std::string& path) const;
 
  private:
   std::string name_;
   json::Value config_ = json::Value::object();
+  std::optional<json::Value> profile_;
   std::vector<std::string> series_order_;
   std::vector<std::vector<json::Value>> series_points_;
 };
 
 /// Write every output requested via parse_args(): the report (when
-/// non-null and --json was given), the metrics registry, and the trace.
-/// Call once at the end of main.
-void finalize(const BenchReport* report = nullptr);
+/// non-null and --json was given, with the span profile embedded when a
+/// trace was captured too), the metrics registry, the trace, and the
+/// event-journal / time-series JSONL files. Call once at the end of main.
+void finalize(BenchReport* report = nullptr);
 
 }  // namespace prlc::bench

@@ -23,7 +23,9 @@
 #include "gf/gf256_kernels.h"
 #include "linalg/gauss_jordan.h"
 #include "linalg/progressive_decoder.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -322,6 +324,65 @@ void BM_SparseEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseEncode);
+
+// --- telemetry probe overhead ----------------------------------------------
+//
+// The disabled-path contract (obs/events.h): a metrics counter add, an
+// event emit and a time-series sample each cost a relaxed load plus a
+// predictable branch when the subsystem is off. The Disabled/Enabled pair
+// is the regression row for that claim; tests/obs/noalloc_guard_test
+// asserts the allocation half of it.
+
+void BM_TelemetryProbesDisabled(benchmark::State& state) {
+  const bool metrics_before = obs::enabled();
+  const bool events_before = obs::events_enabled();
+  const bool timeseries_before = obs::timeseries_enabled();
+  obs::set_enabled(false);
+  obs::set_events_enabled(false);
+  obs::set_timeseries_enabled(false);
+  static obs::Counter& ctr = obs::counter("perf.telemetry_probe");
+  const obs::SeriesId series = obs::timeseries("perf.telemetry_probe");
+  for (auto _ : state) {
+    ctr.add();
+    obs::emit(obs::EventType::kPeel, 1.0);
+    obs::sample(series, 1.0);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  obs::set_enabled(metrics_before);
+  obs::set_events_enabled(events_before);
+  obs::set_timeseries_enabled(timeseries_before);
+}
+BENCHMARK(BM_TelemetryProbesDisabled);
+
+void BM_TelemetryProbesEnabled(benchmark::State& state) {
+  const bool metrics_before = obs::enabled();
+  const bool events_before = obs::events_enabled();
+  const bool timeseries_before = obs::timeseries_enabled();
+  obs::set_enabled(true);
+  obs::set_events_enabled(true);
+  obs::set_timeseries_enabled(true);
+  static obs::Counter& ctr = obs::counter("perf.telemetry_probe");
+  const obs::SeriesId series = obs::timeseries("perf.telemetry_probe");
+  {
+    obs::TrialScope scope(obs::begin_telemetry_run(), 0);
+    for (auto _ : state) {
+      ctr.add();
+      obs::emit(obs::EventType::kPeel, 1.0);
+      obs::sample(series, 1.0);
+      benchmark::ClobberMemory();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  obs::set_enabled(metrics_before);
+  obs::set_events_enabled(events_before);
+  obs::set_timeseries_enabled(timeseries_before);
+  // Drop the rings this loop filled so a --events-jsonl run of the other
+  // benches is not polluted with benchmark probes.
+  obs::EventJournal::global().clear();
+  obs::TimeSeriesRecorder::global().clear();
+}
+BENCHMARK(BM_TelemetryProbesEnabled);
 
 // Console output as usual, plus every finished run mirrored into the
 // BenchReport for --json (name, adjusted times, user counters such as

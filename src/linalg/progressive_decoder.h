@@ -52,6 +52,7 @@
 
 #include "gf/field_concept.h"
 #include "linalg/elimination_schedule.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -310,7 +311,10 @@ class ProgressiveDecoder {
         continue;
       }
       pivot_ops.add();
-      if (is_singleton(*existing)) ++peel_ops_;
+      if (is_singleton(*existing)) {
+        ++peel_ops_;
+        obs::emit(obs::EventType::kPeel, static_cast<double>(j));
+      }
       record_forward(j, v, input);
       eliminate_into_work(v, *existing);
       if (existing->end > end) end = existing->end;
@@ -373,7 +377,10 @@ class ProgressiveDecoder {
         continue;
       }
       pivot_ops.add();
-      if (is_singleton(*existing)) ++peel_ops_;
+      if (is_singleton(*existing)) {
+        ++peel_ops_;
+        obs::emit(obs::EventType::kPeel, static_cast<double>(j));
+      }
       record_forward(j, v, input);
       eliminate_into_work_tracked(v, *existing);
       PRLC_ASSERT(work_coef_[j] == 0, "forward elimination left a nonzero pivot");
@@ -538,7 +545,12 @@ class ProgressiveDecoder {
     register_row(*row, static_cast<std::uint32_t>(pivot));
     by_pivot_[pivot] = std::move(row);
     ++rank_;
+    const std::size_t prefix_before = decoded_prefix_;
     advance_prefix();
+    if (decoded_prefix_ != prefix_before) {
+      obs::emit(obs::EventType::kWatermarkAdvance, static_cast<double>(decoded_prefix_),
+                static_cast<double>(seen_));
+    }
     static obs::Gauge& watermark = obs::gauge("decoder.prefix_watermark");
     watermark.set_max(static_cast<std::int64_t>(decoded_prefix_));
   }
@@ -774,6 +786,8 @@ class ProgressiveDecoder {
     ++densifications_;
     static obs::Counter& densified = obs::counter("decoder.rows_densified");
     densified.add();
+    obs::emit(obs::EventType::kRowDensified, static_cast<double>(target.pivot),
+              static_cast<double>(target.end - target.pivot));
     target.dense = true;
     target.coef.assign(target.end - target.pivot, Symbol{0});
     for (std::size_t k = 0; k < target.idx.size(); ++k) {

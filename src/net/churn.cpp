@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -27,6 +28,16 @@ void note_failures(const char* model, std::size_t killed, std::size_t alive_afte
   }
 }
 
+/// Journal every death individually — unlike the trace (see note_failures
+/// above), the event journal is bounded per trial and meant for per-node
+/// failure-timeline reconstruction.
+void journal_failures(const std::vector<NodeId>& killed) {
+  if (!obs::events_enabled()) return;
+  for (const NodeId v : killed) {
+    obs::emit(obs::EventType::kNodeFailed, static_cast<double>(v));
+  }
+}
+
 }  // namespace
 
 std::vector<NodeId> kill_uniform_fraction(Overlay& overlay, double fraction, Rng& rng) {
@@ -44,6 +55,7 @@ std::vector<NodeId> kill_uniform_fraction(Overlay& overlay, double fraction, Rng
     killed.push_back(v);
   }
   note_failures("mass_failure", killed.size(), alive_nodes.size() - killed.size());
+  journal_failures(killed);
   return killed;
 }
 
@@ -64,6 +76,7 @@ std::vector<NodeId> apply_exponential_churn(Overlay& overlay, double mean_lifeti
     }
   }
   note_failures("exponential_churn", killed.size(), overlay.alive_count());
+  journal_failures(killed);
   return killed;
 }
 
@@ -77,6 +90,7 @@ std::pair<std::size_t, std::size_t> apply_session_churn(Overlay& overlay, double
     if (overlay.alive(v)) {
       if (rng.bernoulli(leave_prob)) {
         overlay.fail_node(v);
+        obs::emit(obs::EventType::kNodeFailed, static_cast<double>(v));
         ++left;
       }
     } else if (rng.bernoulli(rejoin_prob)) {

@@ -1,0 +1,256 @@
+#include "obs/events.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/timeseries.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace prlc::obs {
+
+namespace detail {
+
+namespace {
+
+bool env_telemetry_on() {
+  const char* v = std::getenv("PRLC_TELEMETRY");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+/// The currently recording trial, one per thread. Only TrialScope mutates
+/// `active`; emit paths read it through current_context().
+thread_local TrialContext t_ctx;
+
+std::atomic<std::uint64_t> g_next_run{0};
+
+/// Ring write shared by events and samples: overwrite-oldest once the
+/// preallocated capacity is full. `emitted` counts every attempt, so the
+/// chronological order can be reconstructed at flush time.
+template <typename Rec>
+void ring_push(std::vector<Rec>& ring, std::uint64_t emitted, std::size_t cap, Rec rec) {
+  if (ring.size() < cap) {
+    ring.push_back(rec);
+  } else if (cap > 0) {
+    ring[static_cast<std::size_t>(emitted % cap)] = rec;
+  }
+}
+
+/// Unroll a ring into chronological order: when it overflowed, the oldest
+/// surviving record sits at emitted % cap.
+template <typename Rec>
+void ring_unroll(std::vector<Rec>& ring, std::uint64_t emitted) {
+  if (emitted > ring.size() && !ring.empty()) {
+    std::rotate(ring.begin(),
+                ring.begin() + static_cast<std::ptrdiff_t>(emitted % ring.size()),
+                ring.end());
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> g_events_enabled{env_telemetry_on()};
+std::atomic<bool> g_timeseries_enabled{env_telemetry_on()};
+
+void emit_slow(EventType type, std::uint8_t argc, double a0, double a1, double a2) {
+  TrialContext& ctx = t_ctx;
+  if (!ctx.active) return;
+  const std::size_t cap = EventJournal::global().trial_capacity();
+  if (ctx.events.capacity() == 0 && cap > 0) ctx.events.reserve(cap);
+  ring_push(ctx.events, ctx.events_emitted, cap,
+            Event{ctx.t, ctx.event_seq, type, argc, {a0, a1, a2}});
+  ++ctx.events_emitted;
+  ++ctx.event_seq;
+}
+
+void sample_slow(std::uint32_t series, double value) {
+  TrialContext& ctx = t_ctx;
+  if (!ctx.active) return;
+  const std::size_t cap = TimeSeriesRecorder::global().trial_capacity();
+  if (ctx.samples.capacity() == 0 && cap > 0) ctx.samples.reserve(cap);
+  ring_push(ctx.samples, ctx.samples_emitted, cap,
+            Sample{series, ctx.sample_seq, ctx.t, value});
+  ++ctx.samples_emitted;
+  ++ctx.sample_seq;
+}
+
+void set_logical_time_slow(std::uint64_t t) {
+  if (t_ctx.active) t_ctx.t = t;
+}
+
+TrialContext* current_context() { return t_ctx.active ? &t_ctx : nullptr; }
+
+}  // namespace detail
+
+void set_events_enabled(bool on) {
+  detail::g_events_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_timeseries_enabled(bool on) {
+  detail::g_timeseries_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t begin_telemetry_run() {
+  return detail::g_next_run.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TrialScope::open(std::uint64_t run, std::uint64_t trial) {
+  using detail::t_ctx;
+  saved_ = std::move(t_ctx);
+  t_ctx = detail::TrialContext{};
+  t_ctx.active = true;
+  t_ctx.run = static_cast<std::int64_t>(run);
+  t_ctx.trial = trial;
+  if (events_enabled()) t_ctx.events.reserve(EventJournal::global().trial_capacity());
+  if (timeseries_enabled()) {
+    t_ctx.samples.reserve(TimeSeriesRecorder::global().trial_capacity());
+  }
+  opened_ = true;
+}
+
+void TrialScope::close() {
+  using detail::t_ctx;
+  detail::ring_unroll(t_ctx.events, t_ctx.events_emitted);
+  detail::ring_unroll(t_ctx.samples, t_ctx.samples_emitted);
+  if (t_ctx.events_emitted > 0) {
+    EventJournal::global().flush_trial(t_ctx.run, t_ctx.trial, std::move(t_ctx.events),
+                                       t_ctx.events_emitted);
+  }
+  if (t_ctx.samples_emitted > 0) {
+    TimeSeriesRecorder::global().flush_trial(t_ctx.run, t_ctx.trial,
+                                             std::move(t_ctx.samples),
+                                             t_ctx.samples_emitted);
+  }
+  t_ctx = std::move(saved_);
+}
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kNodeFailed:
+      return "node_failed";
+    case EventType::kRefreshRound:
+      return "refresh_round";
+    case EventType::kFetchRetry:
+      return "fetch_retry";
+    case EventType::kFetchHedged:
+      return "fetch_hedged";
+    case EventType::kBudgetExhausted:
+      return "budget_exhausted";
+    case EventType::kWatermarkAdvance:
+      return "watermark_advance";
+    case EventType::kRowDensified:
+      return "row_densified";
+    case EventType::kPeel:
+      return "peel";
+  }
+  PRLC_ASSERT(false, "unknown event type");
+}
+
+const EventArgNames& event_arg_names(EventType type) {
+  static const EventArgNames kTables[kEventTypeCount] = {
+      /* kNodeFailed       */ {{"node", nullptr, nullptr}},
+      /* kRefreshRound     */ {{"rebuilt", "unrecoverable", "lost"}},
+      /* kFetchRetry       */ {{"node", "attempt", nullptr}},
+      /* kFetchHedged      */ {{"node", nullptr, nullptr}},
+      /* kBudgetExhausted  */ {{"node", "faults", nullptr}},
+      /* kWatermarkAdvance */ {{"prefix_blocks", "equations", nullptr}},
+      /* kRowDensified     */ {{"pivot", "width", nullptr}},
+      /* kPeel             */ {{"pivot", nullptr, nullptr}},
+  };
+  const auto idx = static_cast<std::size_t>(type);
+  PRLC_ASSERT(idx < kEventTypeCount, "unknown event type");
+  return kTables[idx];
+}
+
+EventJournal& EventJournal::global() {
+  static EventJournal* j = new EventJournal();  // leaked: see Registry::global
+  return *j;
+}
+
+void EventJournal::set_trial_capacity(std::size_t cap) {
+  capacity_.store(cap, std::memory_order_relaxed);
+}
+
+std::size_t EventJournal::trial_capacity() const {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+std::size_t EventJournal::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const TrialRecord& r : records_) n += r.events.size();
+  return n;
+}
+
+std::uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void EventJournal::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  dropped_ = 0;
+}
+
+void EventJournal::flush_trial(std::int64_t run, std::uint64_t trial,
+                               std::vector<detail::Event>&& ring, std::uint64_t emitted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dropped_ += emitted - ring.size();
+  records_.push_back(TrialRecord{run, trial, std::move(ring)});
+}
+
+std::string EventJournal::to_jsonl() const {
+  std::vector<const TrialRecord*> order;
+  std::lock_guard<std::mutex> lock(mu_);
+  order.reserve(records_.size());
+  for (const TrialRecord& r : records_) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const TrialRecord* a, const TrialRecord* b) {
+                     return a->run != b->run ? a->run < b->run : a->trial < b->trial;
+                   });
+  std::string out;
+  std::vector<detail::Event> events;
+  for (const TrialRecord* r : order) {
+    // Emission order already equals seq order; the logical clock is
+    // nondecreasing in every current emitter, but the documented merge
+    // key is (run, trial, t, seq), so sort to keep the contract honest.
+    events = r->events;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const detail::Event& a, const detail::Event& b) {
+                       return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+                     });
+    for (const detail::Event& e : events) {
+      json::Value line = json::Value::object();
+      line.set("run", json::Value(r->run));
+      line.set("trial", json::Value(r->trial));
+      line.set("t", json::Value(e.t));
+      line.set("seq", json::Value(static_cast<std::uint64_t>(e.seq)));
+      line.set("event", json::Value(to_string(e.type)));
+      const EventArgNames& names = event_arg_names(e.type);
+      for (std::size_t a = 0; a < e.argc && names.names[a] != nullptr; ++a) {
+        line.set(names.names[a], json::Value(e.args[a]));
+      }
+      out += line.dump(-1);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+bool EventJournal::write(const std::string& path) const {
+  try {
+    json::write_file(path, to_jsonl());
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void reset_telemetry() {
+  EventJournal::global().clear();
+  TimeSeriesRecorder::global().clear();
+  detail::g_next_run.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace prlc::obs

@@ -1,0 +1,219 @@
+// Typed structured event journal with deterministic multi-thread merge.
+//
+// Experiments emit *typed* events (node_failed, fetch_retry, peel, ...)
+// stamped with logical time — the experiment's own tick counter (churn
+// wave, refresh round, fault-sweep step), never the wall clock — so the
+// journal is a deterministic record of *what the simulation did*, not of
+// how the host scheduled it.
+//
+// Determinism contract (the telemetry analogue of TrialRunner's
+// counter-based seed streams):
+//   * Events are recorded into a per-trial bounded ring buffer that lives
+//     in thread-local storage while a TrialScope is open. A trial runs
+//     entirely on one thread (TrialRunner invariant), so its events are
+//     recorded in program order with a per-trial sequence number, no
+//     cross-thread interleaving possible.
+//   * TrialRunner::run() allocates one run id per invocation (on the
+//     calling thread, so the id sequence is the program's experiment
+//     order) and opens TrialScope(run, trial) around every trial.
+//   * At scope exit the trial's ring is flushed into the process-wide
+//     journal under a mutex; export sorts by (run, trial, time, seq).
+//     The sort key contains nothing thread-dependent, so the JSONL bytes
+//     are identical at any --threads value.
+//   * Ring overflow overwrites the oldest events. Capacity is per trial,
+//     so which events drop is a function of the trial alone.
+//
+// Zero overhead when disabled: emit() is a relaxed atomic load plus a
+// predictable branch, no allocation, no shared cache line — the same
+// contract as the metrics probes (asserted by tests/obs/noalloc_guard).
+// Events emitted outside any TrialScope are dropped even when enabled:
+// an ambient buffer shared by arbitrary threads could not merge
+// deterministically, so there deliberately isn't one.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prlc::obs {
+
+/// The journal's closed event vocabulary. Typed (rather than free-form
+/// strings) so emit sites stay allocation-free and downstream tooling can
+/// switch on the kind.
+enum class EventType : std::uint8_t {
+  kNodeFailed,        ///< churn killed a node            (node)
+  kRefreshRound,      ///< maintainer refresh completed   (rebuilt, unrecoverable, lost)
+  kFetchRetry,        ///< collector retried a fetch      (node, attempt)
+  kFetchHedged,       ///< collector issued a hedge fetch (node)
+  kBudgetExhausted,   ///< node blacklisted by fault budget (node, faults)
+  kWatermarkAdvance,  ///< decoder decoded-prefix grew    (prefix_blocks, equations)
+  kRowDensified,      ///< sparse row crossed the density threshold (pivot, width)
+  kPeel,              ///< degree-1 elimination fast path (pivot)
+};
+inline constexpr std::size_t kEventTypeCount = 8;
+
+/// Stable wire name ("node_failed", "fetch_retry", ...).
+const char* to_string(EventType type);
+
+/// Per-type argument names; nullptr past the type's arity. Shared static
+/// tables so emit sites pass bare doubles.
+struct EventArgNames {
+  const char* names[3];
+};
+const EventArgNames& event_arg_names(EventType type);
+
+namespace detail {
+
+extern std::atomic<bool> g_events_enabled;
+extern std::atomic<bool> g_timeseries_enabled;
+
+/// One journal record: fixed-size, no heap members, so the hot emit path
+/// is a handful of stores into a preallocated ring slot.
+struct Event {
+  std::uint64_t t;    ///< logical time at emission
+  std::uint32_t seq;  ///< per-trial emission index
+  EventType type;
+  std::uint8_t argc;
+  double args[3];
+};
+
+/// One time-series sample (see obs/timeseries.h); recorded through the
+/// same trial context so both outputs share (run, trial, t) coordinates.
+struct Sample {
+  std::uint32_t series;  ///< TimeSeriesRecorder id
+  std::uint32_t seq;     ///< per-trial sample index
+  std::uint64_t t;
+  double value;
+};
+
+/// Thread-local recording state for the currently open TrialScope.
+struct TrialContext {
+  bool active = false;
+  std::int64_t run = -1;
+  std::uint64_t trial = 0;
+  std::uint64_t t = 0;  ///< logical clock, set via set_logical_time()
+  std::uint64_t events_emitted = 0;
+  std::uint64_t samples_emitted = 0;
+  std::uint32_t event_seq = 0;
+  std::uint32_t sample_seq = 0;
+  std::vector<Event> events;    ///< ring, capacity fixed at scope open
+  std::vector<Sample> samples;  ///< ring, capacity fixed at scope open
+};
+
+void emit_slow(EventType type, std::uint8_t argc, double a0, double a1, double a2);
+void sample_slow(std::uint32_t series, double value);
+void set_logical_time_slow(std::uint64_t t);
+
+}  // namespace detail
+
+/// Journal probe switch. Defaults off (PRLC_TELEMETRY=1 preseeds it);
+/// --events-jsonl and the tests arm it explicitly.
+inline bool events_enabled() {
+  return detail::g_events_enabled.load(std::memory_order_relaxed);
+}
+void set_events_enabled(bool on);
+
+/// Time-series probe switch (see obs/timeseries.h), declared here because
+/// TrialScope serves both recorders.
+inline bool timeseries_enabled() {
+  return detail::g_timeseries_enabled.load(std::memory_order_relaxed);
+}
+void set_timeseries_enabled(bool on);
+
+/// Emit one event into the current trial's ring. No-op when the journal
+/// is disabled or no TrialScope is open on this thread.
+inline void emit(EventType type) {
+  if (events_enabled()) detail::emit_slow(type, 0, 0, 0, 0);
+}
+inline void emit(EventType type, double a0) {
+  if (events_enabled()) detail::emit_slow(type, 1, a0, 0, 0);
+}
+inline void emit(EventType type, double a0, double a1) {
+  if (events_enabled()) detail::emit_slow(type, 2, a0, a1, 0);
+}
+inline void emit(EventType type, double a0, double a1, double a2) {
+  if (events_enabled()) detail::emit_slow(type, 3, a0, a1, a2);
+}
+
+/// Set the trial-local logical clock; experiments call this once per
+/// tick (churn point, refresh wave, fault scale). No-op without a scope.
+inline void set_logical_time(std::uint64_t t) {
+  if (events_enabled() || timeseries_enabled()) detail::set_logical_time_slow(t);
+}
+
+/// Next telemetry run id. TrialRunner::run() calls this once per
+/// invocation *on the calling thread*, so ids follow the program's
+/// experiment order regardless of worker count. reset_telemetry()
+/// rewinds it for in-process determinism tests.
+std::uint64_t begin_telemetry_run();
+
+/// RAII trial recording scope: opens the thread-local context (saving any
+/// enclosing scope — the serial TrialRunner path nests inside a manual
+/// scope in tests) and flushes the rings to the process-wide journal /
+/// time-series recorder on close. Construction is a no-op when both
+/// recorders are disabled.
+class TrialScope {
+ public:
+  TrialScope(std::uint64_t run, std::uint64_t trial) {
+    if (events_enabled() || timeseries_enabled()) open(run, trial);
+  }
+  ~TrialScope() {
+    if (opened_) close();
+  }
+  TrialScope(const TrialScope&) = delete;
+  TrialScope& operator=(const TrialScope&) = delete;
+
+ private:
+  void open(std::uint64_t run, std::uint64_t trial);
+  void close();
+
+  bool opened_ = false;
+  detail::TrialContext saved_;
+};
+
+/// Process-wide journal the trial rings flush into.
+class EventJournal {
+ public:
+  static EventJournal& global();
+
+  /// Ring capacity (events per trial) for scopes opened after the call.
+  void set_trial_capacity(std::size_t cap);
+  std::size_t trial_capacity() const;
+
+  std::size_t events() const;   ///< flushed events currently held
+  std::uint64_t dropped() const;  ///< ring-overflow losses across all trials
+  void clear();
+
+  /// One JSON object per line, sorted by (run, trial, t, seq):
+  ///   {"run":0,"trial":3,"t":1,"seq":0,"event":"fetch_retry",
+  ///    "node":17,"attempt":1}
+  /// Byte-identical for byte-identical experiment configurations.
+  std::string to_jsonl() const;
+  bool write(const std::string& path) const;
+
+  // Internal: TrialScope::close() hands its ring over.
+  void flush_trial(std::int64_t run, std::uint64_t trial,
+                   std::vector<detail::Event>&& ring, std::uint64_t emitted);
+
+ private:
+  struct TrialRecord {
+    std::int64_t run;
+    std::uint64_t trial;
+    std::vector<detail::Event> events;  ///< in emission order
+  };
+
+  mutable std::mutex mu_;
+  std::vector<TrialRecord> records_;
+  std::uint64_t dropped_ = 0;
+  std::atomic<std::size_t> capacity_{1u << 16};
+};
+
+/// Clear the journal, the time-series recorder, and the run-id counter —
+/// the full telemetry reset the in-process determinism tests need
+/// between repetitions of the same experiment.
+void reset_telemetry();
+
+}  // namespace prlc::obs

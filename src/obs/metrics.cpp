@@ -127,6 +127,21 @@ void Registry::reset_values() {
   }
 }
 
+std::optional<double> Registry::current_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  switch (it->second.kind) {
+    case Kind::kCounter:
+      return static_cast<double>(it->second.counter->value());
+    case Kind::kGauge:
+      return static_cast<double>(it->second.gauge->value());
+    case Kind::kHistogram:
+      return static_cast<double>(it->second.histogram->count());
+  }
+  return std::nullopt;
+}
+
 std::string Registry::to_json() const {
   json::Value counters = json::Value::object();
   json::Value gauges = json::Value::object();

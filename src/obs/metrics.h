@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -144,6 +145,11 @@ class Registry {
 
   /// Zero every metric's value; registrations (and references) survive.
   void reset_values();
+
+  /// Scalar snapshot of a registered metric: counter value, gauge value,
+  /// or histogram sample count. nullopt when `name` is not registered —
+  /// lookup only, never creates (the time-series tick() snapshotter).
+  std::optional<double> current_value(std::string_view name) const;
 
   /// {"counters": {name: value}, "gauges": {...},
   ///  "histograms": {name: {count, sum, mean, p50, p90, p99, max}}}

@@ -1,0 +1,135 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/json.h"
+
+namespace prlc::obs {
+
+namespace {
+
+/// Arena node used during folding: children keyed by name so repeated
+/// spans merge, stored as arena indices so growth never invalidates the
+/// per-thread stacks below.
+struct RawNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::map<std::string, std::size_t> children;
+};
+
+struct OpenSpan {
+  std::size_t node;
+  std::uint64_t begin_us;
+};
+
+std::size_t find_or_create_child(std::vector<RawNode>& arena, std::size_t parent,
+                                 const std::string& name) {
+  auto it = arena[parent].children.find(name);
+  if (it != arena[parent].children.end()) return it->second;
+  const std::size_t idx = arena.size();
+  arena[parent].children.emplace(name, idx);
+  arena.push_back(RawNode{name, 0, 0, {}});
+  return idx;
+}
+
+ProfileNode materialize(const std::vector<RawNode>& arena, std::size_t idx) {
+  const RawNode& raw = arena[idx];
+  ProfileNode node;
+  node.name = raw.name;
+  node.count = raw.count;
+  node.total_us = raw.total_us;
+  std::uint64_t child_total = 0;
+  for (const auto& [name, child_idx] : raw.children) {  // std::map: name order
+    node.children.push_back(materialize(arena, child_idx));
+    child_total += node.children.back().total_us;
+  }
+  // Clamp: overlapping child spans (or clock granularity) can make the
+  // children sum past the parent; self time never goes negative.
+  node.self_us = node.total_us > child_total ? node.total_us - child_total : 0;
+  return node;
+}
+
+json::Value node_to_value(const ProfileNode& node) {
+  json::Value v = json::Value::object();
+  v.set("name", node.name);
+  v.set("count", node.count);
+  v.set("total_us", node.total_us);
+  v.set("self_us", node.self_us);
+  json::Value children = json::Value::array();
+  for (const ProfileNode& c : node.children) children.push_back(node_to_value(c));
+  v.set("children", std::move(children));
+  return v;
+}
+
+void node_to_text(const ProfileNode& node, std::size_t depth, std::string& out) {
+  out.append(depth * 2, ' ');
+  out += node.name;
+  if (node.count > 0) {
+    out += " x";
+    out += std::to_string(node.count);
+  }
+  out += "  total ";
+  out += std::to_string(node.total_us);
+  out += "us  self ";
+  out += std::to_string(node.self_us);
+  out += "us\n";
+  for (const ProfileNode& c : node.children) node_to_text(c, depth + 1, out);
+}
+
+}  // namespace
+
+ProfileNode build_profile(const std::vector<TraceRecorder::SpanEvent>& events) {
+  std::vector<RawNode> arena;
+  arena.push_back(RawNode{"root", 0, 0, {}});
+
+  // Replay one B/E stack per tid; the event list is mutex-ordered, so a
+  // single pass with per-tid stacks reconstructs every thread's nesting.
+  std::map<std::uint32_t, std::vector<OpenSpan>> stacks;
+  std::uint64_t last_ts = 0;
+  for (const TraceRecorder::SpanEvent& e : events) {
+    last_ts = std::max(last_ts, e.ts_us);
+    std::vector<OpenSpan>& stack = stacks[e.tid];
+    if (e.phase == 'B') {
+      const std::size_t parent = stack.empty() ? 0 : stack.back().node;
+      stack.push_back(OpenSpan{find_or_create_child(arena, parent, e.name), e.ts_us});
+    } else if (e.phase == 'E') {
+      // Tolerant close: pop whatever is open (name mismatches happen when
+      // a trace was started mid-span); an E with nothing open is dropped.
+      if (stack.empty()) continue;
+      arena[stack.back().node].count += 1;
+      arena[stack.back().node].total_us += e.ts_us - stack.back().begin_us;
+      stack.pop_back();
+    }
+  }
+  // Close spans still open when capture stopped at the last seen time.
+  for (auto& [tid, stack] : stacks) {
+    while (!stack.empty()) {
+      arena[stack.back().node].count += 1;
+      arena[stack.back().node].total_us += last_ts - stack.back().begin_us;
+      stack.pop_back();
+    }
+  }
+
+  for (const auto& [name, idx] : arena[0].children) {
+    arena[0].total_us += arena[idx].total_us;
+  }
+  return materialize(arena, 0);
+}
+
+ProfileNode build_profile(const TraceRecorder& rec) {
+  return build_profile(rec.span_events());
+}
+
+std::string profile_to_json(const ProfileNode& root) {
+  return node_to_value(root).dump(1);
+}
+
+std::string profile_to_text(const ProfileNode& root) {
+  std::string out;
+  node_to_text(root, 0, out);
+  return out;
+}
+
+}  // namespace prlc::obs

@@ -1,0 +1,154 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace prlc::obs {
+
+TimeSeriesRecorder& TimeSeriesRecorder::global() {
+  static TimeSeriesRecorder* r = new TimeSeriesRecorder();  // leaked: see Registry::global
+  return *r;
+}
+
+SeriesId TimeSeriesRecorder::series(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<SeriesId>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<SeriesId>(names_.size() - 1);
+}
+
+void TimeSeriesRecorder::watch(std::string_view metric_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& w : watched_) {
+    if (w == metric_name) return;
+  }
+  watched_.emplace_back(metric_name);
+}
+
+void TimeSeriesRecorder::tick(std::uint64_t t) {
+  if (!timeseries_enabled()) return;
+  std::vector<std::string> watched;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watched = watched_;
+  }
+  set_logical_time(t);
+  for (const std::string& name : watched) {
+    const auto value = Registry::global().current_value(name);
+    if (value.has_value()) sample(series(name), *value);
+  }
+}
+
+void TimeSeriesRecorder::set_trial_capacity(std::size_t cap) {
+  capacity_.store(cap, std::memory_order_relaxed);
+}
+
+std::size_t TimeSeriesRecorder::trial_capacity() const {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+std::size_t TimeSeriesRecorder::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const TrialRecord& r : records_) n += r.samples.size();
+  return n;
+}
+
+std::uint64_t TimeSeriesRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TimeSeriesRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  dropped_ = 0;
+  // names_ and watched_ survive: SeriesId handles held by callers (often
+  // in function-local statics) must stay valid for the process lifetime.
+}
+
+void TimeSeriesRecorder::flush_trial(std::int64_t run, std::uint64_t trial,
+                                     std::vector<detail::Sample>&& ring,
+                                     std::uint64_t emitted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dropped_ += emitted - ring.size();
+  records_.push_back(TrialRecord{run, trial, std::move(ring)});
+}
+
+std::vector<TimeSeriesRecorder::FlatSample> TimeSeriesRecorder::sorted_samples() const {
+  std::vector<FlatSample> flat;
+  for (const TrialRecord& r : records_) {
+    for (const detail::Sample& s : r.samples) flat.push_back(FlatSample{r.run, r.trial, s});
+  }
+  std::stable_sort(flat.begin(), flat.end(), [](const FlatSample& a, const FlatSample& b) {
+    if (a.run != b.run) return a.run < b.run;
+    if (a.trial != b.trial) return a.trial < b.trial;
+    if (a.s.t != b.s.t) return a.s.t < b.s.t;
+    return a.s.seq < b.s.seq;
+  });
+  return flat;
+}
+
+std::string TimeSeriesRecorder::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const FlatSample& f : sorted_samples()) {
+    json::Value line = json::Value::object();
+    line.set("run", json::Value(f.run));
+    line.set("trial", json::Value(f.trial));
+    line.set("t", json::Value(f.s.t));
+    line.set("seq", json::Value(static_cast<std::uint64_t>(f.s.seq)));
+    line.set("series", json::Value(f.s.series < names_.size() ? names_[f.s.series]
+                                                              : std::string("unknown")));
+    line.set("value", json::Value(f.s.value));
+    out += line.dump(-1);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TimeSeriesRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto flat = sorted_samples();
+  // Group by series name, names in sorted order for a stable document.
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < names_.size(); ++i) ids.push_back(i);
+  std::sort(ids.begin(), ids.end(),
+            [&](std::size_t a, std::size_t b) { return names_[a] < names_[b]; });
+  json::Value series = json::Value::array();
+  for (const std::size_t id : ids) {
+    json::Value points = json::Value::array();
+    for (const FlatSample& f : flat) {
+      if (f.s.series != id) continue;
+      json::Value p = json::Value::object();
+      p.set("run", json::Value(f.run));
+      p.set("trial", json::Value(f.trial));
+      p.set("t", json::Value(f.s.t));
+      p.set("value", json::Value(f.s.value));
+      points.push_back(std::move(p));
+    }
+    if (points.size() == 0) continue;
+    json::Value entry = json::Value::object();
+    entry.set("name", json::Value(names_[id]));
+    entry.set("points", std::move(points));
+    series.push_back(std::move(entry));
+  }
+  json::Value root = json::Value::object();
+  root.set("series", std::move(series));
+  return root.dump(1);
+}
+
+bool TimeSeriesRecorder::write_jsonl(const std::string& path) const {
+  try {
+    json::write_file(path, to_jsonl());
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace prlc::obs

@@ -1,0 +1,110 @@
+// Deterministic logical-time series on top of the trial context.
+//
+// Two recording modes share one output format:
+//
+//   * sample(series, value) — the experiment hands over a value it
+//     computed itself (per-level surviving blocks, decodability margin,
+//     retry pressure). Samples are stamped with the trial context's
+//     (run, trial, logical time) plus a per-trial sequence number and
+//     ring-buffered exactly like journal events, so the exported JSONL is
+//     byte-identical at any thread count. This is the only mode that is
+//     safe inside parallel trials.
+//   * watch(name) + tick(t) — snapshot selected Registry metrics
+//     (counter value, gauge value, histogram count) at explicit ticks.
+//     Registry metrics are process-global, so this mode is for serial
+//     contexts only (`prlc metrics`, single-threaded timelines); under
+//     parallel trials the snapshots would interleave arbitrarily.
+//
+// Hot-path contract matches the journal: sample() is a relaxed load plus
+// a branch when disabled, allocation-free always (rings preallocate at
+// TrialScope open), and a no-op outside a TrialScope.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace prlc::obs {
+
+/// Stable handle for one named series; resolve once outside the trial
+/// loop (resolution takes a mutex), then sample through the handle.
+using SeriesId = std::uint32_t;
+
+class TimeSeriesRecorder {
+ public:
+  static TimeSeriesRecorder& global();
+
+  /// Find-or-create the id for `name`. Ids are process-local; the export
+  /// is keyed by name, so id assignment order never shows in the output.
+  SeriesId series(std::string_view name);
+
+  /// Record `value` for `series` at the current trial's logical time.
+  /// No-op when disabled or outside a TrialScope.
+  void sample(SeriesId series, double value) {
+    if (timeseries_enabled()) detail::sample_slow(series, value);
+  }
+
+  /// Registry-snapshot mode: watch a metric by name, then snapshot every
+  /// watched metric at each tick(t). Serial contexts only (see header).
+  void watch(std::string_view metric_name);
+  void tick(std::uint64_t t);
+
+  /// Ring capacity (samples per trial) for scopes opened after the call.
+  void set_trial_capacity(std::size_t cap);
+  std::size_t trial_capacity() const;
+
+  std::size_t samples() const;    ///< flushed samples currently held
+  std::uint64_t dropped() const;  ///< ring-overflow losses
+  void clear();
+
+  /// One JSON object per line, sorted by (run, trial, t, seq):
+  ///   {"run":0,"trial":2,"t":3,"seq":1,"series":"persistence.margin.l1",
+  ///    "value":-4}
+  std::string to_jsonl() const;
+  /// Same data grouped per series: {"series":[{"name":..,"points":[..]}]}.
+  std::string to_json() const;
+  bool write_jsonl(const std::string& path) const;
+
+  // Internal: TrialScope::close() hands its ring over.
+  void flush_trial(std::int64_t run, std::uint64_t trial,
+                   std::vector<detail::Sample>&& ring, std::uint64_t emitted);
+
+ private:
+  struct TrialRecord {
+    std::int64_t run;
+    std::uint64_t trial;
+    std::vector<detail::Sample> samples;
+  };
+
+  /// Sorted flat view of every sample, used by both exporters.
+  struct FlatSample {
+    std::int64_t run;
+    std::uint64_t trial;
+    detail::Sample s;
+  };
+  std::vector<FlatSample> sorted_samples() const;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;     ///< series id -> name
+  std::vector<std::string> watched_;   ///< Registry metric names for tick()
+  std::vector<TrialRecord> records_;
+  std::uint64_t dropped_ = 0;
+  std::atomic<std::size_t> capacity_{1u << 16};
+};
+
+/// Shorthand: resolve against the global recorder.
+inline SeriesId timeseries(std::string_view name) {
+  return TimeSeriesRecorder::global().series(name);
+}
+/// Shorthand: sample on the global recorder.
+inline void sample(SeriesId series, double value) {
+  TimeSeriesRecorder::global().sample(series, value);
+}
+
+}  // namespace prlc::obs

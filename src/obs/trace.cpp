@@ -7,6 +7,20 @@
 
 namespace prlc::obs {
 
+namespace {
+
+/// Per-thread trace ordinal, assigned on a thread's first push. The main
+/// (first-emitting) thread gets tid 1, matching the historical constant.
+std::atomic<std::uint32_t> g_next_tid{1};
+
+std::uint32_t this_thread_tid() {
+  thread_local std::uint32_t tid = 0;
+  if (tid == 0) tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
 TraceRecorder& TraceRecorder::global() {
   static TraceRecorder* r = new TraceRecorder();  // leaked: see Registry::global
   return *r;
@@ -30,10 +44,12 @@ void TraceRecorder::push(char phase, std::string_view name, std::string_view cat
                          std::initializer_list<TraceArg> args) {
   if (!capturing()) return;
   const std::uint64_t now = ScopedTimer::now_ns();
+  const std::uint32_t tid = this_thread_tid();
   std::lock_guard<std::mutex> lock(mu_);
   Event& e = events_.emplace_back();
   e.phase = phase;
   e.ts_us = (now - epoch_ns_) / 1000;
+  e.tid = tid;
   e.name = name;
   e.category = category;
   e.args.reserve(args.size());
@@ -64,6 +80,16 @@ std::size_t TraceRecorder::events() const {
   return events_.size();
 }
 
+std::vector<TraceRecorder::SpanEvent> TraceRecorder::span_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out;
+  for (const Event& e : events_) {
+    if (e.phase != 'B' && e.phase != 'E') continue;
+    out.push_back(SpanEvent{e.phase, e.ts_us, e.tid, e.name});
+  }
+  return out;
+}
+
 std::string TraceRecorder::to_json() const {
   json::Value list = json::Value::array();
   {
@@ -75,7 +101,7 @@ std::string TraceRecorder::to_json() const {
       ev.set("ph", std::string(1, e.phase));
       ev.set("ts", e.ts_us);
       ev.set("pid", 1);
-      ev.set("tid", 1);
+      ev.set("tid", static_cast<std::uint64_t>(e.tid));
       if (e.phase == 'i') ev.set("s", "p");  // process-scoped instant
       if (!e.args.empty()) {
         json::Value args = json::Value::object();

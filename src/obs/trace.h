@@ -60,6 +60,17 @@ class TraceRecorder {
 
   std::size_t events() const;
 
+  /// Span-relevant slice of one captured event: just enough for the
+  /// profile builder to replay per-thread B/E nesting.
+  struct SpanEvent {
+    char phase;
+    std::uint64_t ts_us;
+    std::uint32_t tid;
+    std::string name;
+  };
+  /// Copy of every captured "B"/"E" event in capture order.
+  std::vector<SpanEvent> span_events() const;
+
   /// {"traceEvents": [...], "displayTimeUnit": "ms"}
   std::string to_json() const;
   /// Write to_json() to `path`; false on I/O failure.
@@ -69,6 +80,7 @@ class TraceRecorder {
   struct Event {
     char phase;
     std::uint64_t ts_us;
+    std::uint32_t tid;
     std::string name;
     std::string category;
     std::vector<std::pair<std::string, double>> args;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "codes/wire_format.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -118,10 +119,13 @@ CollectionOutcome collect_resilient(FaultyChannel& channel,
   /// Charge one retryable fault to `node`; true when the node just
   /// exhausted its budget and got blacklisted.
   const auto charge_fault = [&](net::NodeId node) {
-    if (++node_faults[node] < policy.node_fault_budget) return false;
+    const std::size_t faults = ++node_faults[node];
+    if (faults < policy.node_fault_budget) return false;
     if (blacklisted.insert(node).second) {
       ++out.blacklisted_nodes;
       blacklist_ctr.add();
+      obs::emit(obs::EventType::kBudgetExhausted, static_cast<double>(node),
+                static_cast<double>(faults));
     }
     return true;
   };
@@ -140,6 +144,7 @@ CollectionOutcome collect_resilient(FaultyChannel& channel,
       }
       ++out.hedges;
       hedges_ctr.add();
+      obs::emit(obs::EventType::kFetchHedged, static_cast<double>(node));
       const FetchReply reply = channel.fetch(loc, rng);
       latency_hist.record(reply.latency_us);
       out.sim_elapsed_us += reply.latency_us;
@@ -225,6 +230,8 @@ CollectionOutcome collect_resilient(FaultyChannel& channel,
       if (attempt + 1 < policy.max_attempts) {
         ++out.retries;
         retries_ctr.add();
+        obs::emit(obs::EventType::kFetchRetry, static_cast<double>(node),
+                  static_cast<double>(attempt + 1));
         out.sim_elapsed_us += backoff_us(policy, attempt, rng);
       }
     }

@@ -7,6 +7,7 @@
 #include "net/churn.h"
 #include "net/sensor_network.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "runtime/trial_runner.h"
 #include "util/check.h"
@@ -83,6 +84,23 @@ std::vector<FaultPoint> run_fault_experiment(const FaultSweepParams& params) {
 
   static obs::Counter& trials_run = obs::counter("fault_experiment.trials");
 
+  // Retry/hedge pressure and decode outcome per fault-scale step; logical
+  // time is the step index of the sweep.
+  struct SeriesIds {
+    obs::SeriesId decoded_levels;
+    obs::SeriesId blocks_lost;
+    obs::SeriesId retries;
+    obs::SeriesId hedges;
+  };
+  SeriesIds ts{};
+  const bool want_timeseries = obs::timeseries_enabled();
+  if (want_timeseries) {
+    ts.decoded_levels = obs::timeseries("fault.decoded_levels");
+    ts.blocks_lost = obs::timeseries("fault.blocks_lost");
+    ts.retries = obs::timeseries("fault.retries");
+    ts.hedges = obs::timeseries("fault.hedges");
+  }
+
   runtime::TrialRunner runner(params.experiment.threads);
   const auto outcomes = runner.run(
       params.experiment.trials, params.experiment.root_seed,
@@ -100,7 +118,9 @@ std::vector<FaultPoint> run_fault_experiment(const FaultSweepParams& params) {
         }
 
         TrialOutcome outcome;
-        for (const double scale : params.fault_scales) {
+        for (std::size_t point = 0; point < points; ++point) {
+          const double scale = params.fault_scales[point];
+          obs::set_logical_time(point);
           net::FaultPlan plan(params.faults.scaled(scale), overlay->nodes(), rng);
           FaultyChannel channel(predist, std::move(plan));
           codes::PriorityDecoder<Field> decoder(proto.scheme, spec, proto.block_size);
@@ -119,6 +139,12 @@ std::vector<FaultPoint> run_fault_experiment(const FaultSweepParams& params) {
           outcome.crashes.push_back(static_cast<double>(c.faults.crashes));
           outcome.blacklisted.push_back(static_cast<double>(c.blacklisted_nodes));
           outcome.degraded.push_back(c.degraded ? 1.0 : 0.0);
+          if (want_timeseries) {
+            obs::sample(ts.decoded_levels, static_cast<double>(c.result.decoded_levels));
+            obs::sample(ts.blocks_lost, static_cast<double>(c.blocks_lost));
+            obs::sample(ts.retries, static_cast<double>(c.retries));
+            obs::sample(ts.hedges, static_cast<double>(c.hedges));
+          }
           if (obs::trace_enabled()) {
             obs::TraceRecorder::global().instant(
                 "fault_point", "fault_experiment",

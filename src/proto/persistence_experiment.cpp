@@ -5,6 +5,7 @@
 #include "codes/decoder.h"
 #include "net/chord_network.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "proto/collector.h"
 #include "net/churn.h"
@@ -82,6 +83,27 @@ std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams
   static obs::Gauge& survivors_gauge = obs::gauge("persistence.last_survivors");
   static obs::LatencyHistogram& survivors_hist = obs::histogram("persistence.survivors");
 
+  // Time-series handles, resolved once outside the trial loop (resolution
+  // takes a mutex; sampling through the id is lock-free). Logical time is
+  // the churn-point index of the failure-fraction sweep.
+  struct SeriesIds {
+    obs::SeriesId survivors;
+    obs::SeriesId decoded_levels;
+    std::vector<obs::SeriesId> level_survivors;  ///< per priority level
+    std::vector<obs::SeriesId> margin;           ///< decodability margin per level
+  };
+  SeriesIds ts{};
+  const bool want_timeseries = obs::timeseries_enabled();
+  if (want_timeseries) {
+    ts.survivors = obs::timeseries("persistence.survivors");
+    ts.decoded_levels = obs::timeseries("persistence.decoded_levels");
+    for (std::size_t l = 0; l < spec.levels(); ++l) {
+      const std::string suffix = ".l" + std::to_string(l + 1);
+      ts.level_survivors.push_back(obs::timeseries("persistence.level_survivors" + suffix));
+      ts.margin.push_back(obs::timeseries("persistence.margin" + suffix));
+    }
+  }
+
   runtime::TrialRunner runner(params.experiment.threads);
   const auto outcomes = runner.run(
       params.experiment.trials, params.experiment.root_seed,
@@ -110,6 +132,8 @@ std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams
 
         double killed_so_far = 0.0;
         for (std::size_t point = 0; point < points; ++point) {
+          // Logical time for telemetry = churn-point index of the sweep.
+          obs::set_logical_time(point);
           // Cumulative kills: to reach fraction f of the *original* nodes,
           // kill the increment relative to what this trial already killed.
           const double f = params.failure_fractions[point];
@@ -129,6 +153,26 @@ std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams
                 {{"failure_fraction", f},
                  {"survivors", static_cast<double>(result.surviving_locations)},
                  {"decoded_levels", static_cast<double>(result.decoded_levels)}});
+          }
+          if (want_timeseries) {
+            obs::sample(ts.survivors, static_cast<double>(result.surviving_locations));
+            obs::sample(ts.decoded_levels, static_cast<double>(result.decoded_levels));
+            // Per-level surviving blocks and the decodability margin: the
+            // priority-l prefix (level_end(l) source blocks) needs at least
+            // that many surviving blocks of levels <= l to be decodable, so
+            // margin = cumulative survivors - prefix size. Negative margin
+            // at point t is the telemetry signature of losing level l.
+            std::vector<std::size_t> per_level(spec.levels(), 0);
+            for (const net::LocationId loc : predist.surviving_locations()) {
+              ++per_level[predist.level_of_location(loc)];
+            }
+            std::size_t cumulative = 0;
+            for (std::size_t l = 0; l < spec.levels(); ++l) {
+              cumulative += per_level[l];
+              obs::sample(ts.level_survivors[l], static_cast<double>(per_level[l]));
+              obs::sample(ts.margin[l], static_cast<double>(cumulative) -
+                                            static_cast<double>(spec.level_end(l)));
+            }
           }
           outcome.survivors.push_back(static_cast<double>(result.surviving_locations));
           outcome.levels.push_back(static_cast<double>(result.decoded_levels));

@@ -3,7 +3,9 @@
 #include "codes/decoder.h"
 #include "net/chord_network.h"
 #include "net/churn.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "proto/collector.h"
 #include "runtime/trial_runner.h"
@@ -93,6 +95,9 @@ RefreshResult refresh(Predistribution& dist, net::NodeId maintainer, Rng& rng) {
   unrecoverable.add(result.unrecoverable);
   repair_messages.add(result.messages);
   repair_hops.add(result.total_hops);
+  obs::emit(obs::EventType::kRefreshRound, static_cast<double>(result.rebuilt_locations),
+            static_cast<double>(result.unrecoverable),
+            static_cast<double>(result.lost_locations));
   if (obs::trace_enabled()) {
     obs::TraceRecorder::global().instant(
         "refresh_done", "refresh",
@@ -127,6 +132,20 @@ std::vector<RefreshWavePoint> run_refresh_experiment(const RefreshExperimentPara
   ProtocolParams proto = params.protocol;
   proto.scheme = params.experiment.scheme;
 
+  // Per-wave health series; logical time is the churn-wave index.
+  struct SeriesIds {
+    obs::SeriesId decoded_levels;
+    obs::SeriesId surviving;
+    obs::SeriesId rebuilt;
+  };
+  SeriesIds ts{};
+  const bool want_timeseries = obs::timeseries_enabled();
+  if (want_timeseries) {
+    ts.decoded_levels = obs::timeseries("refresh.decoded_levels");
+    ts.surviving = obs::timeseries("refresh.surviving_locations");
+    ts.rebuilt = obs::timeseries("refresh.rebuilt_locations");
+  }
+
   runtime::TrialRunner runner(params.experiment.threads);
   const auto outcomes = runner.run(
       params.experiment.trials, params.experiment.root_seed,
@@ -147,6 +166,7 @@ std::vector<RefreshWavePoint> run_refresh_experiment(const RefreshExperimentPara
         outcome.surviving.reserve(params.waves);
         outcome.rebuilt.reserve(params.waves);
         for (std::size_t wave = 0; wave < params.waves; ++wave) {
+          obs::set_logical_time(wave);
           net::kill_uniform_fraction(overlay, params.kill_fraction, rng);
           std::size_t rebuilt = 0;
           if (params.use_refresh && overlay.alive_count() > 0) {
@@ -154,6 +174,11 @@ std::vector<RefreshWavePoint> run_refresh_experiment(const RefreshExperimentPara
           }
           codes::PriorityDecoder<Field> dec(proto.scheme, spec, proto.block_size);
           const auto result = collect(pd, dec, {}, rng);
+          if (want_timeseries) {
+            obs::sample(ts.decoded_levels, static_cast<double>(result.decoded_levels));
+            obs::sample(ts.surviving, static_cast<double>(result.surviving_locations));
+            obs::sample(ts.rebuilt, static_cast<double>(rebuilt));
+          }
           outcome.levels.push_back(static_cast<double>(result.decoded_levels));
           outcome.blocks.push_back(static_cast<double>(result.decoded_blocks));
           outcome.surviving.push_back(static_cast<double>(result.surviving_locations));

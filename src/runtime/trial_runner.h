@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/events.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -64,7 +65,12 @@ class TrialRunner {
     static_assert(std::is_default_constructible_v<Result>,
                   "per-trial results are slotted into a pre-sized vector");
     std::vector<Result> results(trials);
+    // One telemetry run id per run() invocation, allocated here on the
+    // calling thread so ids follow the program's experiment order; each
+    // trial journals under (run, trial), thread count invisible.
+    const std::uint64_t telemetry_run = obs::begin_telemetry_run();
     auto one_trial = [&](std::size_t i) {
+      obs::TrialScope telemetry(telemetry_run, i);
       record_trial_start();
       const std::uint64_t t0 = trial_clock_ns();
       Rng rng(trial_seed(root_seed, i));

@@ -89,35 +89,92 @@ const std::vector<std::pair<std::string, Value>>& Value::members() const {
   return obj_;
 }
 
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when
+/// the bytes there are not valid UTF-8 (RFC 3629 table: no overlong
+/// forms, no surrogate code points, nothing above U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto b0 = static_cast<unsigned char>(s[i]);
+  if (b0 < 0x80) return 1;
+  const auto cont = [&](std::size_t k, unsigned char lo, unsigned char hi) {
+    if (i + k >= s.size()) return false;
+    const auto b = static_cast<unsigned char>(s[i + k]);
+    return b >= lo && b <= hi;
+  };
+  if (b0 >= 0xC2 && b0 <= 0xDF) return cont(1, 0x80, 0xBF) ? 2 : 0;
+  if (b0 == 0xE0) return cont(1, 0xA0, 0xBF) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  if (b0 >= 0xE1 && b0 <= 0xEC) return cont(1, 0x80, 0xBF) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  if (b0 == 0xED) return cont(1, 0x80, 0x9F) && cont(2, 0x80, 0xBF) ? 3 : 0;  // no surrogates
+  if (b0 >= 0xEE && b0 <= 0xEF) return cont(1, 0x80, 0xBF) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  if (b0 == 0xF0) {
+    return cont(1, 0x90, 0xBF) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF) ? 4 : 0;
+  }
+  if (b0 >= 0xF1 && b0 <= 0xF3) {
+    return cont(1, 0x80, 0xBF) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF) ? 4 : 0;
+  }
+  if (b0 == 0xF4) {  // max U+10FFFF
+    return cont(1, 0x80, 0x8F) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF) ? 4 : 0;
+  }
+  return 0;  // C0/C1 (overlong), F5+ (out of range), stray continuation
+}
+
+}  // namespace
+
 std::string escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
   out.push_back('"');
-  for (unsigned char c : s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto c = static_cast<unsigned char>(s[i]);
     switch (c) {
       case '"':
         out += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         out += "\\\\";
-        break;
+        ++i;
+        continue;
       case '\n':
         out += "\\n";
-        break;
+        ++i;
+        continue;
       case '\r':
         out += "\\r";
-        break;
+        ++i;
+        continue;
       case '\t':
         out += "\\t";
-        break;
+        ++i;
+        continue;
       default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(static_cast<char>(c));
-        }
+        break;
+    }
+    if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (c < 0x80) {
+      out.push_back(static_cast<char>(c));
+      ++i;
+      continue;
+    }
+    // Multi-byte lead or continuation: copy only well-formed UTF-8 —
+    // hierarchical metric/event names are arbitrary caller strings, and
+    // one invalid byte must not poison a whole JSONL export. Invalid
+    // bytes become U+FFFD one at a time, resynchronizing on the next.
+    const std::size_t len = utf8_sequence_length(s, i);
+    if (len == 0) {
+      out += "\xEF\xBF\xBD";  // U+FFFD replacement character
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
     }
   }
   out.push_back('"');
@@ -321,6 +378,12 @@ class Parser {
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
+        // RFC 8259: control characters must be escaped; a raw one means
+        // the document did not come from a conforming writer.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          --pos_;
+          fail("raw control character in string");
+        }
         out.push_back(c);
         continue;
       }

@@ -1,0 +1,166 @@
+#include "obs/events.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace prlc::obs {
+namespace {
+
+// Every test arms the journal and tears the whole telemetry state down so
+// test order (and the metrics/trace tests in this binary) never shows.
+class EventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_telemetry();
+    set_events_enabled(true);
+  }
+  void TearDown() override {
+    set_events_enabled(false);
+    set_timeseries_enabled(false);
+    EventJournal::global().set_trial_capacity(1u << 16);
+    reset_telemetry();
+  }
+};
+
+TEST_F(EventsTest, WireNamesAndArgNamesAreStable) {
+  EXPECT_STREQ(to_string(EventType::kNodeFailed), "node_failed");
+  EXPECT_STREQ(to_string(EventType::kRefreshRound), "refresh_round");
+  EXPECT_STREQ(to_string(EventType::kFetchRetry), "fetch_retry");
+  EXPECT_STREQ(to_string(EventType::kFetchHedged), "fetch_hedged");
+  EXPECT_STREQ(to_string(EventType::kBudgetExhausted), "budget_exhausted");
+  EXPECT_STREQ(to_string(EventType::kWatermarkAdvance), "watermark_advance");
+  EXPECT_STREQ(to_string(EventType::kRowDensified), "row_densified");
+  EXPECT_STREQ(to_string(EventType::kPeel), "peel");
+  EXPECT_STREQ(event_arg_names(EventType::kFetchRetry).names[0], "node");
+  EXPECT_STREQ(event_arg_names(EventType::kFetchRetry).names[1], "attempt");
+  EXPECT_EQ(event_arg_names(EventType::kFetchHedged).names[1], nullptr);
+}
+
+TEST_F(EventsTest, EmitOutsideAnyScopeIsDropped) {
+  emit(EventType::kPeel, 3.0);
+  set_logical_time(9);
+  EXPECT_EQ(EventJournal::global().events(), 0u);
+}
+
+TEST_F(EventsTest, DisabledJournalRecordsNothing) {
+  set_events_enabled(false);
+  {
+    TrialScope scope(begin_telemetry_run(), 0);
+    emit(EventType::kPeel, 1.0);
+  }
+  EXPECT_EQ(EventJournal::global().events(), 0u);
+}
+
+TEST_F(EventsTest, ScopeRecordsAndExportsTypedArgs) {
+  {
+    TrialScope scope(begin_telemetry_run(), 7);
+    set_logical_time(2);
+    emit(EventType::kFetchRetry, 17.0, 1.0);
+    emit(EventType::kNodeFailed, 4.0);
+  }
+  EXPECT_EQ(EventJournal::global().events(), 2u);
+  const std::string jsonl = EventJournal::global().to_jsonl();
+  EXPECT_EQ(jsonl,
+            "{\"run\":0,\"trial\":7,\"t\":2,\"seq\":0,\"event\":\"fetch_retry\","
+            "\"node\":17,\"attempt\":1}\n"
+            "{\"run\":0,\"trial\":7,\"t\":2,\"seq\":1,\"event\":\"node_failed\","
+            "\"node\":4}\n");
+}
+
+TEST_F(EventsTest, ExportSortsByRunTrialTimeSeq) {
+  // Flush trials in scrambled order; export must sort, not keep flush order.
+  const std::uint64_t run = begin_telemetry_run();
+  {
+    TrialScope scope(run, 5);
+    set_logical_time(1);
+    emit(EventType::kPeel, 5.0);
+  }
+  {
+    TrialScope scope(run, 0);
+    set_logical_time(3);
+    emit(EventType::kPeel, 0.0);
+  }
+  const std::string jsonl = EventJournal::global().to_jsonl();
+  const std::size_t trial0 = jsonl.find("\"trial\":0");
+  const std::size_t trial5 = jsonl.find("\"trial\":5");
+  ASSERT_NE(trial0, std::string::npos);
+  ASSERT_NE(trial5, std::string::npos);
+  EXPECT_LT(trial0, trial5);
+}
+
+TEST_F(EventsTest, RingOverflowKeepsNewestAndCountsDrops) {
+  EventJournal::global().set_trial_capacity(4);
+  {
+    TrialScope scope(begin_telemetry_run(), 0);
+    for (int i = 0; i < 10; ++i) emit(EventType::kPeel, static_cast<double>(i));
+  }
+  EXPECT_EQ(EventJournal::global().events(), 4u);
+  EXPECT_EQ(EventJournal::global().dropped(), 6u);
+  const std::string jsonl = EventJournal::global().to_jsonl();
+  // Oldest surviving event is pivot 6; seq numbers keep their emission index.
+  EXPECT_NE(jsonl.find("\"seq\":6,\"event\":\"peel\",\"pivot\":6"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"pivot\":5"), std::string::npos);
+}
+
+TEST_F(EventsTest, NestedScopeRestoresEnclosingContext) {
+  const std::uint64_t run = begin_telemetry_run();
+  {
+    TrialScope outer(run, 0);
+    set_logical_time(1);
+    emit(EventType::kPeel, 0.0);
+    {
+      TrialScope inner(run, 1);
+      emit(EventType::kPeel, 100.0);
+    }
+    // Back in the outer trial: its clock and seq stream must be intact.
+    emit(EventType::kPeel, 1.0);
+  }
+  const std::string jsonl = EventJournal::global().to_jsonl();
+  EXPECT_NE(jsonl.find("\"trial\":0,\"t\":1,\"seq\":0,\"event\":\"peel\",\"pivot\":0"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"trial\":0,\"t\":1,\"seq\":1,\"event\":\"peel\",\"pivot\":1"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"trial\":1,\"t\":0,\"seq\":0,\"event\":\"peel\",\"pivot\":100"),
+            std::string::npos);
+}
+
+TEST_F(EventsTest, MergeIsByteIdenticalAcrossThreadAssignments) {
+  // The same trials journal the same bytes whether they run serially or
+  // scattered across threads in reverse order.
+  auto run_trials = [](std::size_t threads) {
+    reset_telemetry();
+    const std::uint64_t run = begin_telemetry_run();
+    auto one_trial = [run](std::uint64_t trial) {
+      TrialScope scope(run, trial);
+      for (std::uint64_t t = 0; t < 3; ++t) {
+        set_logical_time(t);
+        emit(EventType::kFetchRetry, static_cast<double>(trial),
+             static_cast<double>(t));
+      }
+    };
+    if (threads <= 1) {
+      for (std::uint64_t trial = 0; trial < 8; ++trial) one_trial(trial);
+    } else {
+      std::vector<std::thread> pool;
+      for (std::size_t w = 0; w < threads; ++w) {
+        pool.emplace_back([&, w] {
+          for (std::uint64_t trial = 7; trial + 1 > 0; --trial) {
+            if (trial % threads == w) one_trial(trial);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+    }
+    return EventJournal::global().to_jsonl();
+  };
+  const std::string serial = run_trials(1);
+  EXPECT_EQ(serial, run_trials(2));
+  EXPECT_EQ(serial, run_trials(8));
+}
+
+}  // namespace
+}  // namespace prlc::obs

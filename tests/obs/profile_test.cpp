@@ -1,0 +1,121 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace prlc::obs {
+namespace {
+
+using Span = TraceRecorder::SpanEvent;
+
+TEST(ProfileTest, EmptyTraceIsAnEmptyRoot) {
+  const ProfileNode root = build_profile(std::vector<Span>{});
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.total_us, 0u);
+  EXPECT_TRUE(root.children.empty());
+}
+
+TEST(ProfileTest, NestedSpansFoldIntoSelfAndTotal) {
+  // trial [0,100] contains decode [10,40] and decode [50,90]: the two
+  // same-named children merge into count 2 / total 70, leaving 30 self.
+  const std::vector<Span> events = {
+      {'B', 0, 1, "trial"},  {'B', 10, 1, "decode"}, {'E', 40, 1, "decode"},
+      {'B', 50, 1, "decode"}, {'E', 90, 1, "decode"}, {'E', 100, 1, "trial"},
+  };
+  const ProfileNode root = build_profile(events);
+  EXPECT_EQ(root.total_us, 100u);
+  ASSERT_EQ(root.children.size(), 1u);
+  const ProfileNode& trial = root.children[0];
+  EXPECT_EQ(trial.name, "trial");
+  EXPECT_EQ(trial.count, 1u);
+  EXPECT_EQ(trial.total_us, 100u);
+  EXPECT_EQ(trial.self_us, 30u);
+  ASSERT_EQ(trial.children.size(), 1u);
+  const ProfileNode& decode = trial.children[0];
+  EXPECT_EQ(decode.count, 2u);
+  EXPECT_EQ(decode.total_us, 70u);
+  EXPECT_EQ(decode.self_us, 70u);
+}
+
+TEST(ProfileTest, ThreadsMergeAndChildrenSortByName) {
+  // Two threads each run the same top-level span with differently named
+  // children; the tree merges by name and orders children alphabetically.
+  const std::vector<Span> events = {
+      {'B', 0, 1, "work"},  {'B', 5, 1, "zeta"},  {'E', 15, 1, "zeta"},
+      {'E', 20, 1, "work"}, {'B', 0, 2, "work"},  {'B', 2, 2, "alpha"},
+      {'E', 12, 2, "alpha"}, {'E', 30, 2, "work"},
+  };
+  const ProfileNode root = build_profile(events);
+  ASSERT_EQ(root.children.size(), 1u);
+  const ProfileNode& work = root.children[0];
+  EXPECT_EQ(work.count, 2u);
+  EXPECT_EQ(work.total_us, 50u);
+  ASSERT_EQ(work.children.size(), 2u);
+  EXPECT_EQ(work.children[0].name, "alpha");
+  EXPECT_EQ(work.children[1].name, "zeta");
+  EXPECT_EQ(work.self_us, 50u - 10u - 10u);
+}
+
+TEST(ProfileTest, UnclosedSpansCloseAtLastTimestampAndStrayEndsIgnored) {
+  const std::vector<Span> events = {
+      {'E', 1, 1, "stray"},        // unmatched end: ignored
+      {'B', 10, 1, "hung"},        // never closed: clipped to last ts
+      {'B', 20, 1, "inner"}, {'E', 35, 1, "inner"},
+  };
+  const ProfileNode root = build_profile(events);
+  ASSERT_EQ(root.children.size(), 1u);
+  const ProfileNode& hung = root.children[0];
+  EXPECT_EQ(hung.name, "hung");
+  EXPECT_EQ(hung.total_us, 25u);  // 35 - 10
+  ASSERT_EQ(hung.children.size(), 1u);
+  EXPECT_EQ(hung.children[0].total_us, 15u);
+}
+
+TEST(ProfileTest, JsonRenderingParsesAndMirrorsTree) {
+  const std::vector<Span> events = {
+      {'B', 0, 1, "outer"}, {'B', 1, 1, "inner"}, {'E', 4, 1, "inner"},
+      {'E', 10, 1, "outer"},
+  };
+  const json::Value doc =
+      json::Value::parse(profile_to_json(build_profile(events)));
+  EXPECT_EQ(doc.at("name").as_string(), "root");
+  const json::Value& outer = doc.at("children").at(0);
+  EXPECT_EQ(outer.at("name").as_string(), "outer");
+  EXPECT_EQ(outer.at("total_us").as_double(), 10.0);
+  EXPECT_EQ(outer.at("self_us").as_double(), 7.0);
+  EXPECT_EQ(outer.at("children").at(0).at("name").as_string(), "inner");
+}
+
+TEST(ProfileTest, BuildsFromLiveRecorder) {
+  TraceRecorder rec;
+  rec.start();
+  {
+    rec.begin("outer", "test");
+    rec.begin("inner", "test");
+    rec.end("inner", "test");
+    rec.end("outer", "test");
+  }
+  rec.stop();
+  const ProfileNode root = build_profile(rec);
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "outer");
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "inner");
+}
+
+TEST(ProfileTest, TextRenderingNamesEverySpan) {
+  const std::vector<Span> events = {
+      {'B', 0, 1, "outer"}, {'B', 1, 1, "inner"}, {'E', 4, 1, "inner"},
+      {'E', 10, 1, "outer"},
+  };
+  const std::string text = profile_to_text(build_profile(events));
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prlc::obs

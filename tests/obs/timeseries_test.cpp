@@ -1,0 +1,141 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace prlc::obs {
+namespace {
+
+class TimeSeriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_telemetry();
+    set_timeseries_enabled(true);
+  }
+  void TearDown() override {
+    set_timeseries_enabled(false);
+    set_enabled(false);
+    TimeSeriesRecorder::global().set_trial_capacity(1u << 16);
+    reset_telemetry();
+  }
+};
+
+TEST_F(TimeSeriesTest, SeriesIdsAreStablePerName) {
+  auto& rec = TimeSeriesRecorder::global();
+  const SeriesId a = rec.series("test.ts.alpha");
+  const SeriesId b = rec.series("test.ts.beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rec.series("test.ts.alpha"), a);
+}
+
+TEST_F(TimeSeriesTest, SampleOutsideScopeOrDisabledIsDropped) {
+  auto& rec = TimeSeriesRecorder::global();
+  const SeriesId id = rec.series("test.ts.dropped");
+  rec.sample(id, 1.0);  // no scope open
+  set_timeseries_enabled(false);
+  {
+    TrialScope scope(begin_telemetry_run(), 0);
+    rec.sample(id, 2.0);  // disabled
+  }
+  EXPECT_EQ(rec.samples(), 0u);
+}
+
+TEST_F(TimeSeriesTest, SamplesExportSortedWithLogicalTime) {
+  auto& rec = TimeSeriesRecorder::global();
+  const SeriesId margin = rec.series("test.ts.margin");
+  {
+    TrialScope scope(begin_telemetry_run(), 2);
+    set_logical_time(3);
+    rec.sample(margin, -4.0);
+    set_logical_time(4);
+    rec.sample(margin, 1.5);
+  }
+  EXPECT_EQ(rec.samples(), 2u);
+  EXPECT_EQ(rec.to_jsonl(),
+            "{\"run\":0,\"trial\":2,\"t\":3,\"seq\":0,\"series\":\"test.ts.margin\","
+            "\"value\":-4}\n"
+            "{\"run\":0,\"trial\":2,\"t\":4,\"seq\":1,\"series\":\"test.ts.margin\","
+            "\"value\":1.5}\n");
+}
+
+TEST_F(TimeSeriesTest, ToJsonGroupsPointsPerSeries) {
+  auto& rec = TimeSeriesRecorder::global();
+  const SeriesId a = rec.series("test.ts.group.a");
+  const SeriesId b = rec.series("test.ts.group.b");
+  {
+    TrialScope scope(begin_telemetry_run(), 0);
+    set_logical_time(0);
+    rec.sample(a, 1.0);
+    rec.sample(b, 2.0);
+    set_logical_time(1);
+    rec.sample(a, 3.0);
+  }
+  const json::Value doc = json::Value::parse(rec.to_json());
+  const json::Value* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_TRUE(series->is_array());
+  EXPECT_EQ(series->size(), 2u);
+}
+
+TEST_F(TimeSeriesTest, RingOverflowCountsDrops) {
+  auto& rec = TimeSeriesRecorder::global();
+  rec.set_trial_capacity(2);
+  const SeriesId id = rec.series("test.ts.overflow");
+  {
+    TrialScope scope(begin_telemetry_run(), 0);
+    for (int i = 0; i < 5; ++i) rec.sample(id, static_cast<double>(i));
+  }
+  EXPECT_EQ(rec.samples(), 2u);
+  EXPECT_EQ(rec.dropped(), 3u);
+  // The newest samples survive.
+  EXPECT_NE(rec.to_jsonl().find("\"value\":4"), std::string::npos);
+}
+
+TEST_F(TimeSeriesTest, WatchTickSnapshotsRegistryMetrics) {
+  set_enabled(true);
+  auto& rec = TimeSeriesRecorder::global();
+  Counter& rows = counter("test.ts.watch.rows");
+  Gauge& mark = gauge("test.ts.watch.mark");
+  rec.watch("test.ts.watch.rows");
+  rec.watch("test.ts.watch.mark");
+  rec.watch("test.ts.watch.missing");  // unregistered: silently skipped
+  {
+    TrialScope scope(begin_telemetry_run(), 0);
+    rows.add(3);
+    mark.set(7);
+    rec.tick(0);
+    rows.add(2);
+    rec.tick(1);
+  }
+  Registry::global().reset_values();
+  const std::string jsonl = rec.to_jsonl();
+  EXPECT_NE(jsonl.find("\"t\":0,\"seq\":0,\"series\":\"test.ts.watch.rows\",\"value\":3"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"series\":\"test.ts.watch.mark\",\"value\":7"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"t\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"series\":\"test.ts.watch.rows\",\"value\":5"),
+            std::string::npos);
+  EXPECT_EQ(jsonl.find("missing"), std::string::npos);
+}
+
+TEST_F(TimeSeriesTest, RegistryCurrentValueReadsAllKinds) {
+  set_enabled(true);
+  counter("test.ts.cv.counter").add(11);
+  gauge("test.ts.cv.gauge").set(-2);
+  histogram("test.ts.cv.hist").record(100);
+  histogram("test.ts.cv.hist").record(200);
+  const auto& reg = Registry::global();
+  EXPECT_EQ(reg.current_value("test.ts.cv.counter"), 11.0);
+  EXPECT_EQ(reg.current_value("test.ts.cv.gauge"), -2.0);
+  EXPECT_EQ(reg.current_value("test.ts.cv.hist"), 2.0);
+  EXPECT_FALSE(reg.current_value("test.ts.cv.absent").has_value());
+  Registry::global().reset_values();
+}
+
+}  // namespace
+}  // namespace prlc::obs

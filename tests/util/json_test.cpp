@@ -46,6 +46,30 @@ TEST(JsonValue, EscapesStrings) {
   EXPECT_EQ(v.dump(), R"("tab\there")");
 }
 
+TEST(JsonValue, EscapePassesValidUtf8AndReplacesInvalidBytes) {
+  // Well-formed multi-byte sequences pass through untouched.
+  EXPECT_EQ(escape("lat\xC3\xADn \xE2\x82\xAC \xF0\x9F\x94\xA7"),
+            "\"lat\xC3\xADn \xE2\x82\xAC \xF0\x9F\x94\xA7\"");
+  // Each invalid byte becomes one U+FFFD, resynchronising afterwards.
+  const std::string fffd = "\xEF\xBF\xBD";
+  EXPECT_EQ(escape("a\x80z"), "\"a" + fffd + "z\"");                // stray continuation
+  EXPECT_EQ(escape("a\xC3"), "\"a" + fffd + "\"");                  // truncated 2-byte
+  EXPECT_EQ(escape("a\xC0\xAFz"), "\"a" + fffd + fffd + "z\"");     // overlong '/'
+  EXPECT_EQ(escape("a\xED\xA0\x80z"),
+            "\"a" + fffd + fffd + fffd + "z\"");                    // UTF-8 surrogate
+  EXPECT_EQ(escape("a\xF4\x90\x80\x80z"),
+            "\"a" + fffd + fffd + fffd + fffd + "z\"");             // > U+10FFFF
+  // Escape output must always reparse — the writer's core guarantee.
+  EXPECT_EQ(Value::parse(escape("k\x01\x80v")).as_string(),
+            "k\x01" + fffd + "v");
+}
+
+TEST(JsonValue, ParseRejectsRawControlCharactersInStrings) {
+  EXPECT_THROW(Value::parse("\"a\x01b\""), PreconditionError);
+  EXPECT_THROW(Value::parse("\"a\nb\""), PreconditionError);
+  EXPECT_THROW(Value::parse(std::string("\"a\0b\"", 5)), PreconditionError);
+}
+
 TEST(JsonValue, ParseRoundTrip) {
   const std::string text =
       R"({"name":"x","n":42,"neg":-1.5,"exp":2e3,"ok":false,"none":null,)"

@@ -1,12 +1,21 @@
 // prlc_json_check — validate machine-readable outputs in the smoke tests.
 //
-// Usage: prlc_json_check [--require p1,p2,...] file.json [more.json ...]
+// Usage: prlc_json_check [--jsonl] [--require p1,p2,...] file.json [...]
+//        prlc_json_check --self-test
 //
 // Each file must parse as strict JSON; each --require entry is a
 // '/'-separated path that must resolve inside every file ('/' rather than
 // '.' because metric names themselves contain dots, e.g.
 // "counters/decoder.rows_innovative"). A numeric component indexes an
 // array. Exit 0 when everything holds, 1 with a diagnostic otherwise.
+//
+// --jsonl treats each file as JSON Lines (the telemetry exports): every
+// nonempty line must parse as a complete JSON document, and each
+// --require path must resolve in every line.
+//
+// --self-test round-trips hostile strings (control characters, invalid
+// UTF-8, lone surrogates' encodings) through escape() and the parser —
+// the regression check for the writer's string hardening.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -51,14 +60,91 @@ const prlc::json::Value* resolve(const prlc::json::Value& root, const std::strin
   return v;
 }
 
+/// Escape `name`, parse the result back, and require a byte-exact
+/// round trip into valid JSON. Returns failures.
+int check_roundtrip(const char* label, const std::string& name,
+                    const std::string& expect_parsed) {
+  const std::string escaped = prlc::json::escape(name);
+  prlc::json::Value parsed;
+  try {
+    parsed = prlc::json::Value::parse(escaped);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prlc_json_check: self-test %s: escape() output failed to "
+                         "parse: %s\n",
+                 label, e.what());
+    return 1;
+  }
+  if (!parsed.is_string() || parsed.as_string() != expect_parsed) {
+    std::fprintf(stderr, "prlc_json_check: self-test %s: round trip mismatch\n", label);
+    return 1;
+  }
+  // The escaped form must also survive as an object key in a document.
+  prlc::json::Value doc = prlc::json::Value::object();
+  doc.set(name, 1.0);
+  try {
+    const prlc::json::Value reparsed = prlc::json::Value::parse(doc.dump(-1));
+    if (reparsed.find(expect_parsed) == nullptr) {
+      std::fprintf(stderr, "prlc_json_check: self-test %s: key lost in document\n", label);
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prlc_json_check: self-test %s: document failed to parse: %s\n",
+                 label, e.what());
+    return 1;
+  }
+  return 0;
+}
+
+/// Hostile metric/event names through the writer and back. The escaping
+/// contract: control characters escape to \uXXXX, invalid UTF-8 bytes are
+/// replaced with U+FFFD, and everything the writer emits reparses.
+int self_test() {
+  int failures = 0;
+  const std::string replacement = "\xEF\xBF\xBD";  // U+FFFD
+  failures += check_roundtrip("control-chars", std::string("a\x01\x02\x1f\n\t b"),
+                              std::string("a\x01\x02\x1f\n\t b"));
+  failures += check_roundtrip("quotes-backslash", "he said \"x\\y\"", "he said \"x\\y\"");
+  failures += check_roundtrip("nul-byte", std::string("a\0b", 3), std::string("a\0b", 3));
+  failures += check_roundtrip("valid-utf8", "lat\xC3\xADn \xE2\x82\xAC \xF0\x9F\x94\xA7",
+                              "lat\xC3\xADn \xE2\x82\xAC \xF0\x9F\x94\xA7");
+  failures += check_roundtrip("stray-continuation", "a\x80z", "a" + replacement + "z");
+  failures += check_roundtrip("truncated-2byte", "a\xC3", "a" + replacement);
+  failures += check_roundtrip("truncated-3byte", "a\xE2\x82z", "a" + replacement +
+                                                                   replacement + "z");
+  failures += check_roundtrip("overlong-slash", "a\xC0\xAFz",
+                              "a" + replacement + replacement + "z");
+  failures += check_roundtrip("utf8-surrogate", "a\xED\xA0\x80z",
+                              "a" + replacement + replacement + replacement + "z");
+  failures += check_roundtrip("f4-out-of-range", "a\xF4\x90\x80\x80z",
+                              "a" + replacement + replacement + replacement +
+                                  replacement + "z");
+  // Raw control characters must be *rejected* by the strict parser: the
+  // writer always escapes them, so a raw one means a corrupt document.
+  try {
+    prlc::json::Value::parse("\"a\x01b\"");
+    std::fprintf(stderr,
+                 "prlc_json_check: self-test raw-control: parser accepted a raw "
+                 "control character\n");
+    ++failures;
+  } catch (const std::exception&) {
+  }
+  if (failures == 0) std::printf("prlc_json_check: self-test ok\n");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> requirements;
   std::vector<std::string> files;
+  bool jsonl = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--require") {
+    if (arg == "--self-test") {
+      return self_test();
+    } else if (arg == "--jsonl") {
+      jsonl = true;
+    } else if (arg == "--require") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "prlc_json_check: --require needs a value\n");
         return 1;
@@ -72,33 +158,80 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: prlc_json_check [--require path1,path2] file.json [...]\n");
+                 "usage: prlc_json_check [--jsonl] [--require path1,path2] file.json "
+                 "[...]\n       prlc_json_check --self-test\n");
     return 1;
   }
 
   int failures = 0;
   for (const std::string& file : files) {
-    prlc::json::Value root;
+    std::string text;
     try {
-      root = prlc::json::Value::parse(prlc::json::read_file(file));
+      text = prlc::json::read_file(file);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "prlc_json_check: %s: %s\n", file.c_str(), e.what());
       ++failures;
       continue;
     }
     int file_failures = 0;
-    for (const std::string& req : requirements) {
-      if (resolve(root, req) == nullptr) {
-        std::fprintf(stderr, "prlc_json_check: %s: missing required path '%s'\n",
-                     file.c_str(), req.c_str());
-        ++file_failures;
+    if (jsonl) {
+      // JSON Lines: each nonempty line is its own document; --require
+      // paths must resolve in every line.
+      std::size_t line_no = 0;
+      std::size_t checked = 0;
+      std::size_t start = 0;
+      while (start <= text.size()) {
+        const std::size_t pos = text.find('\n', start);
+        const std::string_view line(text.data() + start,
+                                    (pos == std::string::npos ? text.size() : pos) - start);
+        start = pos == std::string::npos ? text.size() + 1 : pos + 1;
+        ++line_no;
+        if (line.empty()) continue;
+        prlc::json::Value root;
+        try {
+          root = prlc::json::Value::parse(line);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "prlc_json_check: %s:%zu: %s\n", file.c_str(), line_no,
+                       e.what());
+          ++file_failures;
+          continue;
+        }
+        ++checked;
+        for (const std::string& req : requirements) {
+          if (resolve(root, req) == nullptr) {
+            std::fprintf(stderr, "prlc_json_check: %s:%zu: missing required path '%s'\n",
+                         file.c_str(), line_no, req.c_str());
+            ++file_failures;
+          }
+        }
+      }
+      if (file_failures == 0) {
+        std::printf("prlc_json_check: %s ok (%zu line%s, %zu requirement%s)\n",
+                    file.c_str(), checked, checked == 1 ? "" : "s", requirements.size(),
+                    requirements.size() == 1 ? "" : "s");
+      }
+    } else {
+      prlc::json::Value root;
+      try {
+        root = prlc::json::Value::parse(text);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "prlc_json_check: %s: %s\n", file.c_str(), e.what());
+        ++failures;
+        continue;
+      }
+      for (const std::string& req : requirements) {
+        if (resolve(root, req) == nullptr) {
+          std::fprintf(stderr, "prlc_json_check: %s: missing required path '%s'\n",
+                       file.c_str(), req.c_str());
+          ++file_failures;
+        }
+      }
+      if (file_failures == 0) {
+        std::printf("prlc_json_check: %s ok (%zu requirement%s)\n", file.c_str(),
+                    requirements.size(), requirements.size() == 1 ? "" : "s");
       }
     }
     failures += file_failures;
-    if (file_failures == 0) {
-      std::printf("prlc_json_check: %s ok (%zu requirement%s)\n", file.c_str(),
-                  requirements.size(), requirements.size() == 1 ? "" : "s");
-    }
   }
   return failures == 0 ? 0 : 1;
 }

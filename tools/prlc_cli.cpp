@@ -15,9 +15,11 @@
 //   timeline rounds of periodic snapshots under a fixed storage budget
 //              prlc timeline --levels 10,20,30 --rounds 8 --window 4
 //                            --policy decay --churn 0.1
-//   metrics  run a small instrumented encode/decode round-trip and dump
-//            the metrics registry as JSON
+//   metrics  run a small instrumented encode/decode round-trip, print a
+//            span profile, and dump the metrics registry as JSON;
+//            --timeseries-out / --events-out export the telemetry JSONL
 //              prlc metrics --levels 8,16 --out metrics.json
+//                           --timeseries-out ts.jsonl --events-out ev.jsonl
 //
 // Every subcommand accepts --seed; curve and persist also accept
 // --threads (0 = one per hardware thread, 1 = serial; results do not
@@ -35,7 +37,11 @@
 #include "gf/gf256.h"
 #include "net/chord_network.h"
 #include "net/churn.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "proto/persistence_experiment.h"
 #include "proto/timeline.h"
 #include "util/check.h"
@@ -264,11 +270,20 @@ int cmd_metrics(const Flags& flags) {
   // The point of this subcommand is to see the probes fire, so arm them
   // before any field op (that also captures the kernel dispatch gauges).
   obs::set_enabled(true);
+  obs::set_events_enabled(true);
+  obs::set_timeseries_enabled(true);
+  obs::TraceRecorder::global().start();
 
   const auto spec = spec_from(flags, "8,16,24");
   const auto scheme = scheme_from(flags);
   const auto block_size = static_cast<std::size_t>(flags.get_int("block-size", 64));
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+
+  auto& ts = obs::TimeSeriesRecorder::global();
+  ts.watch("decoder.rows_received");
+  ts.watch("decoder.rows_innovative");
+  ts.watch("decoder.rows_redundant");
+  ts.watch("decoder.prefix_watermark");
 
   // Small encode/decode round-trip with payloads: encoder draws, field
   // kernels, and the progressive decoder's innovative/redundant split all
@@ -278,13 +293,33 @@ int cmd_metrics(const Flags& flags) {
   const auto dist = codes::PriorityDistribution::uniform(spec.levels());
   codes::PriorityDecoder<gf::Gf256> dec(scheme, spec, block_size);
   std::size_t blocks = 0;
-  while (dec.decoded_prefix_blocks() < spec.total() && blocks < 4 * spec.total()) {
-    dec.add(enc.encode_random(dist, rng));
-    ++blocks;
+  {
+    // One telemetry trial covers the whole round-trip; logical time is
+    // the coded-block index, so the decoder series read as
+    // decode-progress curves (blocks in vs. watermark out). The scope
+    // must close before the exports below: rings flush on close.
+    const obs::TrialScope telemetry(obs::begin_telemetry_run(), 0);
+    while (dec.decoded_prefix_blocks() < spec.total() && blocks < 4 * spec.total()) {
+      obs::set_logical_time(blocks);
+      auto coded = [&] {
+        const obs::ScopedSpan span("encode_block", "cli");
+        return enc.encode_random(dist, rng);
+      }();
+      {
+        const obs::ScopedSpan span("decode_block", "cli");
+        dec.add(std::move(coded));
+      }
+      ts.tick(blocks);
+      ++blocks;
+    }
   }
   std::cout << "round-trip: " << spec.total() << " source blocks, " << blocks
             << " coded blocks, " << dec.decoded_levels() << "/" << spec.levels()
             << " levels decoded\n";
+
+  obs::TraceRecorder::global().stop();
+  std::cout << "span profile (self/total):\n"
+            << obs::profile_to_text(obs::build_profile(obs::TraceRecorder::global()));
 
   const std::string out = flags.get_string("out", "");
   if (out.empty()) {
@@ -293,6 +328,18 @@ int cmd_metrics(const Flags& flags) {
     PRLC_REQUIRE(obs::Registry::global().write_json(out),
                  "cannot write metrics to '" + out + "'");
     std::cout << "metrics json: " << out << "\n";
+  }
+  const std::string timeseries_out = flags.get_string("timeseries-out", "");
+  if (!timeseries_out.empty()) {
+    PRLC_REQUIRE(ts.write_jsonl(timeseries_out),
+                 "cannot write timeseries to '" + timeseries_out + "'");
+    std::cout << "timeseries jsonl: " << timeseries_out << "\n";
+  }
+  const std::string events_out = flags.get_string("events-out", "");
+  if (!events_out.empty()) {
+    PRLC_REQUIRE(obs::EventJournal::global().write(events_out),
+                 "cannot write events to '" + events_out + "'");
+    std::cout << "events jsonl: " << events_out << "\n";
   }
   return 0;
 }

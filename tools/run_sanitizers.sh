@@ -45,7 +45,8 @@ cmake -B "${tsan_build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPRLC_SANITIZE=thread
 cmake --build "${tsan_build_dir}" -j"${jobs}" \
-  --target test_obs --target test_runtime --target test_codec --target test_codes \
+  --target test_obs --target test_obs_noalloc --target test_runtime \
+  --target test_codec --target test_codes --target test_proto \
   --target abl_persistence_e2e --target abl_fault
 
 # test_codec drives the dependency-counting OpGraph executor (the codec's
@@ -53,11 +54,20 @@ cmake --build "${tsan_build_dir}" -j"${jobs}" \
 # TSan target this repo has.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 ctest --test-dir "${tsan_build_dir}" --output-on-failure -j"${jobs}" \
-  -R '^test_obs$|^test_runtime$|^test_codec$'
+  -R '^test_obs$|^test_obs_noalloc$|^test_runtime$|^test_codec$'
+# The telemetry determinism tests run parallel trials that record into the
+# event journal and time-series rings — the exact thread-local-handoff
+# code TSan exists to vet.
+"${tsan_build_dir}/tests/test_proto" \
+  --gtest_filter='TelemetryDeterminism.*' > /dev/null
 PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_persistence_e2e" \
-  --threads 4 --trials 64 > /dev/null
+  --threads 4 --trials 64 \
+  --events-jsonl "${tsan_build_dir}/persistence_events.jsonl" \
+  --timeseries-jsonl "${tsan_build_dir}/persistence_ts.jsonl" > /dev/null
 PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_fault" \
-  --threads 4 --trials 32 > /dev/null
+  --threads 4 --trials 32 \
+  --events-jsonl "${tsan_build_dir}/fault_events.jsonl" \
+  --timeseries-jsonl "${tsan_build_dir}/fault_ts.jsonl" > /dev/null
 # Hybrid sparse-vs-dense decode driven through the TrialRunner at 1/2/8
 # worker threads: each trial owns its decoder, so the only shared state is
 # the runner's work distribution — exactly what TSan should vet.
