@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       outcome.spills = static_cast<double>(stats.capacity_spills);
       outcome.overflows = static_cast<double>(stats.capacity_overflows);
       codes::PriorityDecoder<proto::Field> dec(params.scheme, spec, params.block_size);
-      outcome.levels = static_cast<double>(collect(pd, dec, {}, rng).decoded_levels);
+      outcome.levels = static_cast<double>(collect(pd, dec, {}, rng).result.decoded_levels);
       return outcome;
     });
 

@@ -63,7 +63,7 @@ TrialOutcome run_trial(bool use_refresh, const codes::PrioritySpec& spec,
       messages = refresh(pd, overlay.random_alive_node(rng), rng).messages;
     }
     codes::PriorityDecoder<proto::Field> dec(params.scheme, spec, params.block_size);
-    const auto result = collect(pd, dec, {}, rng);
+    const auto result = collect(pd, dec, {}, rng).result;
     outcome.levels[epoch] = static_cast<double>(result.decoded_levels);
     outcome.repair_msgs[epoch] = static_cast<double>(messages);
     outcome.alive_frac[epoch] =

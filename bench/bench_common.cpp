@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
@@ -39,6 +41,7 @@ constexpr int kUsageExit = 64;  // EX_USAGE
             << "bench flags: --trials <n> --seed <u64> --threads <n> "
                "--scheme <rlc|slc|plc>\n"
             << "             --payload-bytes <n[kmg]> --chunk-bytes <n[kmg]>\n"
+            << "             --nodes <n> --churn-rate <x> --repair-bw <x>\n"
             << "             --json <path> --metrics-json <path> "
                "--trace-json <path>\n"
             << "             --events-jsonl <path> --timeseries-jsonl <path>\n";
@@ -98,6 +101,18 @@ std::optional<std::size_t> try_parse_bytes(std::string_view text) {
   return static_cast<std::size_t>(*value * mult);
 }
 
+/// Non-throwing finite-double parse; nullopt on garbage, trailing junk,
+/// or non-finite results ("inf", "nan", overflowing exponents).
+std::optional<double> try_parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  if (errno == ERANGE || !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
 }  // namespace
 
 const Options& options() { return g_options; }
@@ -106,6 +121,7 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
   g_options = Options{};
   std::string trials_text, seed_text, threads_text, scheme_text;
   std::string payload_text, chunk_text;
+  std::string nodes_text, churn_text, repair_text;
   int out = 1;
   for (int i = 1; i < argc;) {
     std::size_t used = match_flag("--trials", argc, argv, i, trials_text);
@@ -114,6 +130,9 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
     if (used == 0) used = match_flag("--scheme", argc, argv, i, scheme_text);
     if (used == 0) used = match_flag("--payload-bytes", argc, argv, i, payload_text);
     if (used == 0) used = match_flag("--chunk-bytes", argc, argv, i, chunk_text);
+    if (used == 0) used = match_flag("--nodes", argc, argv, i, nodes_text);
+    if (used == 0) used = match_flag("--churn-rate", argc, argv, i, churn_text);
+    if (used == 0) used = match_flag("--repair-bw", argc, argv, i, repair_text);
     if (used == 0) used = match_flag("--json", argc, argv, i, g_options.json_path);
     if (used == 0) used = match_flag("--metrics-json", argc, argv, i, g_options.metrics_json_path);
     if (used == 0) used = match_flag("--trace-json", argc, argv, i, g_options.trace_json_path);
@@ -172,6 +191,27 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
                   chunk_text + "'");
     }
     g_options.chunk_bytes = *bytes;
+  }
+  if (!nodes_text.empty()) {
+    const auto nodes = try_parse_u64(nodes_text);
+    if (!nodes || *nodes == 0) {
+      usage_error("--nodes wants a positive integer, got '" + nodes_text + "'");
+    }
+    g_options.nodes = static_cast<std::size_t>(*nodes);
+  }
+  if (!churn_text.empty()) {
+    const auto rate = try_parse_double(churn_text);
+    if (!rate || *rate <= 0.0) {
+      usage_error("--churn-rate wants a positive rate, got '" + churn_text + "'");
+    }
+    g_options.churn_rate = *rate;
+  }
+  if (!repair_text.empty()) {
+    const auto bw = try_parse_double(repair_text);
+    if (!bw || *bw <= 0.0) {
+      usage_error("--repair-bw wants a positive bandwidth, got '" + repair_text + "'");
+    }
+    g_options.repair_bw = *bw;
   }
   if (g_options.payload_bytes && g_options.chunk_bytes &&
       *g_options.chunk_bytes > *g_options.payload_bytes) {

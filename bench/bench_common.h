@@ -16,6 +16,10 @@
 //                          suffixes k/m/g = KiB/MiB/GiB accepted)
 //   --chunk-bytes <n>      codec tile size (positive, same suffixes; must
 //                          not exceed --payload-bytes when both are given)
+//   --nodes <n>            cluster size for simulator benches (positive)
+//   --churn-rate <x>       failures per node per unit time (positive)
+//   --repair-bw <x>        repair bandwidth in blocks per unit time
+//                          (positive)
 //   --json <path>          structured bench results (BenchReport)
 //   --metrics-json <path>  dump of the obs::Registry after the run
 //   --trace-json <path>    Chrome-tracing timeline (chrome://tracing,
@@ -62,6 +66,9 @@ struct Options {
   std::optional<codes::Scheme> scheme;   ///< --scheme
   std::optional<std::size_t> payload_bytes;  ///< --payload-bytes
   std::optional<std::size_t> chunk_bytes;    ///< --chunk-bytes
+  std::optional<std::size_t> nodes;          ///< --nodes
+  std::optional<double> churn_rate;          ///< --churn-rate
+  std::optional<double> repair_bw;           ///< --repair-bw
   std::string json_path;
   std::string metrics_json_path;
   std::string trace_json_path;

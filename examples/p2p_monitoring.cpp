@@ -60,7 +60,7 @@ int main() {
     codes::PriorityDecoder<proto::Field> decoder(protocol.scheme, spec, protocol.block_size);
     proto::CollectorOptions opt;
     opt.target_levels = 1;
-    const auto result = proto::collect(predist, decoder, opt, rng);
+    const auto result = proto::collect(predist, decoder, opt, rng).result;
     table.add_row({std::to_string(epoch * 15) + " min", std::to_string(overlay.alive_count()),
                    std::to_string(result.surviving_locations),
                    std::to_string(result.blocks_retrieved),

@@ -61,7 +61,7 @@ int main() {
       net::kill_uniform_fraction(overlay, 1.0 - target_alive / alive_frac, rng);
     }
     codes::PriorityDecoder<proto::Field> decoder(protocol.scheme, spec, protocol.block_size);
-    const auto result = proto::collect(predist, decoder, {}, rng);
+    const auto result = proto::collect(predist, decoder, {}, rng).result;
     table.add_row({fmt_double(wave * 100, 0) + "%",
                    std::to_string(result.surviving_locations),
                    std::to_string(result.decoded_levels),

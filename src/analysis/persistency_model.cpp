@@ -1,0 +1,80 @@
+#include "analysis/persistency_model.h"
+
+#include <cmath>
+
+#include "analysis/count_model.h"
+#include "util/check.h"
+#include "util/logprob.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace prlc::analysis {
+
+double block_survival(double churn_rate, double time) {
+  PRLC_REQUIRE(churn_rate >= 0.0, "churn rate must be nonnegative");
+  PRLC_REQUIRE(time >= 0.0, "time must be nonnegative");
+  return std::exp(-churn_rate * time);
+}
+
+double slc_expected_levels(const codes::PrioritySpec& spec,
+                           std::span<const std::size_t> level_blocks, double survival) {
+  PRLC_REQUIRE(level_blocks.size() == spec.levels(),
+               "per-level block counts must match the spec");
+  PRLC_REQUIRE(survival >= 0.0 && survival <= 1.0, "survival must be a probability");
+  // E[X] = sum_k Pr(X >= k) and the SLC events factor per level:
+  // X >= k iff Bin(m_i, p) >= a_i for every i <= k.
+  LogFactorialTable logfact;
+  double expected = 0;
+  double prefix_prob = 1.0;
+  for (std::size_t i = 0; i < spec.levels(); ++i) {
+    prefix_prob *= logfact.binomial_tail_ge(level_blocks[i], survival, spec.level_size(i));
+    expected += prefix_prob;
+    if (prefix_prob == 0.0) break;  // deeper prefixes are impossible too
+  }
+  return expected;
+}
+
+double replication_expected_levels(const codes::PrioritySpec& spec,
+                                   std::size_t replication_factor, double survival) {
+  PRLC_REQUIRE(replication_factor > 0, "need at least one copy per block");
+  PRLC_REQUIRE(survival >= 0.0 && survival <= 1.0, "survival must be a probability");
+  // A source block dies when all r copies die: q = (1-p)^r. Level i is
+  // readable iff none of its a_i sources died, and sources are
+  // independent, so the prefix expectation telescopes like SLC.
+  const double source_alive =
+      1.0 - std::pow(1.0 - survival, static_cast<double>(replication_factor));
+  double expected = 0;
+  double prefix_prob = 1.0;
+  for (std::size_t i = 0; i < spec.levels(); ++i) {
+    prefix_prob *= std::pow(source_alive, static_cast<double>(spec.level_size(i)));
+    expected += prefix_prob;
+    if (prefix_prob == 0.0) break;
+  }
+  return expected;
+}
+
+double mc_expected_levels_at_survival(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                                      std::span<const std::size_t> level_blocks,
+                                      double survival, std::size_t trials,
+                                      std::uint64_t seed) {
+  PRLC_REQUIRE(level_blocks.size() == spec.levels(),
+               "per-level block counts must match the spec");
+  PRLC_REQUIRE(survival >= 0.0 && survival <= 1.0, "survival must be a probability");
+  PRLC_REQUIRE(trials > 0, "need at least one trial");
+  Rng rng(seed);
+  RunningStats stats;
+  std::vector<std::size_t> counts(spec.levels(), 0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < spec.levels(); ++i) {
+      std::size_t alive = 0;
+      for (std::size_t b = 0; b < level_blocks[i]; ++b) {
+        if (rng.bernoulli(survival)) ++alive;
+      }
+      counts[i] = alive;
+    }
+    stats.add(static_cast<double>(levels_from_counts(scheme, spec, counts)));
+  }
+  return stats.mean();
+}
+
+}  // namespace prlc::analysis

@@ -1,0 +1,62 @@
+// Analytic no-repair persistence model — the closed-form benchmark the
+// cluster simulator is validated against.
+//
+// Model (the classic persistency setting of Friedman/Kapelko-style block
+// survival analyses): every stored block sits on an independently chosen
+// node; nodes fail as a Poisson process of per-node rate lambda with no
+// repair, so by memorylessness each block independently survives to time
+// t with probability p(t) = exp(-lambda * t). With M blocks apportioned
+// over the priority levels, the per-level surviving counts are
+// independent binomials, and the count model (analysis/count_model.h)
+// turns counts into decoded levels:
+//
+//   SLC:          E[X(t)] = sum_k prod_{i<=k} Pr(Bin(m_i, p) >= a_i)
+//   replication:  level i readable iff all a_i sources keep >= 1 of r
+//                 copies: Pr = (1 - (1 - p)^r)^{a_i}; prefix-expectation
+//                 as above.
+//   PLC:          Theorem 1's joint prefix events do not factor per
+//                 level; evaluated by count-model Monte Carlo instead
+//                 (binomial level counts, no Galois-field work).
+//
+// The independence is exact when hosts are drawn with replacement (the
+// simulator's placement) — two blocks sharing a node die together, but a
+// uniform host draw makes each block's host fail independently at the
+// same marginal rate, so the per-block survival indicator is iid whenever
+// M << W keeps collisions negligible. The validation test runs exactly in
+// that regime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codes/priority_spec.h"
+#include "codes/scheme.h"
+
+namespace prlc::analysis {
+
+/// Per-block survival probability at time t under rate-lambda exponential
+/// lifetimes with no repair: exp(-lambda * t).
+double block_survival(double churn_rate, double time);
+
+/// Exact E[decoded levels] for SLC with per-level block counts
+/// `level_blocks` (m_i coded blocks stored for level i) when each block
+/// survives independently with probability `survival`.
+double slc_expected_levels(const codes::PrioritySpec& spec,
+                           std::span<const std::size_t> level_blocks, double survival);
+
+/// Exact E[decoded levels] for r-way replication (every source block has
+/// `replication_factor` independent copies), prefix semantics.
+double replication_expected_levels(const codes::PrioritySpec& spec,
+                                   std::size_t replication_factor, double survival);
+
+/// Monte-Carlo E[decoded levels] for any scheme: sample independent
+/// Bin(m_i, survival) level counts and push them through the count model.
+/// The PLC path of the validation suite (no closed form factors).
+double mc_expected_levels_at_survival(codes::Scheme scheme, const codes::PrioritySpec& spec,
+                                      std::span<const std::size_t> level_blocks,
+                                      double survival, std::size_t trials,
+                                      std::uint64_t seed);
+
+}  // namespace prlc::analysis

@@ -5,6 +5,7 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/failure_process.h"
 #include "util/check.h"
 
 namespace prlc::net {
@@ -42,21 +43,13 @@ void journal_failures(const std::vector<NodeId>& killed) {
 
 std::vector<NodeId> kill_uniform_fraction(Overlay& overlay, double fraction, Rng& rng) {
   PRLC_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "failure fraction must be in [0,1]");
-  std::vector<NodeId> alive_nodes;
-  for (NodeId v = 0; v < overlay.nodes(); ++v) {
-    if (overlay.alive(v)) alive_nodes.push_back(v);
-  }
-  const auto kills = static_cast<std::size_t>(fraction * static_cast<double>(alive_nodes.size()));
-  std::vector<NodeId> killed;
-  killed.reserve(kills);
-  for (std::size_t idx : rng.sample_without_replacement(alive_nodes.size(), kills)) {
-    const NodeId v = alive_nodes[idx];
-    overlay.fail_node(v);
-    killed.push_back(v);
-  }
-  note_failures("mass_failure", killed.size(), alive_nodes.size() - killed.size());
-  journal_failures(killed);
-  return killed;
+  // One single-wave FailureProcess behind the unified event-stream API
+  // (sim/failure_process.h). The process makes byte-identical Rng draws to
+  // the historical in-place implementation, and FailureDriver emits the
+  // same churn telemetry — committed experiment baselines are unchanged.
+  sim::WaveFailureProcess process({{0.0, fraction}});
+  sim::FailureDriver driver(process, overlay);
+  return driver.advance_to(0.0, rng);
 }
 
 double exponential_death_probability(double mean_lifetime, double elapsed) {

@@ -19,7 +19,9 @@
 namespace prlc::net {
 
 /// Kill floor(fraction * alive_count) alive nodes chosen uniformly at
-/// random; returns the killed node ids.
+/// random; returns the killed node ids. One wave of the unified
+/// sim::FailureProcess event-stream API — the continuous-churn cluster
+/// simulator consumes the same streams (see sim/failure_process.h).
 std::vector<NodeId> kill_uniform_fraction(Overlay& overlay, double fraction, Rng& rng);
 
 /// Kill each currently-alive node independently with probability

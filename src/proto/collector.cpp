@@ -44,9 +44,9 @@ void RetryPolicy::validate() const {
   PRLC_REQUIRE(node_fault_budget >= 1, "node fault budget must be >= 1");
 }
 
-CollectionOutcome collect_resilient(FaultyChannel& channel,
-                                    codes::PriorityDecoder<Field>& decoder,
-                                    const CollectorOptions& options, Rng& rng, bool trace) {
+CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>& decoder,
+                          const CollectorOptions& options, Rng& rng) {
+  const bool trace = options.trace;
   const Predistribution& dist = channel.dist();
   PRLC_REQUIRE(decoder.scheme() == dist.params().scheme,
                "decoder scheme must match the predistribution");
@@ -259,21 +259,34 @@ CollectionOutcome collect_resilient(FaultyChannel& channel,
   return out;
 }
 
-CollectionResult collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
-                         const CollectorOptions& options, Rng& rng, bool trace) {
+CollectionOutcome collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
+                          const CollectorOptions& options, Rng& rng) {
   // Null-plan channel: pristine bytes, zero extra Rng draws — but every
   // block still round-trips encode_wire/decode_wire, so the CRC path is
   // exercised by all callers (and any wire bug is counted, not thrown).
   FaultyChannel channel(dist);
-  return collect_resilient(channel, decoder, options, rng, trace).result;
+  return collect(channel, decoder, options, rng);
 }
+
+// Silence our own -Werror=deprecated-declarations on the shim definition;
+// external callers still get the warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+CollectionOutcome collect_resilient(FaultyChannel& channel,
+                                    codes::PriorityDecoder<Field>& decoder,
+                                    const CollectorOptions& options, Rng& rng, bool trace) {
+  CollectorOptions merged = options;
+  merged.trace = merged.trace || trace;
+  return collect(channel, decoder, merged, rng);
+}
+#pragma GCC diagnostic pop
 
 std::pair<CollectionResult, bool> collect_and_verify(const Predistribution& dist,
                                                      const codes::SourceData<Field>& original,
                                                      Rng& rng) {
   codes::PriorityDecoder<Field> decoder(dist.params().scheme, dist.spec(),
                                         dist.params().block_size);
-  const CollectionResult result = collect(dist, decoder, {}, rng);
+  const CollectionResult result = collect(dist, decoder, {}, rng).result;
 
   bool all_match = true;
   for (std::size_t j = 0; j < dist.spec().total(); ++j) {

@@ -9,8 +9,10 @@
 // the partially decoded data fulfill the application requirement".
 //
 // Every fetch travels the CRC-checked wire format through a FaultyChannel
-// (proto/fault_channel.h). The resilient path survives the channel's
-// injected adversity with:
+// (proto/fault_channel.h); the fault-free path is simply a channel with a
+// null plan, so there is ONE entry point — collect(channel, decoder,
+// options, rng) — not separate plain/resilient ones. The collector
+// survives the channel's injected adversity with:
 //   * a per-block retry loop under capped exponential backoff with
 //     deterministic (Rng-drawn) jitter;
 //   * per-node failure budgets — a node that keeps failing is
@@ -33,9 +35,9 @@
 
 namespace prlc::proto {
 
-/// Self-healing knobs for collect_resilient(). Attempt k (0-based) of a
-/// block backs off min(base * multiplier^k, max) microseconds, jittered
-/// by +-jitter (a fraction, drawn deterministically from the trial Rng).
+/// Self-healing knobs for collect(). Attempt k (0-based) of a block
+/// backs off min(base * multiplier^k, max) microseconds, jittered by
+/// +-jitter (a fraction, drawn deterministically from the trial Rng).
 struct RetryPolicy {
   std::size_t max_attempts = 4;         ///< fetch attempts per block
   std::uint64_t base_backoff_us = 200;  ///< first retry delay
@@ -60,6 +62,9 @@ struct CollectorOptions {
   /// Retrieve at most this many blocks (nullopt = all surviving).
   /// Must be positive when set.
   std::optional<std::size_t> max_blocks;
+  /// Record the per-retrieval decoded-levels progression in
+  /// CollectionResult::level_trace.
+  bool trace = false;
   /// Self-healing knobs, used when collecting over a faulty channel.
   RetryPolicy retry;
 };
@@ -92,7 +97,7 @@ struct DetectedFaults {
   }
 };
 
-/// Everything collect_resilient() can report: the classic result plus the
+/// Everything collect() can report: the classic result plus the
 /// adversity ledger. Faults never throw — degradation is data.
 struct CollectionOutcome {
   CollectionResult result;
@@ -108,22 +113,30 @@ struct CollectionOutcome {
   std::uint64_t sim_elapsed_us = 0;   ///< simulated retrieval time
 };
 
-/// Retrieve over `channel` and decode, surviving whatever the channel's
-/// FaultPlan injects. `decoder` must match the channel's predistribution.
-/// Never throws on faults (only on precondition violations).
+/// THE collection entry point: retrieve over `channel` and decode,
+/// surviving whatever the channel's FaultPlan injects (a null-plan
+/// channel makes this the plain fault-free path — same code, zero extra
+/// Rng draws). `decoder` must match the channel's predistribution. Never
+/// throws on faults (only on precondition violations).
+CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>& decoder,
+                          const CollectorOptions& options, Rng& rng);
+
+/// Convenience overload: collect over a fault-free (null-plan) channel
+/// built on the spot. Every block still round-trips the wire format
+/// (encode_wire -> decode_wire), so the CRC path is exercised by all
+/// callers; a frame the wire layer rejects is counted
+/// (collector.corrupt_blocks) and skipped, never propagated.
+CollectionOutcome collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
+                          const CollectorOptions& options, Rng& rng);
+
+/// Historical name for collect() over an explicit channel, from when the
+/// plain and resilient paths were separate entry points.
+[[deprecated("call collect(channel, decoder, options, rng); trace moved into "
+             "CollectorOptions")]]
 CollectionOutcome collect_resilient(FaultyChannel& channel,
                                     codes::PriorityDecoder<Field>& decoder,
                                     const CollectorOptions& options, Rng& rng,
                                     bool trace = false);
-
-/// Retrieve and decode over a fault-free channel. Every block still
-/// round-trips the wire format (encode_wire -> decode_wire), so the CRC
-/// path is exercised by all callers; a frame the wire layer rejects is
-/// counted (collector.corrupt_blocks) and skipped, never propagated.
-/// `decoder` must match the predistribution's scheme and spec; pass
-/// `trace=true` to record the per-retrieval progression.
-CollectionResult collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
-                         const CollectorOptions& options, Rng& rng, bool trace = false);
 
 /// Convenience: build a payload decoder, collect everything retrievable,
 /// and verify every decoded payload against `original`. Returns the

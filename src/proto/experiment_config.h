@@ -19,6 +19,7 @@
 
 #include "codes/priority_spec.h"
 #include "codes/scheme.h"
+#include "sim/failure_process.h"
 #include "util/check.h"
 
 namespace prlc::proto {
@@ -30,6 +31,11 @@ struct ExperimentConfig {
   codes::Scheme scheme = codes::Scheme::kPlc;
   std::vector<std::size_t> level_sizes;       ///< priority spec (required)
   std::vector<double> priority_distribution;  ///< empty = uniform
+  /// Churn model, as a value so trials can shard across threads: every
+  /// trial materializes its own sim::FailureProcess from this shared
+  /// description (wave churn and Poisson lifetimes are the two built-in
+  /// implementations — see sim/failure_process.h).
+  sim::FailureModelConfig failure;
 
   /// Materialize the priority spec (throws if level_sizes is empty).
   codes::PrioritySpec spec() const {
@@ -51,6 +57,7 @@ struct ExperimentConfig {
     PRLC_REQUIRE(priority_distribution.empty() ||
                      priority_distribution.size() == level_sizes.size(),
                  "priority distribution must match the level count");
+    failure.validate();
   }
 };
 

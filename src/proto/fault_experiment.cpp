@@ -126,7 +126,7 @@ std::vector<FaultPoint> run_fault_experiment(const FaultSweepParams& params) {
           codes::PriorityDecoder<Field> decoder(proto.scheme, spec, proto.block_size);
           CollectorOptions options;
           options.retry = params.retry;
-          const CollectionOutcome c = collect_resilient(channel, decoder, options, rng);
+          const CollectionOutcome c = collect(channel, decoder, options, rng);
           outcome.levels.push_back(static_cast<double>(c.result.decoded_levels));
           outcome.blocks.push_back(static_cast<double>(c.result.decoded_blocks));
           outcome.retrieved.push_back(static_cast<double>(c.result.blocks_retrieved));

@@ -8,8 +8,8 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "proto/collector.h"
-#include "net/churn.h"
 #include "net/sensor_network.h"
+#include "sim/failure_process.h"
 #include "runtime/trial_runner.h"
 #include "util/check.h"
 
@@ -79,6 +79,29 @@ std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams
 
   const std::size_t points = params.failure_fractions.size();
 
+  // Translate the cumulative failure-fraction sweep into a wave schedule
+  // on the unified failure-stream API (sim/failure_process.h): to reach
+  // fraction f of the *original* nodes at point t, the wave at time t
+  // kills the increment relative to what previous waves already killed.
+  // The schedule is churn only — no randomness — so it is shared by every
+  // trial; each trial materializes its own process over it. Points whose
+  // fraction does not increase get no wave at all (not a zero-size one),
+  // preserving the historical Rng draw and telemetry sequence exactly.
+  std::vector<sim::WaveFailureProcess::Wave> waves;
+  std::vector<bool> wave_fires(points, false);
+  {
+    double killed_so_far = 0.0;
+    for (std::size_t point = 0; point < points; ++point) {
+      const double f = params.failure_fractions[point];
+      const double remaining = 1.0 - killed_so_far;
+      if (f > killed_so_far && remaining > 0) {
+        waves.push_back({static_cast<double>(point), (f - killed_so_far) / remaining});
+        wave_fires[point] = true;
+        killed_so_far = f;
+      }
+    }
+  }
+
   static obs::Counter& trials_run = obs::counter("persistence.trials");
   static obs::Gauge& survivors_gauge = obs::gauge("persistence.last_survivors");
   static obs::LatencyHistogram& survivors_hist = obs::histogram("persistence.survivors");
@@ -130,21 +153,17 @@ std::vector<PersistencePoint> run_persistence_experiment(const PersistenceParams
         outcome.levels.reserve(points);
         outcome.blocks.reserve(points);
 
-        double killed_so_far = 0.0;
+        sim::WaveFailureProcess churn(waves);
+        sim::FailureDriver churn_driver(churn, *overlay);
         for (std::size_t point = 0; point < points; ++point) {
           // Logical time for telemetry = churn-point index of the sweep.
           obs::set_logical_time(point);
-          // Cumulative kills: to reach fraction f of the *original* nodes,
-          // kill the increment relative to what this trial already killed.
           const double f = params.failure_fractions[point];
-          const double remaining = 1.0 - killed_so_far;
-          if (f > killed_so_far && remaining > 0) {
-            const double incremental = (f - killed_so_far) / remaining;
-            net::kill_uniform_fraction(*overlay, incremental, rng);
-            killed_so_far = f;
+          if (wave_fires[point]) {
+            churn_driver.advance_to(static_cast<double>(point), rng);
           }
           codes::PriorityDecoder<Field> decoder(proto.scheme, spec, proto.block_size);
-          const auto result = collect(predist, decoder, {}, rng);
+          const auto result = collect(predist, decoder, {}, rng).result;
           survivors_gauge.set(static_cast<std::int64_t>(result.surviving_locations));
           survivors_hist.record(result.surviving_locations);
           if (obs::trace_enabled()) {

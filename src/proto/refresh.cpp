@@ -173,7 +173,7 @@ std::vector<RefreshWavePoint> run_refresh_experiment(const RefreshExperimentPara
             rebuilt = refresh(pd, overlay.random_alive_node(rng), rng).rebuilt_locations;
           }
           codes::PriorityDecoder<Field> dec(proto.scheme, spec, proto.block_size);
-          const auto result = collect(pd, dec, {}, rng);
+          const auto result = collect(pd, dec, {}, rng).result;
           if (want_timeseries) {
             obs::sample(ts.decoded_levels, static_cast<double>(result.decoded_levels));
             obs::sample(ts.surviving, static_cast<double>(result.surviving_locations));

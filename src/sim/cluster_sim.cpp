@@ -1,0 +1,467 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "analysis/count_model.h"
+#include "obs/events.h"
+#include "obs/timeseries.h"
+#include "runtime/trial_runner.h"
+#include "sim/event_queue.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace prlc::sim {
+namespace {
+
+constexpr std::uint32_t kNoHost = 0xffffffffu;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Largest-remainder apportionment, duplicated from proto/predistribution
+/// so prlc_sim needs no proto link (proto links sim for the failure
+/// models; the cycle has to break on this side).
+std::vector<std::size_t> apportion(std::size_t total, std::span<const double> weights) {
+  std::vector<std::size_t> out(weights.size(), 0);
+  double weight_sum = 0;
+  for (double w : weights) weight_sum += w;
+  PRLC_REQUIRE(weight_sum > 0, "apportionment weights must not all be zero");
+  std::vector<std::pair<double, std::size_t>> remainders;  // (-remainder, index)
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total) * weights[i] / weight_sum;
+    out[i] = static_cast<std::size_t>(exact);
+    assigned += out[i];
+    remainders.emplace_back(-(exact - std::floor(exact)), i);
+  }
+  std::sort(remainders.begin(), remainders.end());
+  for (std::size_t j = 0; assigned < total; ++j) {
+    ++out[remainders[j % remainders.size()].second];
+    ++assigned;
+  }
+  return out;
+}
+
+/// One stored coded block (or, in replication mode, one copy).
+struct Block {
+  std::uint32_t host = kNoHost;
+  std::uint32_t level = 0;
+  std::uint32_t source = 0;  ///< replication mode: which source block this copies
+};
+
+struct SimEvent {
+  enum class Kind : std::uint8_t { kJoin, kRepairDone };
+  Kind kind = Kind::kJoin;
+  std::uint32_t id = 0;  ///< kJoin: node slot; kRepairDone: block index
+};
+
+/// The simulator's own MembershipView: a flat alive bitmap. Node state
+/// beyond this byte is lazily materialized — only hosts actually holding
+/// blocks appear in the host map.
+class BitmapMembership final : public MembershipView {
+ public:
+  explicit BitmapMembership(std::size_t nodes) : alive_(nodes, 1), alive_count_(nodes) {}
+
+  std::size_t nodes() const override { return alive_.size(); }
+  std::size_t alive_count() const override { return alive_count_; }
+  bool alive(net::NodeId node) const override { return alive_[node] != 0; }
+
+  void fail(net::NodeId node) {
+    PRLC_ASSERT(alive_[node] != 0, "failing a dead node");
+    alive_[node] = 0;
+    --alive_count_;
+  }
+  void join(net::NodeId node) {
+    PRLC_ASSERT(alive_[node] == 0, "joining an alive node");
+    alive_[node] = 1;
+    ++alive_count_;
+  }
+
+ private:
+  std::vector<std::uint8_t> alive_;
+  std::size_t alive_count_;
+};
+
+/// All mutable state of one cluster lifetime.
+class ClusterTrial {
+ public:
+  ClusterTrial(const ClusterParams& params, Rng& rng)
+      : params_(params),
+        spec_(params.experiment.spec()),
+        membership_(params.nodes),
+        rng_(rng),
+        counts_(spec_.levels(), 0),
+        zero_sources_(spec_.levels(), 0),
+        level_queue_(spec_.levels()),
+        free_streams_(params.repair.streams) {
+    outcome_.first_loss.assign(spec_.levels(), params.max_time);
+    outcome_.lost.assign(spec_.levels(), 0);
+    outcome_.levels_at.assign(params.sample_times.size(), 0);
+  }
+
+  LifetimeOutcome run();
+
+ private:
+  void place_blocks();
+  std::size_t decoded_levels() const;
+  void record_losses(double now);
+  void lose_block(std::uint32_t block, double now);
+  void on_failure(const FailureEvent& event);
+  void on_join(std::uint32_t node);
+  void on_repair_done(std::uint32_t block, double now);
+  void dispatch_repairs(double now);
+  bool repairable(const Block& block) const;
+  std::optional<std::uint32_t> pop_repair_candidate();
+  void drain_samples(double upto);
+  void finish(double final_time);
+
+  const ClusterParams& params_;
+  codes::PrioritySpec spec_;
+  BitmapMembership membership_;
+  Rng& rng_;
+  std::unique_ptr<FailureProcess> process_;
+
+  std::vector<Block> blocks_;
+  /// Lazily materialized node storage: host id -> indices into blocks_.
+  /// Looked up and erased by key only, never iterated — determinism is
+  /// unaffected by the hash order.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> host_blocks_;
+  std::vector<std::size_t> counts_;        ///< surviving coded blocks per level
+  std::vector<std::uint32_t> copies_;      ///< replication: copies per source block
+  std::vector<std::size_t> zero_sources_;  ///< replication: dead sources per level
+
+  EventQueue<SimEvent> queue_;
+  std::vector<std::deque<std::uint32_t>> level_queue_;  ///< priority-aware repair backlog
+  std::deque<std::uint32_t> fifo_queue_;                ///< priority-blind repair backlog
+  std::size_t free_streams_;
+  std::size_t decoded_ = 0;   ///< cached decodable prefix
+  std::size_t sample_ = 0;    ///< next params_.sample_times index to drain
+  bool terminal_ = false;     ///< level 1 lost: nothing can ever be repaired again
+  LifetimeOutcome outcome_;
+
+  obs::SeriesId decoded_series_ = obs::timeseries("cluster.decoded_levels");
+  obs::SeriesId margin_series_ = obs::timeseries("cluster.margin.l1");
+};
+
+void ClusterTrial::place_blocks() {
+  const std::size_t nodes = params_.nodes;
+  if (params_.replication) {
+    // replication_factor copies of every source block, each on an
+    // independently uniform node.
+    const std::size_t sources = spec_.total();
+    copies_.assign(sources, static_cast<std::uint32_t>(params_.replication_factor));
+    blocks_.reserve(sources * params_.replication_factor);
+    for (std::size_t j = 0; j < sources; ++j) {
+      const auto level = static_cast<std::uint32_t>(spec_.level_of_block(j));
+      for (std::size_t r = 0; r < params_.replication_factor; ++r) {
+        const auto host = static_cast<std::uint32_t>(rng_.uniform(nodes));
+        blocks_.push_back(Block{host, level, static_cast<std::uint32_t>(j)});
+      }
+    }
+  } else {
+    // M coded blocks split over the levels by largest-remainder
+    // apportionment of the priority distribution — the deterministic
+    // partition predistribution uses, so a simulated cluster stores the
+    // same per-level mix the protocol would.
+    const std::size_t coded =
+        params_.locations != 0 ? params_.locations : 2 * spec_.total();
+    const auto parts = apportion(coded, params_.experiment.distribution().values());
+    blocks_.reserve(coded);
+    for (std::size_t level = 0; level < parts.size(); ++level) {
+      for (std::size_t c = 0; c < parts[level]; ++c) {
+        const auto host = static_cast<std::uint32_t>(rng_.uniform(nodes));
+        blocks_.push_back(Block{host, static_cast<std::uint32_t>(level), 0});
+      }
+    }
+  }
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    host_blocks_[blocks_[b].host].push_back(b);
+    ++counts_[blocks_[b].level];
+  }
+}
+
+std::size_t ClusterTrial::decoded_levels() const {
+  if (!params_.replication) {
+    return analysis::levels_from_counts(params_.experiment.scheme, spec_, counts_);
+  }
+  // Replication: level i readable iff every source block in it still has a
+  // copy; report prefix semantics like the coded schemes.
+  std::size_t k = 0;
+  while (k < spec_.levels() && zero_sources_[k] == 0) ++k;
+  return k;
+}
+
+void ClusterTrial::record_losses(double now) {
+  decoded_ = decoded_levels();
+  for (std::size_t k = decoded_; k < spec_.levels(); ++k) {
+    if (!outcome_.lost[k]) {
+      outcome_.lost[k] = 1;
+      outcome_.first_loss[k] = now;
+    }
+  }
+  // Level 1 lost is terminal: every repair gate needs a decodable prefix of
+  // at least one level (replication: a surviving copy, which a dead source
+  // by definition lacks), so from here the cluster only decays.
+  if (outcome_.lost[0]) terminal_ = true;
+}
+
+void ClusterTrial::lose_block(std::uint32_t block, double now) {
+  Block& b = blocks_[block];
+  b.host = kNoHost;
+  --counts_[b.level];
+  if (params_.replication && --copies_[b.source] == 0) ++zero_sources_[b.level];
+  if (params_.repair.policy == RepairPolicy::kNone || terminal_) return;
+  if (params_.repair.policy == RepairPolicy::kPriorityAware) {
+    level_queue_[b.level].push_back(block);
+  } else {
+    fifo_queue_.push_back(block);
+  }
+  (void)now;
+}
+
+void ClusterTrial::on_failure(const FailureEvent& event) {
+  membership_.fail(event.node);
+  ++outcome_.failures;
+  obs::emit(obs::EventType::kNodeFailed, static_cast<double>(event.node));
+  queue_.push(event.time + params_.replacement_delay,
+              SimEvent{SimEvent::Kind::kJoin, static_cast<std::uint32_t>(event.node)});
+  const auto it = host_blocks_.find(static_cast<std::uint32_t>(event.node));
+  if (it == host_blocks_.end()) return;
+  for (const std::uint32_t block : it->second) lose_block(block, event.time);
+  host_blocks_.erase(it);
+  record_losses(event.time);
+}
+
+void ClusterTrial::on_join(std::uint32_t node) {
+  membership_.join(node);
+  ++outcome_.joins;
+}
+
+bool ClusterTrial::repairable(const Block& block) const {
+  // Re-encoding a level's block draws on live data: coded schemes need the
+  // prefix through that level decodable, replication needs a surviving
+  // copy of the same source block.
+  if (params_.replication) return copies_[block.source] > 0;
+  return decoded_ > block.level;
+}
+
+std::optional<std::uint32_t> ClusterTrial::pop_repair_candidate() {
+  if (params_.repair.policy == RepairPolicy::kPriorityAware) {
+    for (auto& q : level_queue_) {
+      if (q.empty()) continue;
+      const std::uint32_t block = q.front();
+      q.pop_front();
+      return block;
+    }
+    return std::nullopt;
+  }
+  if (fifo_queue_.empty()) return std::nullopt;
+  const std::uint32_t block = fifo_queue_.front();
+  fifo_queue_.pop_front();
+  return block;
+}
+
+void ClusterTrial::dispatch_repairs(double now) {
+  while (free_streams_ > 0) {
+    const auto candidate = pop_repair_candidate();
+    if (!candidate.has_value()) return;
+    if (!repairable(blocks_[*candidate])) {
+      ++outcome_.repairs_dropped;
+      continue;  // dropping does not consume the stream
+    }
+    --free_streams_;
+    queue_.push(now + params_.repair.repair_duration(),
+                SimEvent{SimEvent::Kind::kRepairDone, *candidate});
+  }
+}
+
+void ClusterTrial::on_repair_done(std::uint32_t block, double now) {
+  ++free_streams_;
+  Block& b = blocks_[block];
+  // The level may have gone under while the repair was in flight; the
+  // re-encode has nothing valid to draw on, so the work is abandoned.
+  if (!repairable(b) || membership_.alive_count() == 0) {
+    ++outcome_.repairs_dropped;
+    return;
+  }
+  std::uint32_t host;
+  do {
+    host = static_cast<std::uint32_t>(rng_.uniform(params_.nodes));
+  } while (!membership_.alive(host));
+  b.host = host;
+  host_blocks_[host].push_back(block);
+  ++counts_[b.level];
+  if (params_.replication && copies_[b.source]++ == 0) --zero_sources_[b.level];
+  ++outcome_.repairs_completed;
+  outcome_.repair_traffic += static_cast<double>(params_.repair.fetch_blocks + 1);
+  decoded_ = decoded_levels();  // a repair can revive a higher level (PLC)
+  (void)now;
+}
+
+void ClusterTrial::drain_samples(double upto) {
+  while (sample_ < params_.sample_times.size() && params_.sample_times[sample_] < upto) {
+    outcome_.levels_at[sample_] = static_cast<double>(decoded_);
+    obs::set_logical_time(sample_);
+    obs::sample(decoded_series_, static_cast<double>(decoded_));
+    const double margin =
+        params_.replication
+            ? -static_cast<double>(zero_sources_[0])
+            : static_cast<double>(counts_[0]) - static_cast<double>(spec_.level_size(0));
+    obs::sample(margin_series_, margin);
+    ++sample_;
+  }
+}
+
+void ClusterTrial::finish(double final_time) {
+  drain_samples(kInf);
+  if (terminal_) {
+    // In-flight and queued repairs will never complete; account for them
+    // so traffic books balance.
+    outcome_.repairs_dropped += params_.repair.streams - free_streams_;
+    outcome_.repairs_dropped += fifo_queue_.size();
+    for (const auto& q : level_queue_) outcome_.repairs_dropped += q.size();
+  }
+  outcome_.peak_queue = queue_.max_size_seen();
+  (void)final_time;
+}
+
+LifetimeOutcome ClusterTrial::run() {
+  place_blocks();
+  process_ = make_failure_process(params_.experiment.failure);
+  record_losses(0.0);  // an undersized placement is a loss at t = 0
+
+  while (!terminal_) {
+    const double queue_time = queue_.empty() ? kInf : queue_.top().time;
+    // Ask the failure stream first, with the next scheduled event as the
+    // horizon: failures break (time) ties against scheduled events — a
+    // node that dies the instant its repair lands dies holding the
+    // repaired block. The horizon also fences randomness (see
+    // FailureProcess::next), keeping the trial's draw order reproducible.
+    const double horizon = std::min(queue_time, params_.max_time);
+    double now;
+    if (auto event = process_->next(membership_, rng_, horizon)) {
+      now = event->time;
+      drain_samples(now);
+      ++outcome_.events;
+      on_failure(*event);
+    } else if (queue_time <= params_.max_time) {
+      now = queue_time;
+      drain_samples(now);
+      ++outcome_.events;
+      const auto entry = queue_.pop();
+      if (entry.payload.kind == SimEvent::Kind::kJoin) {
+        on_join(entry.payload.id);
+      } else {
+        on_repair_done(entry.payload.id, entry.time);
+      }
+    } else {
+      break;  // nothing left inside the horizon
+    }
+    if (!terminal_) dispatch_repairs(now);
+  }
+  finish(params_.max_time);
+  return std::move(outcome_);
+}
+
+}  // namespace
+
+const char* to_string(RepairPolicy policy) {
+  switch (policy) {
+    case RepairPolicy::kNone:
+      return "none";
+    case RepairPolicy::kPriorityAware:
+      return "priority_aware";
+    case RepairPolicy::kPriorityBlind:
+      return "priority_blind";
+  }
+  PRLC_ASSERT(false, "unknown repair policy");
+}
+
+std::optional<RepairPolicy> try_repair_policy_from_string(std::string_view name) {
+  if (name == "none") return RepairPolicy::kNone;
+  if (name == "priority_aware" || name == "aware") return RepairPolicy::kPriorityAware;
+  if (name == "priority_blind" || name == "blind") return RepairPolicy::kPriorityBlind;
+  return std::nullopt;
+}
+
+void RepairConfig::validate() const {
+  PRLC_REQUIRE(bandwidth > 0.0, "repair bandwidth must be positive");
+  PRLC_REQUIRE(streams > 0, "need at least one repair stream");
+  PRLC_REQUIRE(fetch_blocks > 0, "re-encoding must fetch at least one block");
+}
+
+void ClusterParams::validate() const {
+  PRLC_REQUIRE(nodes > 0, "cluster needs at least one node");
+  PRLC_REQUIRE(max_time > 0.0, "max_time must be positive");
+  PRLC_REQUIRE(replacement_delay >= 0.0, "replacement delay must be nonnegative");
+  PRLC_REQUIRE(!replication || locations == 0,
+               "replication mode sizes storage from replication_factor, not locations");
+  PRLC_REQUIRE(!replication || replication_factor > 0,
+               "replication needs at least one copy per block");
+  for (std::size_t i = 1; i < sample_times.size(); ++i) {
+    PRLC_REQUIRE(sample_times[i - 1] <= sample_times[i],
+                 "sample times must be nondecreasing");
+  }
+  experiment.validate();
+  repair.validate();
+}
+
+LifetimeOutcome run_cluster_trial(const ClusterParams& params, Rng& rng) {
+  return ClusterTrial(params, rng).run();
+}
+
+ClusterPoint run_cluster_lifetime(const ClusterParams& params) {
+  params.validate();
+  runtime::TrialRunner runner(params.experiment.threads);
+  const auto outcomes = runner.run(
+      params.experiment.trials, params.experiment.root_seed,
+      [&params](std::size_t, Rng& rng) { return run_cluster_trial(params, rng); });
+
+  const std::size_t levels = params.experiment.level_sizes.size();
+  std::vector<RunningStats> first_loss(levels);
+  std::vector<RunningStats> lost(levels);
+  std::vector<RunningStats> at(params.sample_times.size());
+  RunningStats failures, joins, repairs, dropped, traffic, events;
+  double peak = 0;
+  // Slot order is trial order: the merge is bit-identical at any --threads.
+  for (const LifetimeOutcome& o : outcomes) {
+    for (std::size_t k = 0; k < levels; ++k) {
+      first_loss[k].add(o.first_loss[k]);
+      lost[k].add(o.lost[k] ? 1.0 : 0.0);
+    }
+    for (std::size_t s = 0; s < at.size(); ++s) at[s].add(o.levels_at[s]);
+    failures.add(static_cast<double>(o.failures));
+    joins.add(static_cast<double>(o.joins));
+    repairs.add(static_cast<double>(o.repairs_completed));
+    dropped.add(static_cast<double>(o.repairs_dropped));
+    traffic.add(o.repair_traffic);
+    events.add(static_cast<double>(o.events));
+    peak = std::max(peak, static_cast<double>(o.peak_queue));
+  }
+
+  ClusterPoint point;
+  point.mean_first_loss.resize(levels);
+  point.loss_fraction.resize(levels);
+  for (std::size_t k = 0; k < levels; ++k) {
+    point.mean_first_loss[k] = first_loss[k].mean();
+    point.loss_fraction[k] = lost[k].mean();
+  }
+  point.mean_ttfl_l1 = first_loss[0].mean();
+  point.ci95_ttfl_l1 = first_loss[0].ci95_halfwidth();
+  point.mean_levels_at.resize(at.size());
+  for (std::size_t s = 0; s < at.size(); ++s) point.mean_levels_at[s] = at[s].mean();
+  point.mean_failures = failures.mean();
+  point.mean_joins = joins.mean();
+  point.mean_repairs = repairs.mean();
+  point.mean_repairs_dropped = dropped.mean();
+  point.mean_repair_traffic = traffic.mean();
+  point.mean_events = events.mean();
+  point.max_peak_queue = peak;
+  return point;
+}
+
+}  // namespace prlc::sim

@@ -1,0 +1,137 @@
+// Discrete-event cluster simulator with a priority-aware repair
+// scheduler — the million-node, continuous-churn complement to the fixed
+// churn waves of the persistence experiments.
+//
+// One trial is one whole cluster lifetime: W nodes (lazily materialized —
+// only nodes holding blocks get any per-node storage beyond one byte of
+// liveness), M stored coded blocks partitioned over the priority levels,
+// a FailureProcess streaming (time, node) deaths, and three event kinds
+// on a deterministic (time, seq) queue:
+//
+//   * failure — the node dies, its blocks are lost, a replacement join is
+//     scheduled, and the lost blocks enter the repair scheduler;
+//   * join    — the slot comes back alive with empty storage;
+//   * repair  — a repair stream finishes re-encoding one lost block onto
+//     a random alive node.
+//
+// Decodability is evaluated on the count model (analysis/count_model.h):
+// at 10^6 nodes no Galois-field work happens — whether the first k levels
+// decode is a function of the per-level surviving-block counts alone,
+// which is exactly the regime the paper's analysis works in. The
+// replication baseline instead tracks per-source-block copy counts.
+//
+// The repair scheduler is master-style: it watches the per-level
+// decodability margin and, under PriorityAware, always spends the next
+// free repair stream on the lowest-numbered (highest-priority) level with
+// lost blocks; PriorityBlind repairs in plain loss order at the same
+// total bandwidth — the ablation pair behind the "priority-aware repair
+// extends level-1 time-to-first-loss" claim. A block is only repairable
+// while its level is still decodable (re-encoding draws on live data; a
+// lost level cannot be re-encoded), so once a level goes under, its
+// outstanding repairs are abandoned. That gate is conservative for PLC,
+// where a later lower-level repair could in principle revive the prefix.
+//
+// Trials shard across runtime::TrialRunner with counter-based seeds;
+// every number this module reports is bit-identical at any --threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "proto/experiment_config.h"
+#include "sim/failure_process.h"
+
+namespace prlc::sim {
+
+enum class RepairPolicy {
+  kNone,           ///< no repair: the pure persistence decay baseline
+  kPriorityAware,  ///< lowest level (highest priority) first
+  kPriorityBlind,  ///< plain FIFO in loss order
+};
+
+const char* to_string(RepairPolicy policy);
+std::optional<RepairPolicy> try_repair_policy_from_string(std::string_view name);
+
+/// Repair-bandwidth model: `streams` concurrent repair workers (think
+/// replacement nodes), each limited to bandwidth/streams block transfers
+/// per unit time. Re-encoding one block reads `fetch_blocks` surviving
+/// blocks and writes one, so a stream holds a repair for
+/// (fetch_blocks + 1) * streams / bandwidth time units. Comparing
+/// policies at equal `bandwidth` is comparing at equal total repair
+/// capacity — only the order differs.
+struct RepairConfig {
+  RepairPolicy policy = RepairPolicy::kPriorityAware;
+  double bandwidth = 8.0;        ///< total blocks transferred per unit time
+  std::size_t streams = 4;       ///< concurrent repair workers
+  std::size_t fetch_blocks = 4;  ///< surviving blocks read per re-encoded block
+
+  /// Time one stream spends repairing one block.
+  double repair_duration() const {
+    return static_cast<double>(fetch_blocks + 1) * static_cast<double>(streams) / bandwidth;
+  }
+
+  void validate() const;
+};
+
+struct ClusterParams {
+  std::size_t nodes = 100000;  ///< cluster size W (10^6 is in budget)
+  /// Stored coded blocks M; 0 = 2x the spec's source-block count. In
+  /// replication mode 0 = replication_factor copies of every source block.
+  std::size_t locations = 0;
+  bool replication = false;            ///< replication baseline instead of experiment.scheme
+  std::size_t replication_factor = 3;  ///< copies per source block (replication mode)
+  double max_time = 50.0;              ///< simulate until here (censoring horizon)
+  double replacement_delay = 0.5;      ///< failed slot rejoins empty after this
+  std::vector<double> sample_times;    ///< ascending decoded-levels probe times
+  /// Monte-Carlo execution (trials/root_seed/threads/scheme/spec) plus
+  /// the churn model (experiment.failure).
+  proto::ExperimentConfig experiment;
+  RepairConfig repair;
+
+  void validate() const;
+};
+
+/// Everything one cluster lifetime reports.
+struct LifetimeOutcome {
+  /// Per level: time the level first became undecodable, censored at
+  /// max_time when it never did (check `lost`).
+  std::vector<double> first_loss;
+  std::vector<std::uint8_t> lost;  ///< per level: ever lost within the horizon
+  std::vector<double> levels_at;   ///< decoded levels at params.sample_times
+  std::size_t failures = 0;
+  std::size_t joins = 0;
+  std::size_t repairs_completed = 0;
+  std::size_t repairs_dropped = 0;  ///< abandoned: level lost before repair
+  double repair_traffic = 0;        ///< blocks transferred by completed repairs
+  std::size_t events = 0;           ///< events processed
+  std::size_t peak_queue = 0;       ///< max pending events
+};
+
+/// Trial aggregate across `experiment.trials` lifetimes.
+struct ClusterPoint {
+  std::vector<double> mean_first_loss;  ///< per level, censored at max_time
+  std::vector<double> loss_fraction;    ///< per level: fraction of trials that lost it
+  double mean_ttfl_l1 = 0;              ///< time-to-first-loss of level 1
+  double ci95_ttfl_l1 = 0;
+  std::vector<double> mean_levels_at;  ///< per params.sample_times entry
+  double mean_failures = 0;
+  double mean_joins = 0;
+  double mean_repairs = 0;
+  double mean_repairs_dropped = 0;
+  double mean_repair_traffic = 0;
+  double mean_events = 0;
+  double max_peak_queue = 0;
+};
+
+/// One cluster lifetime with explicit randomness — the deterministic unit
+/// the tests drive directly.
+LifetimeOutcome run_cluster_trial(const ClusterParams& params, Rng& rng);
+
+/// Full Monte-Carlo run: params.experiment.trials lifetimes sharded over
+/// params.experiment.threads threads, merged in trial order.
+ClusterPoint run_cluster_lifetime(const ClusterParams& params);
+
+}  // namespace prlc::sim

@@ -1,0 +1,98 @@
+// Deterministic discrete-event queue: a binary min-heap ordered by
+// (fire time, insertion sequence).
+//
+// std::priority_queue over doubles alone would leave simultaneous events
+// (every wave, every repair completing in lockstep) in unspecified
+// relative order — and the simulator's bit-identical-at-any-thread-count
+// contract cannot tolerate "unspecified". The tie-break by a per-queue
+// monotone sequence number makes the order total: two events never
+// compare equal, so pop order is a pure function of push order, and a
+// whole cluster lifetime replays identically from its seed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace prlc::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    double time = 0;
+    std::uint64_t seq = 0;  ///< insertion order; the total-order tie-break
+    Payload payload{};
+
+    /// Strict weak ordering by (time, seq); seq is unique per queue, so
+    /// this is a total order.
+    bool before(const Entry& other) const {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
+    }
+  };
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::size_t max_size_seen() const { return max_size_; }
+
+  /// Earliest pending entry; requires non-empty.
+  const Entry& top() const {
+    PRLC_REQUIRE(!heap_.empty(), "top() on an empty event queue");
+    return heap_.front();
+  }
+
+  void push(double time, Payload payload) {
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+    if (heap_.size() > max_size_) max_size_ = heap_.size();
+  }
+
+  /// Pop the earliest entry; requires non-empty.
+  Entry pop() {
+    PRLC_REQUIRE(!heap_.empty(), "pop() on an empty event queue");
+    Entry out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  void clear() {
+    heap_.clear();
+    // next_seq_ deliberately keeps counting: entries pushed after a clear
+    // still order after everything that came before.
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].before(heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t best = i;
+      if (left < n && heap_[left].before(heap_[best])) best = left;
+      if (right < n && heap_[right].before(heap_[best])) best = right;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t max_size_ = 0;
+};
+
+}  // namespace prlc::sim

@@ -79,6 +79,49 @@ TEST(BenchCommonFlagsDeathTest, RejectsChunkLargerThanPayload) {
   EXPECT_EQ(*c.options.chunk_bytes, std::size_t{1} << 30);
 }
 
+TEST(BenchCommonFlags, ParsesClusterSimFlags) {
+  const auto r = parse({"--nodes", "1000000", "--churn-rate", "0.05", "--repair-bw=12.5"});
+  ASSERT_TRUE(r.options.nodes.has_value());
+  ASSERT_TRUE(r.options.churn_rate.has_value());
+  ASSERT_TRUE(r.options.repair_bw.has_value());
+  EXPECT_EQ(*r.options.nodes, 1000000u);
+  EXPECT_DOUBLE_EQ(*r.options.churn_rate, 0.05);
+  EXPECT_DOUBLE_EQ(*r.options.repair_bw, 12.5);
+  EXPECT_TRUE(r.leftover.empty());
+}
+
+TEST(BenchCommonFlags, UnsetClusterSimFlagsStayNullopt) {
+  const auto r = parse({"--trials", "3"});
+  EXPECT_FALSE(r.options.nodes.has_value());
+  EXPECT_FALSE(r.options.churn_rate.has_value());
+  EXPECT_FALSE(r.options.repair_bw.has_value());
+}
+
+TEST(BenchCommonFlags, ScientificNotationRatesParse) {
+  const auto r = parse({"--churn-rate", "2e-3"});
+  EXPECT_DOUBLE_EQ(*r.options.churn_rate, 2e-3);
+}
+
+TEST(BenchCommonFlagsDeathTest, RejectsZeroNodesAndBadCounts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(parse({"--nodes", "0"}), testing::ExitedWithCode(64), "--nodes");
+  EXPECT_EXIT(parse({"--nodes", "-5"}), testing::ExitedWithCode(64), "--nodes");
+  EXPECT_EXIT(parse({"--nodes", "many"}), testing::ExitedWithCode(64), "--nodes");
+  EXPECT_EXIT(parse({"--nodes"}), testing::ExitedWithCode(64), "missing its value");
+}
+
+TEST(BenchCommonFlagsDeathTest, RejectsNonPositiveAndGarbageRates) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(parse({"--churn-rate", "-0.1"}), testing::ExitedWithCode(64), "--churn-rate");
+  EXPECT_EXIT(parse({"--churn-rate", "0"}), testing::ExitedWithCode(64), "--churn-rate");
+  EXPECT_EXIT(parse({"--churn-rate", "fast"}), testing::ExitedWithCode(64), "--churn-rate");
+  EXPECT_EXIT(parse({"--churn-rate", "0.1x"}), testing::ExitedWithCode(64), "--churn-rate");
+  EXPECT_EXIT(parse({"--churn-rate", "inf"}), testing::ExitedWithCode(64), "--churn-rate");
+  EXPECT_EXIT(parse({"--repair-bw", "0"}), testing::ExitedWithCode(64), "--repair-bw");
+  EXPECT_EXIT(parse({"--repair-bw", "-8"}), testing::ExitedWithCode(64), "--repair-bw");
+  EXPECT_EXIT(parse({"--repair-bw", "nan"}), testing::ExitedWithCode(64), "--repair-bw");
+}
+
 TEST(BenchCommonFlagsDeathTest, RejectsUnknownArgumentsUnlessKept) {
   testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_EXIT(parse({"--frobnicate"}), testing::ExitedWithCode(64), "unknown argument");

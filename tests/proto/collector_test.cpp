@@ -57,7 +57,7 @@ TEST(Collector, TargetLevelsStopsEarly) {
   codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
   CollectorOptions opt;
   opt.target_levels = 1;
-  const auto result = collect(pd, decoder, opt, s.rng);
+  const auto result = collect(pd, decoder, opt, s.rng).result;
   EXPECT_TRUE(result.target_met);
   EXPECT_GE(result.decoded_levels, 1u);
   EXPECT_LT(result.blocks_retrieved, 60u);  // stopped before draining
@@ -71,7 +71,7 @@ TEST(Collector, MaxBlocksCapsRetrieval) {
   codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
   CollectorOptions opt;
   opt.max_blocks = 7;
-  const auto result = collect(pd, decoder, opt, s.rng);
+  const auto result = collect(pd, decoder, opt, s.rng).result;
   EXPECT_EQ(result.blocks_retrieved, 7u);
   EXPECT_FALSE(result.target_met);
 }
@@ -82,7 +82,9 @@ TEST(Collector, TraceRecordsProgression) {
   const auto source = codes::SourceData<Field>::random(s.spec.total(), 6, s.rng);
   pd.disseminate(source, s.rng);
   codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
-  const auto result = collect(pd, decoder, {}, s.rng, /*trace=*/true);
+  CollectorOptions opt;
+  opt.trace = true;
+  const auto result = collect(pd, decoder, opt, s.rng).result;
   ASSERT_EQ(result.level_trace.size(), result.blocks_retrieved);
   for (std::size_t i = 1; i < result.level_trace.size(); ++i) {
     EXPECT_GE(result.level_trace[i], result.level_trace[i - 1]);  // monotone
@@ -97,7 +99,7 @@ TEST(Collector, ChurnDegradesGracefully) {
   pd.disseminate(source, s.rng);
   net::kill_uniform_fraction(s.overlay, 0.9, s.rng);
   codes::PriorityDecoder<Field> decoder(s.params.scheme, s.spec, s.params.block_size);
-  const auto result = collect(pd, decoder, {}, s.rng);
+  const auto result = collect(pd, decoder, {}, s.rng).result;
   EXPECT_LT(result.surviving_locations, 60u);
   EXPECT_LE(result.decoded_levels, 3u);
   // Whatever did decode must still verify against the original data.
@@ -141,7 +143,7 @@ TEST(Collector, OptionsValidated) {
   // target_levels == levels() is the boundary and stays legal.
   CollectorOptions all_levels;
   all_levels.target_levels = s.spec.levels();
-  const auto result = collect(pd, decoder, all_levels, s.rng);
+  const auto result = collect(pd, decoder, all_levels, s.rng).result;
   EXPECT_TRUE(result.target_met);
 }
 
@@ -195,11 +197,11 @@ TEST(ResilientCollector, NullChannelMatchesPlainCollect) {
   FaultHarness h;
   auto d1 = h.decoder();
   Rng r1(9);
-  const CollectionResult plain = collect(h.pd, d1, {}, r1);
+  const CollectionResult plain = collect(h.pd, d1, {}, r1).result;
   auto d2 = h.decoder();
   Rng r2(9);
   FaultyChannel channel(h.pd);
-  const CollectionOutcome outcome = collect_resilient(channel, d2, {}, r2);
+  const CollectionOutcome outcome = collect(channel, d2, {}, r2);
   EXPECT_EQ(outcome.result.decoded_levels, plain.decoded_levels);
   EXPECT_EQ(outcome.result.blocks_retrieved, plain.blocks_retrieved);
   EXPECT_EQ(outcome.result.innovative_blocks, plain.innovative_blocks);
@@ -216,7 +218,7 @@ TEST(ResilientCollector, RetriesHealTransientCorruption) {
   faults.corrupt_rate = 0.5;  // every attempt is a coin flip; 4 attempts
   auto channel = h.channel(faults);
   auto decoder = h.decoder();
-  const CollectionOutcome outcome = collect_resilient(channel, decoder, {}, h.rng);
+  const CollectionOutcome outcome = collect(channel, decoder, {}, h.rng);
   // 60 locations for 20 unknowns and corruption heals on retry: still full.
   EXPECT_EQ(outcome.result.decoded_levels, 3u);
   EXPECT_GT(outcome.faults.wire_errors, 0u);
@@ -231,7 +233,7 @@ TEST(ResilientCollector, TotalCorruptionDegradesGracefullyNeverThrows) {
   auto channel = h.channel(faults);
   auto decoder = h.decoder();
   CollectionOutcome outcome;
-  ASSERT_NO_THROW(outcome = collect_resilient(channel, decoder, {}, h.rng));
+  ASSERT_NO_THROW(outcome = collect(channel, decoder, {}, h.rng));
   EXPECT_EQ(outcome.result.decoded_levels, 0u);
   EXPECT_EQ(outcome.result.blocks_retrieved, 0u);
   EXPECT_TRUE(outcome.degraded);
@@ -247,7 +249,7 @@ TEST(ResilientCollector, CorruptedPayloadsNeverVerifyAsCorrect) {
   faults.truncate_rate = 0.2;
   auto channel = h.channel(faults);
   auto decoder = h.decoder();
-  const CollectionOutcome outcome = collect_resilient(channel, decoder, {}, h.rng);
+  const CollectionOutcome outcome = collect(channel, decoder, {}, h.rng);
   EXPECT_GT(outcome.faults.wire_errors, 0u);
   // Whatever decoded must be byte-identical to the original source.
   h.expect_verified(decoder);
@@ -259,7 +261,7 @@ TEST(ResilientCollector, FailureBudgetBlacklistsHopelessNodes) {
   faults.transient_rate = 1.0;  // every attempt on every node fails
   auto channel = h.channel(faults);
   auto decoder = h.decoder();
-  const CollectionOutcome outcome = collect_resilient(channel, decoder, {}, h.rng);
+  const CollectionOutcome outcome = collect(channel, decoder, {}, h.rng);
   EXPECT_EQ(outcome.result.blocks_retrieved, 0u);
   EXPECT_GT(outcome.blacklisted_nodes, 0u);
   EXPECT_GT(outcome.retries, 0u);
@@ -277,7 +279,7 @@ TEST(ResilientCollector, SlowNodesTriggerHedges) {
   auto decoder = h.decoder();
   CollectorOptions options;
   options.retry.hedge_deadline_us = 2000;
-  const CollectionOutcome outcome = collect_resilient(channel, decoder, options, h.rng);
+  const CollectionOutcome outcome = collect(channel, decoder, options, h.rng);
   EXPECT_GT(outcome.hedges, 0u);
   EXPECT_GT(outcome.sim_elapsed_us, 0u);
   // Hedging costs nothing correctness-wise: everything still decodes.
@@ -295,7 +297,7 @@ TEST(ResilientCollector, HedgingCanBeDisabled) {
   auto decoder = h.decoder();
   CollectorOptions options;
   options.retry.hedging = false;
-  const CollectionOutcome outcome = collect_resilient(channel, decoder, options, h.rng);
+  const CollectionOutcome outcome = collect(channel, decoder, options, h.rng);
   EXPECT_EQ(outcome.hedges, 0u);
 }
 
@@ -305,7 +307,7 @@ TEST(ResilientCollector, MidCollectionCrashesLoseBlocksNotLevels) {
   faults.crash_rate = 0.1;
   auto channel = h.channel(faults);
   auto decoder = h.decoder();
-  const CollectionOutcome outcome = collect_resilient(channel, decoder, {}, h.rng);
+  const CollectionOutcome outcome = collect(channel, decoder, {}, h.rng);
   EXPECT_GT(outcome.faults.crashes, 0u);
   EXPECT_GT(outcome.blocks_lost, 0u);
   EXPECT_GT(channel.crashed_nodes(), 0u);
@@ -323,11 +325,34 @@ TEST(ResilientCollector, TargetLevelsStillStopsEarlyUnderFaults) {
   auto decoder = h.decoder();
   CollectorOptions options;
   options.target_levels = 1;
-  const CollectionOutcome outcome = collect_resilient(channel, decoder, options, h.rng);
+  const CollectionOutcome outcome = collect(channel, decoder, options, h.rng);
   EXPECT_TRUE(outcome.result.target_met);
   EXPECT_GE(outcome.result.decoded_levels, 1u);
   EXPECT_LT(outcome.result.blocks_retrieved, 60u);
 }
+
+// The deprecated collect_resilient name must keep working (and keep its
+// trailing trace flag) until callers have migrated.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ResilientCollector, DeprecatedShimForwardsToCollect) {
+  FaultHarness h;
+  auto d1 = h.decoder();
+  Rng r1(31);
+  FaultyChannel c1(h.pd);
+  const CollectionOutcome via_shim = collect_resilient(c1, d1, {}, r1, /*trace=*/true);
+  auto d2 = h.decoder();
+  Rng r2(31);
+  FaultyChannel c2(h.pd);
+  CollectorOptions opt;
+  opt.trace = true;
+  const CollectionOutcome direct = collect(c2, d2, opt, r2);
+  EXPECT_EQ(via_shim.result.decoded_levels, direct.result.decoded_levels);
+  EXPECT_EQ(via_shim.result.blocks_retrieved, direct.result.blocks_retrieved);
+  EXPECT_EQ(via_shim.result.level_trace, direct.result.level_trace);
+  EXPECT_EQ(r1(), r2());  // identical draw streams through the shim
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace prlc::proto

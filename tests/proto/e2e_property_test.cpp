@@ -116,7 +116,7 @@ TEST_P(EndToEnd, DecodedLevelsMonotoneUnderIncreasingChurn) {
   for (int wave = 0; wave < 5; ++wave) {
     net::kill_uniform_fraction(*overlay, 0.3, rng);
     codes::PriorityDecoder<Field> decoder(GetParam().scheme, spec, 6);
-    const auto result = collect(pd, decoder, {}, rng);
+    const auto result = collect(pd, decoder, {}, rng).result;
     EXPECT_LT(result.surviving_locations, last_surviving);
     last_surviving = result.surviving_locations + 1;  // allow equality at 0
     // Not strictly monotone per-wave (collection order is irrelevant,

@@ -80,7 +80,7 @@ TEST(Generation, SessionChurnWithRefreshKeepsDataAlive) {
     refresh(pd, w.overlay.random_alive_node(w.rng), w.rng);
   }
   codes::PriorityDecoder<Field> dec(w.params.scheme, w.spec, w.params.block_size);
-  const auto result = collect(pd, dec, {}, w.rng);
+  const auto result = collect(pd, dec, {}, w.rng).result;
   EXPECT_EQ(result.decoded_levels, 2u);  // 3x redundancy + repair: data lives
 }
 

@@ -44,7 +44,7 @@ TEST(Integration, ProtocolBlocksDecodeLikeCentralizedEncoding) {
     codes::PriorityDecoder<Field> decoder(params.scheme, spec, params.block_size);
     CollectorOptions opt;
     opt.max_blocks = m;
-    const auto result = collect(pd, decoder, opt, rng);
+    const auto result = collect(pd, decoder, opt, rng).result;
     network_levels.add(static_cast<double>(result.decoded_levels));
   }
 
@@ -108,7 +108,7 @@ TEST(Integration, PriorityOrderingUnderChurnMatchesAnalysis) {
     pd.disseminate(source, rng);
     net::kill_uniform_fraction(overlay, 0.5, rng);
     codes::PriorityDecoder<Field> decoder(params.scheme, spec, params.block_size);
-    const auto result = collect(pd, decoder, {}, rng);
+    const auto result = collect(pd, decoder, {}, rng).result;
     // Analysis prediction conditioned on the surviving count. The
     // surviving blocks are a random subset of locations, whose levels are
     // close to multinomial(dist) again.

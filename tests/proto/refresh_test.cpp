@@ -95,12 +95,12 @@ TEST(Refresh, SurvivesRepeatedChurnWavesBetterThanNoRefresh) {
     if (with.overlay.alive_count() > 0) {
       refresh(with.pd, with.overlay.random_alive_node(with.rng), with.rng);
       codes::PriorityDecoder<Field> d1(with.params.scheme, with.spec, with.params.block_size);
-      if (collect(with.pd, d1, {}, with.rng).decoded_levels == 3) ++waves_survived_with;
+      if (collect(with.pd, d1, {}, with.rng).result.decoded_levels == 3) ++waves_survived_with;
     }
     if (without.overlay.alive_count() > 0) {
       codes::PriorityDecoder<Field> d2(without.params.scheme, without.spec,
                                        without.params.block_size);
-      if (collect(without.pd, d2, {}, without.rng).decoded_levels == 3) {
+      if (collect(without.pd, d2, {}, without.rng).result.decoded_levels == 3) {
         ++waves_survived_without;
       }
     }
@@ -116,7 +116,7 @@ TEST(Refresh, PartialDecodeRepairsOnlyCoveredLevels) {
   for (int i = 0; i < 30 && levels == 3; ++i) {
     net::kill_uniform_fraction(w.overlay, 0.15, w.rng);
     codes::PriorityDecoder<Field> probe(w.params.scheme, w.spec, w.params.block_size);
-    levels = collect(w.pd, probe, {}, w.rng).decoded_levels;
+    levels = collect(w.pd, probe, {}, w.rng).result.decoded_levels;
   }
   if (w.overlay.alive_count() == 0) GTEST_SKIP() << "network died entirely";
   const auto result = refresh(w.pd, w.overlay.random_alive_node(w.rng), w.rng);

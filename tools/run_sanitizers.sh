@@ -46,8 +46,8 @@ cmake -B "${tsan_build_dir}" -S "${repo_root}" \
   -DPRLC_SANITIZE=thread
 cmake --build "${tsan_build_dir}" -j"${jobs}" \
   --target test_obs --target test_obs_noalloc --target test_runtime \
-  --target test_codec --target test_codes --target test_proto \
-  --target abl_persistence_e2e --target abl_fault
+  --target test_codec --target test_codes --target test_proto --target test_sim \
+  --target abl_persistence_e2e --target abl_fault --target abl_cluster_lifetime
 
 # test_codec drives the dependency-counting OpGraph executor (the codec's
 # multithreaded data plane) across pools of 1/2/8 workers — the prime
@@ -74,4 +74,14 @@ PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_fault" \
 "${tsan_build_dir}/tests/test_codes" \
   --gtest_filter='DecodingCurve.ThreadCountDoesNotChangeResults:DecodingCurve.SparseBlocksMatchDenseBlocksAcrossThreads' \
   > /dev/null
+# Cluster-simulator lifetimes sharded across TrialRunner threads: each
+# trial owns its event queue, membership bitmap and failure process, and
+# the per-trial telemetry buffers hand off to the global recorders at
+# merge time — the same handoff pattern as the telemetry suite, now under
+# the simulator's much higher event volume.
+"${tsan_build_dir}/tests/test_sim" \
+  --gtest_filter='ClusterSim.ThreadCountNeverChangesResults' > /dev/null
+PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_cluster_lifetime" \
+  --threads 8 \
+  --json "${tsan_build_dir}/cluster.json" > /dev/null
 echo "tsan run OK (${tsan_build_dir})"
