@@ -42,6 +42,8 @@ constexpr int kUsageExit = 64;  // EX_USAGE
                "--scheme <rlc|slc|plc>\n"
             << "             --payload-bytes <n[kmg]> --chunk-bytes <n[kmg]>\n"
             << "             --nodes <n> --churn-rate <x> --repair-bw <x>\n"
+            << "             --rot-rate <x> --byzantine-rate <x> "
+               "--scrub-interval <x>\n"
             << "             --json <path> --metrics-json <path> "
                "--trace-json <path>\n"
             << "             --events-jsonl <path> --timeseries-jsonl <path>\n";
@@ -122,6 +124,7 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
   std::string trials_text, seed_text, threads_text, scheme_text;
   std::string payload_text, chunk_text;
   std::string nodes_text, churn_text, repair_text;
+  std::string rot_text, byzantine_text, scrub_text;
   int out = 1;
   for (int i = 1; i < argc;) {
     std::size_t used = match_flag("--trials", argc, argv, i, trials_text);
@@ -133,6 +136,9 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
     if (used == 0) used = match_flag("--nodes", argc, argv, i, nodes_text);
     if (used == 0) used = match_flag("--churn-rate", argc, argv, i, churn_text);
     if (used == 0) used = match_flag("--repair-bw", argc, argv, i, repair_text);
+    if (used == 0) used = match_flag("--rot-rate", argc, argv, i, rot_text);
+    if (used == 0) used = match_flag("--byzantine-rate", argc, argv, i, byzantine_text);
+    if (used == 0) used = match_flag("--scrub-interval", argc, argv, i, scrub_text);
     if (used == 0) used = match_flag("--json", argc, argv, i, g_options.json_path);
     if (used == 0) used = match_flag("--metrics-json", argc, argv, i, g_options.metrics_json_path);
     if (used == 0) used = match_flag("--trace-json", argc, argv, i, g_options.trace_json_path);
@@ -212,6 +218,29 @@ void parse_args(int& argc, char** argv, UnknownArgs unknown) {
       usage_error("--repair-bw wants a positive bandwidth, got '" + repair_text + "'");
     }
     g_options.repair_bw = *bw;
+  }
+  if (!rot_text.empty()) {
+    const auto rate = try_parse_double(rot_text);
+    if (!rate || *rate < 0.0) {
+      usage_error("--rot-rate wants a nonnegative rate, got '" + rot_text + "'");
+    }
+    g_options.rot_rate = *rate;
+  }
+  if (!byzantine_text.empty()) {
+    const auto fraction = try_parse_double(byzantine_text);
+    if (!fraction || *fraction < 0.0 || *fraction > 1.0) {
+      usage_error("--byzantine-rate wants a fraction in [0,1], got '" +
+                  byzantine_text + "'");
+    }
+    g_options.byzantine_rate = *fraction;
+  }
+  if (!scrub_text.empty()) {
+    const auto interval = try_parse_double(scrub_text);
+    if (!interval || *interval < 0.0) {
+      usage_error("--scrub-interval wants a nonnegative period, got '" + scrub_text +
+                  "'");
+    }
+    g_options.scrub_interval = *interval;
   }
   if (g_options.payload_bytes && g_options.chunk_bytes &&
       *g_options.chunk_bytes > *g_options.payload_bytes) {

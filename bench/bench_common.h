@@ -20,6 +20,10 @@
 //   --churn-rate <x>       failures per node per unit time (positive)
 //   --repair-bw <x>        repair bandwidth in blocks per unit time
 //                          (positive)
+//   --rot-rate <x>         per-block silent bit-rot hazard (nonnegative)
+//   --byzantine-rate <x>   fraction of Byzantine nodes (in [0,1])
+//   --scrub-interval <x>   integrity scrub period; 0 disables scrubbing
+//                          (nonnegative)
 //   --json <path>          structured bench results (BenchReport)
 //   --metrics-json <path>  dump of the obs::Registry after the run
 //   --trace-json <path>    Chrome-tracing timeline (chrome://tracing,
@@ -69,6 +73,9 @@ struct Options {
   std::optional<std::size_t> nodes;          ///< --nodes
   std::optional<double> churn_rate;          ///< --churn-rate
   std::optional<double> repair_bw;           ///< --repair-bw
+  std::optional<double> rot_rate;            ///< --rot-rate
+  std::optional<double> byzantine_rate;      ///< --byzantine-rate
+  std::optional<double> scrub_interval;      ///< --scrub-interval
   std::string json_path;
   std::string metrics_json_path;
   std::string trace_json_path;

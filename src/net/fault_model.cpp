@@ -19,6 +19,10 @@ const char* to_string(FaultClass c) {
       return "corruption";
     case FaultClass::kTruncation:
       return "truncation";
+    case FaultClass::kBitRotAtRest:
+      return "bitrot";
+    case FaultClass::kByzantine:
+      return "byzantine";
     case FaultClass::kCrash:
       return "crash";
     case FaultClass::kDeadNode:
@@ -29,7 +33,8 @@ const char* to_string(FaultClass c) {
 
 bool FaultSpec::active() const {
   return timeout_rate > 0 || transient_rate > 0 || corrupt_rate > 0 || truncate_rate > 0 ||
-         crash_rate > 0 || slow_fraction > 0 || flaky_fraction > 0;
+         crash_rate > 0 || bitrot_rate > 0 || byzantine_fraction > 0 || slow_fraction > 0 ||
+         flaky_fraction > 0;
 }
 
 FaultSpec FaultSpec::scaled(double factor) const {
@@ -41,6 +46,8 @@ FaultSpec FaultSpec::scaled(double factor) const {
   out.corrupt_rate = clamp01(corrupt_rate);
   out.truncate_rate = clamp01(truncate_rate);
   out.crash_rate = clamp01(crash_rate);
+  out.bitrot_rate = clamp01(bitrot_rate);
+  out.byzantine_fraction = clamp01(byzantine_fraction);
   out.slow_fraction = clamp01(slow_fraction);
   out.flaky_fraction = clamp01(flaky_fraction);
   return out;
@@ -49,10 +56,10 @@ FaultSpec FaultSpec::scaled(double factor) const {
 void FaultSpec::validate() const {
   const auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
   PRLC_REQUIRE(in01(timeout_rate) && in01(transient_rate) && in01(corrupt_rate) &&
-                   in01(truncate_rate) && in01(crash_rate),
+                   in01(truncate_rate) && in01(crash_rate) && in01(bitrot_rate),
                "fault rates must be probabilities in [0,1]");
-  PRLC_REQUIRE(in01(slow_fraction) && in01(flaky_fraction),
-               "slow/flaky fractions must be in [0,1]");
+  PRLC_REQUIRE(in01(slow_fraction) && in01(flaky_fraction) && in01(byzantine_fraction),
+               "slow/flaky/byzantine fractions must be in [0,1]");
   PRLC_REQUIRE(slow_multiplier >= 1.0 && flaky_multiplier >= 1.0,
                "slow/flaky multipliers must be >= 1");
 }
@@ -65,6 +72,10 @@ FaultPlan::FaultPlan(const FaultSpec& spec, std::size_t nodes, Rng& rng)
   for (auto& p : profiles_) {
     p.slow = rng.bernoulli(spec_.slow_fraction);
     p.flaky = rng.bernoulli(spec_.flaky_fraction);
+    // Guarded: bernoulli consumes a draw even at p = 0, and plans built
+    // before byzantine_fraction existed must keep their exact streams.
+    p.byzantine =
+        spec_.byzantine_fraction > 0 && rng.bernoulli(spec_.byzantine_fraction);
   }
 }
 
@@ -89,6 +100,11 @@ FaultClass FaultPlan::draw_fault(NodeId node, Rng& rng) const {
   if (u < cum) return FaultClass::kCorruption;
   cum += spec_.truncate_rate * mult;
   if (u < cum) return FaultClass::kTruncation;
+  // At-rest rot is a storage property: appended after the in-flight
+  // classes and not flaky-amplified. Costs no extra draw, so specs with
+  // bitrot_rate == 0 keep their exact pre-existing partition of u.
+  cum += spec_.bitrot_rate;
+  if (u < cum) return FaultClass::kBitRotAtRest;
   return FaultClass::kNone;
 }
 

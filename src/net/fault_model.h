@@ -27,13 +27,19 @@ namespace prlc::net {
 
 /// What happened to one fetch attempt.
 enum class FaultClass {
-  kNone,        ///< attempt delivered its bytes (possibly corrupted in-band)
-  kTimeout,     ///< no reply within the deadline; retryable
-  kTransient,   ///< connection refused / reset; retryable
-  kCorruption,  ///< payload bit-flip in flight (caught by the wire CRC)
-  kTruncation,  ///< transfer cut short (caught by the wire bounds checks)
-  kCrash,       ///< serving node died mid-collection; its blocks are gone
-  kDeadNode,    ///< owner was already gone when the fetch was issued
+  kNone,          ///< attempt delivered its bytes (possibly corrupted in-band)
+  kTimeout,       ///< no reply within the deadline; retryable
+  kTransient,     ///< connection refused / reset; retryable
+  kCorruption,    ///< payload bit-flip in flight (caught by the wire CRC)
+  kTruncation,    ///< transfer cut short (caught by the wire bounds checks)
+  kBitRotAtRest,  ///< stored payload rotted on disk; the frame's CRC is
+                  ///< recomputed over the rotten bytes at send time, so the
+                  ///< wire checks pass — only a fingerprint can unmask it
+  kByzantine,     ///< node serves well-formed frames with forged payloads;
+                  ///< never produced by draw_fault (it is a per-node
+                  ///< character, NodeFaultProfile::byzantine)
+  kCrash,         ///< serving node died mid-collection; its blocks are gone
+  kDeadNode,      ///< owner was already gone when the fetch was issued
 };
 
 const char* to_string(FaultClass c);
@@ -48,6 +54,16 @@ struct FaultSpec {
   double corrupt_rate = 0.0;
   double truncate_rate = 0.0;
   double crash_rate = 0.0;
+  /// Probability per fetch that the *stored* replica behind the location
+  /// has silently rotted at rest. Rot is sticky: once a location rots the
+  /// channel keeps serving the same rotten bytes, under a valid CRC.
+  /// Unlike the in-flight rates, rot is a storage property and is not
+  /// amplified for flaky nodes.
+  double bitrot_rate = 0.0;
+  /// Fraction of nodes that are Byzantine: every frame they serve is
+  /// well-formed (valid CRC) but carries a deterministically forged
+  /// payload, inconsistent with its claimed coefficients.
+  double byzantine_fraction = 0.0;
   /// Fraction of nodes that are stragglers; their latency draws are
   /// multiplied by slow_multiplier.
   double slow_fraction = 0.0;
@@ -75,6 +91,7 @@ struct FaultSpec {
 struct NodeFaultProfile {
   bool slow = false;
   bool flaky = false;
+  bool byzantine = false;
 };
 
 /// A seeded, immutable-per-trial assignment of fault behaviour to nodes.

@@ -142,6 +142,10 @@ const char* to_string(EventType type) {
       return "row_densified";
     case EventType::kPeel:
       return "peel";
+    case EventType::kIntegrityViolation:
+      return "integrity_violation";
+    case EventType::kNodeQuarantined:
+      return "node_quarantined";
   }
   PRLC_ASSERT(false, "unknown event type");
 }
@@ -156,6 +160,8 @@ const EventArgNames& event_arg_names(EventType type) {
       /* kWatermarkAdvance */ {{"prefix_blocks", "equations", nullptr}},
       /* kRowDensified     */ {{"pivot", "width", nullptr}},
       /* kPeel             */ {{"pivot", nullptr, nullptr}},
+      /* kIntegrityViolation */ {{"node", "location", nullptr}},
+      /* kNodeQuarantined    */ {{"node", nullptr, nullptr}},
   };
   const auto idx = static_cast<std::size_t>(type);
   PRLC_ASSERT(idx < kEventTypeCount, "unknown event type");

@@ -19,8 +19,18 @@ void validate_options(const CollectorOptions& options, const codes::PrioritySpec
                "max_blocks must be positive when set (use nullopt for unlimited)");
   PRLC_REQUIRE(!options.target_levels.has_value() || *options.target_levels <= spec.levels(),
                "target_levels exceeds the spec's level count");
+  PRLC_REQUIRE(options.manifest == nullptr ||
+                   options.manifest->fingerprints.size() == spec.total(),
+               "fingerprint manifest must cover exactly the spec's source blocks");
   options.retry.validate();
 }
+
+/// What deliver() decided about one delivered frame.
+enum class Delivery {
+  kOk,                  ///< parsed, verified, fed to the decoder
+  kWireRejected,        ///< CRC/bounds rejection — retryable elsewhere
+  kIntegrityRejected,   ///< fingerprint mismatch — block written off, node quarantined
+};
 
 /// Backoff before retry `attempt` (0-based), jittered deterministically
 /// from the trial Rng. Only called on the retry path, so fault-free
@@ -56,6 +66,8 @@ CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>&
 
   static obs::Counter& retries_ctr = obs::counter("collector.retries");
   static obs::Counter& corrupt_ctr = obs::counter("collector.corrupt_blocks");
+  static obs::Counter& integrity_ctr = obs::counter("collector.integrity_violations");
+  static obs::Counter& quarantine_ctr = obs::counter("collector.quarantined_nodes");
   static obs::Counter& hedges_ctr = obs::counter("collector.hedges");
   static obs::Counter& timeouts_ctr = obs::counter("collector.timeouts");
   static obs::Counter& transient_ctr = obs::counter("collector.transient_errors");
@@ -73,7 +85,27 @@ CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>&
 
   std::unordered_map<net::NodeId, std::size_t> node_faults;
   std::unordered_set<net::NodeId> blacklisted;
+  /// Attempts already spent per location, persisted across deferrals —
+  /// a wire-rejected location re-enters the queue instead of retrying
+  /// in place, but its max_attempts cap still holds.
+  std::unordered_map<net::LocationId, std::size_t> loc_attempts;
   std::size_t cursor = 0;
+
+  // One fingerprinter per collection (the byte-sliced tables are built
+  // from the manifest's seed); absent manifest, zero integrity overhead.
+  std::optional<util::Fingerprinter> fingerprinter;
+  if (options.manifest != nullptr) fingerprinter.emplace(options.manifest->seed);
+
+  /// Remove a node that served a frame contradicting the manifest. Uses
+  /// the same blacklist the fault budget feeds, so the main loop skips
+  /// its remaining blocks, but is counted separately.
+  const auto quarantine = [&](net::NodeId node) {
+    if (blacklisted.insert(node).second) {
+      ++out.quarantined_nodes;
+      quarantine_ctr.add();
+      obs::emit(obs::EventType::kNodeQuarantined, static_cast<double>(node));
+    }
+  };
 
   const auto done = [&] {
     if (options.max_blocks.has_value() && result.blocks_retrieved >= *options.max_blocks) {
@@ -93,7 +125,7 @@ CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>&
   /// reply buffer — no per-fetch payload copy; only sparse coefficient
   /// frames expand into a scratch vector reused across fetches.
   std::vector<std::uint8_t> coeff_scratch;
-  const auto deliver = [&](const FetchReply& reply) {
+  const auto deliver = [&](net::LocationId loc, const FetchReply& reply) {
     try {
       const codes::WireBlockView view = codes::decode_wire_view(reply.bytes);
       if (view.scheme != decoder.scheme() || view.coeff_width != decoder.spec().total()) {
@@ -105,15 +137,43 @@ CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>&
         view.expand_coeffs(coeff_scratch);
         coeffs = coeff_scratch;
       }
+      if (fingerprinter.has_value() &&
+          fingerprinter->fingerprint(view.payload) !=
+              fingerprinter->combine(coeffs, options.manifest->fingerprints)) {
+        // Silent corruption, localized to this exact block: the frame is
+        // well-formed (CRC passed) yet its payload contradicts the
+        // manifest. The lie is sticky — a refetch serves the same bytes —
+        // so the block is written off and the serving node quarantined.
+        ++out.faults.integrity_violations;
+        integrity_ctr.add();
+        obs::emit(obs::EventType::kIntegrityViolation, static_cast<double>(reply.node),
+                  static_cast<double>(loc));
+        quarantine(reply.node);
+        return Delivery::kIntegrityRejected;
+      }
       ++result.blocks_retrieved;
       if (decoder.add(view.level, coeffs, view.payload)) ++result.innovative_blocks;
       if (trace) result.level_trace.push_back(decoder.decoded_levels());
-      return true;
+      return Delivery::kOk;
     } catch (const codes::WireFormatError&) {
       ++out.faults.wire_errors;
       corrupt_ctr.add();
-      return false;
+      return Delivery::kWireRejected;
     }
+  };
+
+  /// Append one attempt to the fetch log (trace runs only).
+  const auto log_attempt = [&](net::LocationId loc, const FetchReply& reply,
+                               Delivery delivery, bool fed) {
+    if (!trace) return;
+    FetchAttempt a;
+    a.location = loc;
+    a.node = reply.node;
+    a.fault = reply.fault;
+    a.wire_rejected = delivery == Delivery::kWireRejected;
+    a.integrity_rejected = delivery == Delivery::kIntegrityRejected;
+    a.delivered = fed;
+    out.fetch_log.push_back(a);
   };
 
   /// Charge one retryable fault to `node`; true when the node just
@@ -150,25 +210,32 @@ CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>&
       out.sim_elapsed_us += reply.latency_us;
       bool delivered = false;
       switch (reply.fault) {
-        case net::FaultClass::kNone:
-          delivered = deliver(reply);
-          if (!delivered) charge_fault(reply.node);
+        case net::FaultClass::kNone: {
+          const Delivery d = deliver(loc, reply);
+          delivered = d == Delivery::kOk;
+          log_attempt(loc, reply, d, delivered);
+          if (d == Delivery::kWireRejected) charge_fault(reply.node);
           break;
+        }
         case net::FaultClass::kDeadNode:
           ++out.faults.dead_nodes;
+          log_attempt(loc, reply, Delivery::kOk, false);
           break;
         case net::FaultClass::kCrash:
           ++out.faults.crashes;
           crashes_ctr.add();
+          log_attempt(loc, reply, Delivery::kOk, false);
           break;
         case net::FaultClass::kTimeout:
           ++out.faults.timeouts;
           timeouts_ctr.add();
+          log_attempt(loc, reply, Delivery::kOk, false);
           charge_fault(reply.node);
           break;
         case net::FaultClass::kTransient:
           ++out.faults.transient_errors;
           transient_ctr.add();
+          log_attempt(loc, reply, Delivery::kOk, false);
           charge_fault(reply.node);
           break;
         default:
@@ -184,9 +251,14 @@ CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>&
 
   /// Full self-healing fetch of one location: retry loop with capped
   /// exponential backoff, budget charging, hedging on slow replies.
+  /// Wire-rejected frames do NOT retry in place — the location is
+  /// deferred to the back of the queue (its attempt count persists in
+  /// loc_attempts), so the very next fetch goes to a different node
+  /// instead of hammering the one that just served garbage.
   const auto fetch_with_retry = [&](net::LocationId loc) {
     const net::NodeId node = channel.owner_of(loc);
-    for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    std::size_t& attempt = loc_attempts[loc];
+    while (attempt < policy.max_attempts) {
       const FetchReply reply = channel.fetch(loc, rng);
       latency_hist.record(reply.latency_us);
       out.sim_elapsed_us += reply.latency_us;
@@ -200,41 +272,83 @@ CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>&
       }
 
       switch (reply.fault) {
-        case net::FaultClass::kNone:
-          if (deliver(reply)) return;  // healed or clean — done with this block
-          break;                       // wire-rejected: retryable
+        case net::FaultClass::kNone: {
+          const Delivery d = deliver(loc, reply);
+          log_attempt(loc, reply, d, d == Delivery::kOk);
+          if (d == Delivery::kOk) return;  // healed or clean — done with this block
+          if (d == Delivery::kIntegrityRejected) {
+            // The node is quarantined and the lie sticky: retrying this
+            // location can only replay the same forged bytes.
+            ++out.blocks_lost;
+            lost_ctr.add();
+            return;
+          }
+          // Wire-rejected: charge the node and defer the location so the
+          // next fetch targets a different node.
+          ++attempt;
+          if (charge_fault(node)) break;  // budget gone: write the block off
+          if (attempt < policy.max_attempts) {
+            order.push_back(loc);
+            ++out.retries;
+            retries_ctr.add();
+            obs::emit(obs::EventType::kFetchRetry, static_cast<double>(node),
+                      static_cast<double>(attempt));
+            return;  // no backoff — the collector moves on immediately
+          }
+          break;  // attempts exhausted
+        }
         case net::FaultClass::kDeadNode:
           ++out.faults.dead_nodes;
+          log_attempt(loc, reply, Delivery::kOk, false);
           ++out.blocks_lost;
           lost_ctr.add();
           return;  // nothing to retry against
         case net::FaultClass::kCrash:
           ++out.faults.crashes;
           crashes_ctr.add();
+          log_attempt(loc, reply, Delivery::kOk, false);
           ++out.blocks_lost;
           lost_ctr.add();
           return;  // the node is gone for the rest of the collection
         case net::FaultClass::kTimeout:
           ++out.faults.timeouts;
           timeouts_ctr.add();
+          log_attempt(loc, reply, Delivery::kOk, false);
+          ++attempt;
+          if (charge_fault(node)) break;
+          if (attempt < policy.max_attempts) {
+            ++out.retries;
+            retries_ctr.add();
+            obs::emit(obs::EventType::kFetchRetry, static_cast<double>(node),
+                      static_cast<double>(attempt));
+            out.sim_elapsed_us += backoff_us(policy, attempt - 1, rng);
+            continue;
+          }
           break;
         case net::FaultClass::kTransient:
           ++out.faults.transient_errors;
           transient_ctr.add();
+          log_attempt(loc, reply, Delivery::kOk, false);
+          ++attempt;
+          if (charge_fault(node)) break;
+          if (attempt < policy.max_attempts) {
+            ++out.retries;
+            retries_ctr.add();
+            obs::emit(obs::EventType::kFetchRetry, static_cast<double>(node),
+                      static_cast<double>(attempt));
+            out.sim_elapsed_us += backoff_us(policy, attempt - 1, rng);
+            continue;
+          }
           break;
         default:
           PRLC_ASSERT(false, "channel returned an in-band fault class");
       }
-
-      if (charge_fault(node)) break;  // budget exhausted: write the block off
-      if (attempt + 1 < policy.max_attempts) {
-        ++out.retries;
-        retries_ctr.add();
-        obs::emit(obs::EventType::kFetchRetry, static_cast<double>(node),
-                  static_cast<double>(attempt + 1));
-        out.sim_elapsed_us += backoff_us(policy, attempt, rng);
-      }
+      // Budget exhausted or attempts spent: write the block off.
+      ++out.blocks_lost;
+      lost_ctr.add();
+      return;
     }
+    // Deferred location whose attempts ran out before it resurfaced.
     ++out.blocks_lost;
     lost_ctr.add();
   };
@@ -267,19 +381,6 @@ CollectionOutcome collect(const Predistribution& dist, codes::PriorityDecoder<Fi
   FaultyChannel channel(dist);
   return collect(channel, decoder, options, rng);
 }
-
-// Silence our own -Werror=deprecated-declarations on the shim definition;
-// external callers still get the warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-CollectionOutcome collect_resilient(FaultyChannel& channel,
-                                    codes::PriorityDecoder<Field>& decoder,
-                                    const CollectorOptions& options, Rng& rng, bool trace) {
-  CollectorOptions merged = options;
-  merged.trace = merged.trace || trace;
-  return collect(channel, decoder, merged, rng);
-}
-#pragma GCC diagnostic pop
 
 std::pair<CollectionResult, bool> collect_and_verify(const Predistribution& dist,
                                                      const codes::SourceData<Field>& original,

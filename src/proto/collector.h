@@ -19,6 +19,13 @@
 //     blacklisted and its remaining blocks written off;
 //   * hedged re-fetch: when a reply is slower than the hedge deadline the
 //     collector opportunistically pulls the next pending location too;
+//   * end-to-end integrity — with a fingerprint manifest
+//     (CollectorOptions::manifest) every delivered frame is verified
+//     against the homomorphic GF(2^64) fingerprints of the source blocks
+//     before it reaches the decoder; a mismatch localizes the forgery to
+//     the exact block and quarantines the serving node, so silent
+//     corruption (bit rot under a re-covered CRC, Byzantine payloads)
+//     never produces wrong decoded bytes;
 //   * graceful degradation — faults never throw; the collector returns
 //     the best decodable prefix plus a structured CollectionOutcome with
 //     per-fault-class counts.
@@ -32,6 +39,7 @@
 #include "codes/decoder.h"
 #include "proto/fault_channel.h"
 #include "proto/predistribution.h"
+#include "util/gf64_fingerprint.h"
 
 namespace prlc::proto {
 
@@ -63,10 +71,20 @@ struct CollectorOptions {
   /// Must be positive when set.
   std::optional<std::size_t> max_blocks;
   /// Record the per-retrieval decoded-levels progression in
-  /// CollectionResult::level_trace.
+  /// CollectionResult::level_trace, and the per-attempt fetch log in
+  /// CollectionOutcome::fetch_log.
   bool trace = false;
   /// Self-healing knobs, used when collecting over a faulty channel.
   RetryPolicy retry;
+  /// Source-block fingerprint manifest (util/gf64_fingerprint.h). When
+  /// set, every delivered frame is verified — fingerprint(payload) must
+  /// equal the coefficient-combination of the manifest fingerprints —
+  /// before it reaches the decoder. A mismatch is an integrity violation:
+  /// the frame is dropped, the block written off (the lie is sticky; a
+  /// refetch serves the same bytes), and the serving node quarantined via
+  /// the blacklist. Must cover exactly the decoder spec's source blocks.
+  /// The manifest must outlive the collect() call.
+  const util::FingerprintManifest* manifest = nullptr;
 };
 
 struct CollectionResult {
@@ -91,10 +109,26 @@ struct DetectedFaults {
   std::size_t timeouts = 0;
   std::size_t transient_errors = 0;
   std::size_t wire_errors = 0;       ///< decode_wire rejections
+  /// Well-formed frames (CRC passed) whose payload contradicted the
+  /// fingerprint manifest — silent corruption (bit rot, Byzantine nodes)
+  /// the wire checks cannot see. Zero unless a manifest was supplied.
+  std::size_t integrity_violations = 0;
 
   std::size_t total() const {
-    return dead_nodes + crashes + timeouts + transient_errors + wire_errors;
+    return dead_nodes + crashes + timeouts + transient_errors + wire_errors +
+           integrity_violations;
   }
+};
+
+/// One fetch attempt as the collector saw it, recorded into
+/// CollectionOutcome::fetch_log when CollectorOptions::trace is set.
+struct FetchAttempt {
+  net::LocationId location = 0;
+  net::NodeId node = 0;
+  net::FaultClass fault = net::FaultClass::kNone;  ///< channel-visible class
+  bool wire_rejected = false;       ///< CRC/bounds rejected the frame
+  bool integrity_rejected = false;  ///< fingerprint contradicted the manifest
+  bool delivered = false;           ///< frame fed to the decoder
 };
 
 /// Everything collect() can report: the classic result plus the
@@ -105,12 +139,17 @@ struct CollectionOutcome {
   std::size_t retries = 0;            ///< extra attempts after a retryable fault
   std::size_t hedges = 0;             ///< hedged fetches issued
   std::size_t blacklisted_nodes = 0;  ///< nodes that exhausted their budget
+  /// Nodes removed for serving a frame that contradicted the fingerprint
+  /// manifest (disjoint from blacklisted_nodes' budget exhaustion).
+  std::size_t quarantined_nodes = 0;
   /// Locations retrievable at the start that were written off: their node
   /// died/was blacklisted or every attempt failed. Untried locations
   /// (early stop via target/max_blocks) are not "lost".
   std::size_t blocks_lost = 0;
   bool degraded = false;              ///< blocks_lost > 0
   std::uint64_t sim_elapsed_us = 0;   ///< simulated retrieval time
+  /// Per-attempt log (only filled when CollectorOptions::trace is set).
+  std::vector<FetchAttempt> fetch_log;
 };
 
 /// THE collection entry point: retrieve over `channel` and decode,
@@ -128,15 +167,6 @@ CollectionOutcome collect(FaultyChannel& channel, codes::PriorityDecoder<Field>&
 /// (collector.corrupt_blocks) and skipped, never propagated.
 CollectionOutcome collect(const Predistribution& dist, codes::PriorityDecoder<Field>& decoder,
                           const CollectorOptions& options, Rng& rng);
-
-/// Historical name for collect() over an explicit channel, from when the
-/// plain and resilient paths were separate entry points.
-[[deprecated("call collect(channel, decoder, options, rng); trace moved into "
-             "CollectorOptions")]]
-CollectionOutcome collect_resilient(FaultyChannel& channel,
-                                    codes::PriorityDecoder<Field>& decoder,
-                                    const CollectorOptions& options, Rng& rng,
-                                    bool trace = false);
 
 /// Convenience: build a payload decoder, collect everything retrievable,
 /// and verify every decoded payload against `original`. Returns the

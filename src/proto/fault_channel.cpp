@@ -10,6 +10,20 @@ namespace prlc::proto {
 FaultyChannel::FaultyChannel(const Predistribution& dist, net::FaultPlan plan)
     : dist_(dist), plan_(std::move(plan)) {}
 
+std::vector<std::uint8_t> FaultyChannel::serve_damaged(const StoredBlock& slot,
+                                                       std::size_t offset,
+                                                       std::uint8_t mask) const {
+  // The damage lives in the payload *before* serialization, so the frame
+  // carries a fresh CRC computed over the rotten/forged bytes: the wire
+  // checks pass and only a fingerprint can tell.
+  std::vector<std::uint8_t> payload(slot.block.payload);
+  payload[offset] ^= mask;
+  return codes::encode_wire(dist_.params().scheme,
+                            codes::CodedBlockView{.level = slot.block.level,
+                                                  .coeffs = slot.block.coeffs,
+                                                  .payload = payload});
+}
+
 std::vector<net::LocationId> FaultyChannel::retrievable_locations() const {
   std::vector<net::LocationId> out = dist_.surviving_locations();
   if (!crashed_.empty()) {
@@ -64,7 +78,34 @@ FetchReply FaultyChannel::fetch(net::LocationId loc, Rng& rng) {
     }
   }
 
-  reply.bytes = codes::encode_wire(dist_.params().scheme, slot->block);
+  const bool wire_damage_follows = drawn == net::FaultClass::kCorruption ||
+                                   drawn == net::FaultClass::kTruncation;
+  if (plan_.active() && !slot->block.payload.empty() &&
+      plan_.profile(slot->owner).byzantine) {
+    // Deterministic forgery keyed on (node, location): the node tells the
+    // same lie on every refetch, and being Byzantine costs no Rng draws.
+    std::uint64_t sm = (static_cast<std::uint64_t>(slot->owner) << 32) ^
+                       static_cast<std::uint64_t>(loc) ^ 0x5D43C0DEBAD0B10CULL;
+    const std::uint64_t h = splitmix64_next(sm);
+    reply.bytes = serve_damaged(*slot, h % slot->block.payload.size(),
+                                static_cast<std::uint8_t>(1 + (h >> 32) % 255));
+    if (!wire_damage_follows) ++injected_.byzantine_frames;
+  } else {
+    if (drawn == net::FaultClass::kBitRotAtRest && !slot->block.payload.empty() &&
+        !rot_.contains(loc)) {
+      RotDamage dmg;
+      dmg.offset = rng.uniform(slot->block.payload.size());
+      dmg.mask = static_cast<std::uint8_t>(1 + rng.uniform(255));
+      rot_.emplace(loc, dmg);
+      ++injected_.rotted_locations;
+    }
+    if (const auto it = rot_.find(loc); it != rot_.end()) {
+      reply.bytes = serve_damaged(*slot, it->second.offset, it->second.mask);
+      if (!wire_damage_follows) ++injected_.bitrot_frames;
+    } else {
+      reply.bytes = codes::encode_wire(dist_.params().scheme, slot->block);
+    }
+  }
   if (drawn == net::FaultClass::kCorruption) {
     // Flip 1-3 bits inside one random byte: a <32-bit burst, so CRC-32
     // detection is guaranteed, never probabilistic.

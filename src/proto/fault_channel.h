@@ -16,6 +16,14 @@
 //      reply still claims success, and only decode_wire's CRC/bounds
 //      checks can unmask it downstream, exactly like a real wire.
 //
+// Two fault classes are *silent*: the frame they produce is well-formed
+// and carries a valid CRC, so nothing below a fingerprint check can see
+// them. kBitRotAtRest damages the stored payload before serialization
+// (sticky per location — refetches serve the same rotten bytes), and
+// Byzantine nodes (NodeFaultProfile::byzantine) forge one payload byte of
+// every frame they serve, deterministically per (node, location), so the
+// lie is consistent across retries and costs no Rng draws.
+//
 // A channel built with the default (null) FaultPlan is a pure
 // serialization hop: no Rng draws, pristine bytes — which is how the
 // ordinary collect() path exercises the wire format on every fetch
@@ -23,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -51,6 +60,16 @@ struct InjectedFaults {
   std::size_t corruptions = 0;
   std::size_t truncations = 0;
   std::size_t crashes = 0;
+  /// Frames delivered with at-rest rot under a fresh, valid CRC — the
+  /// wire checks pass, only a fingerprint can unmask them. Counted only
+  /// when the frame is not additionally wire-damaged in the same attempt
+  /// (a rotten-then-truncated frame never reaches the fingerprint check).
+  std::size_t bitrot_frames = 0;
+  /// Well-formed frames served by Byzantine nodes with a forged payload;
+  /// same not-additionally-wire-damaged accounting as bitrot_frames.
+  std::size_t byzantine_frames = 0;
+  /// Distinct stored locations that have rotted so far.
+  std::size_t rotted_locations = 0;
 };
 
 class FaultyChannel {
@@ -78,10 +97,26 @@ class FaultyChannel {
   /// nothing.
   FetchReply fetch(net::LocationId loc, Rng& rng);
 
+  /// Whether the stored replica at `loc` has rotted (sticky — survives
+  /// refetches). Tests compare this ground truth against the collector's
+  /// localization.
+  bool location_rotten(net::LocationId loc) const { return rot_.contains(loc); }
+
  private:
+  /// Sticky at-rest damage: one payload byte offset and a nonzero xor
+  /// mask, drawn once when the location first rots.
+  struct RotDamage {
+    std::size_t offset = 0;
+    std::uint8_t mask = 0;
+  };
+
+  std::vector<std::uint8_t> serve_damaged(const StoredBlock& slot,
+                                          std::size_t offset, std::uint8_t mask) const;
+
   const Predistribution& dist_;
   net::FaultPlan plan_;
   std::unordered_set<net::NodeId> crashed_;
+  std::unordered_map<net::LocationId, RotDamage> rot_;
   InjectedFaults injected_;
 };
 

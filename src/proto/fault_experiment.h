@@ -6,7 +6,7 @@
 // deployment per trial (overlay + dissemination + an optional mass-
 // failure wave), then for each fault scale an independent FaultyChannel
 // is built from the scaled FaultSpec and a fresh decoder collects through
-// collect_resilient. Reported per point: decoded levels plus the
+// collect(channel, ...). Reported per point: decoded levels plus the
 // self-healing ledger (retries, hedges, per-class fault counts, blocks
 // written off).
 //

@@ -6,6 +6,7 @@
 #include <deque>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "analysis/count_model.h"
@@ -51,12 +52,19 @@ struct Block {
   std::uint32_t host = kNoHost;
   std::uint32_t level = 0;
   std::uint32_t source = 0;  ///< replication mode: which source block this copies
+  /// Bumped every time the block leaves a host; a kRot event carrying an
+  /// older generation refers to bytes that no longer exist and is stale.
+  std::uint32_t generation = 0;
+  /// Silently corrupt: excluded from counts_ (ground truth) but still
+  /// occupying its host until a scrub — or the host's failure — frees it.
+  bool rotten = false;
 };
 
 struct SimEvent {
-  enum class Kind : std::uint8_t { kJoin, kRepairDone };
+  enum class Kind : std::uint8_t { kJoin, kRepairDone, kRot, kScrub };
   Kind kind = Kind::kJoin;
-  std::uint32_t id = 0;  ///< kJoin: node slot; kRepairDone: block index
+  std::uint32_t id = 0;          ///< kJoin: node slot; kRepairDone/kRot: block index
+  std::uint32_t generation = 0;  ///< kRot: blocks_[id].generation at schedule time
 };
 
 /// The simulator's own MembershipView: a flat alive bitmap. Node state
@@ -107,11 +115,18 @@ class ClusterTrial {
 
  private:
   void place_blocks();
+  void seed_integrity();
+  bool is_byzantine(std::uint32_t node) const;
+  void schedule_rot(std::uint32_t block, double now);
   std::size_t decoded_levels() const;
   void record_losses(double now);
+  void enqueue_repair(std::uint32_t block);
+  void detach_block(std::uint32_t block);
   void lose_block(std::uint32_t block, double now);
   void on_failure(const FailureEvent& event);
   void on_join(std::uint32_t node);
+  void on_rot(std::uint32_t block, std::uint32_t generation, double now);
+  void on_scrub(double now);
   void on_repair_done(std::uint32_t block, double now);
   void dispatch_repairs(double now);
   bool repairable(const Block& block) const;
@@ -133,6 +148,9 @@ class ClusterTrial {
   std::vector<std::size_t> counts_;        ///< surviving coded blocks per level
   std::vector<std::uint32_t> copies_;      ///< replication: copies per source block
   std::vector<std::size_t> zero_sources_;  ///< replication: dead sources per level
+
+  std::uint64_t byz_salt_ = 0;  ///< stateless Byzantine membership hash salt
+  std::unordered_set<std::uint32_t> quarantined_;
 
   EventQueue<SimEvent> queue_;
   std::vector<std::deque<std::uint32_t>> level_queue_;  ///< priority-aware repair backlog
@@ -184,6 +202,47 @@ void ClusterTrial::place_blocks() {
   }
 }
 
+/// Post-placement silent-corruption setup. Everything here is gated on
+/// the integrity knobs so an integrity-off trial consumes exactly the
+/// draw stream of the pre-integrity simulator.
+void ClusterTrial::seed_integrity() {
+  const IntegrityConfig& integrity = params_.integrity;
+  if (!integrity.active()) return;
+  if (integrity.byzantine_fraction > 0.0) byz_salt_ = rng_();
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (is_byzantine(blocks_[b].host)) {
+      // Forged from birth: the host stores a well-formed lie.
+      blocks_[b].rotten = true;
+      --counts_[blocks_[b].level];
+      ++outcome_.rot_events;
+    } else if (integrity.rot_rate > 0.0) {
+      schedule_rot(b, 0.0);
+    }
+  }
+  if (integrity.scrub_interval > 0.0 && integrity.scrub_interval <= params_.max_time) {
+    queue_.push(integrity.scrub_interval, SimEvent{SimEvent::Kind::kScrub, 0, 0});
+  }
+}
+
+bool ClusterTrial::is_byzantine(std::uint32_t node) const {
+  if (params_.integrity.byzantine_fraction <= 0.0) return false;
+  // Stateless membership: 10^6 nodes must not cost 10^6 Bernoulli draws,
+  // and a slot must stay Byzantine across fail/rejoin.
+  std::uint64_t state = byz_salt_ ^ (0x9e3779b97f4a7c15ULL * (node + 1ULL));
+  const double u = static_cast<double>(splitmix64_next(state) >> 11) * 0x1.0p-53;
+  return u < params_.integrity.byzantine_fraction;
+}
+
+/// Draw the block's next exponential rot time. One draw per call whenever
+/// rot_rate > 0 — also when the sample lands past the horizon — so the
+/// stream stays aligned across parameter sweeps that share a seed.
+void ClusterTrial::schedule_rot(std::uint32_t block, double now) {
+  const double u = rng_.uniform_double();
+  const double at = now - std::log(1.0 - u) / params_.integrity.rot_rate;
+  if (at > params_.max_time) return;
+  queue_.push(at, SimEvent{SimEvent::Kind::kRot, block, blocks_[block].generation});
+}
+
 std::size_t ClusterTrial::decoded_levels() const {
   if (!params_.replication) {
     return analysis::levels_from_counts(params_.experiment.scheme, spec_, counts_);
@@ -209,17 +268,38 @@ void ClusterTrial::record_losses(double now) {
   if (outcome_.lost[0]) terminal_ = true;
 }
 
-void ClusterTrial::lose_block(std::uint32_t block, double now) {
-  Block& b = blocks_[block];
-  b.host = kNoHost;
-  --counts_[b.level];
-  if (params_.replication && --copies_[b.source] == 0) ++zero_sources_[b.level];
+void ClusterTrial::enqueue_repair(std::uint32_t block) {
   if (params_.repair.policy == RepairPolicy::kNone || terminal_) return;
   if (params_.repair.policy == RepairPolicy::kPriorityAware) {
-    level_queue_[b.level].push_back(block);
+    level_queue_[blocks_[block].level].push_back(block);
   } else {
     fifo_queue_.push_back(block);
   }
+}
+
+/// Unlink a still-hosted block from its host's lazily materialized list
+/// (scrub frees it while the host stays alive; failures bulk-erase the
+/// whole list instead).
+void ClusterTrial::detach_block(std::uint32_t block) {
+  const auto it = host_blocks_.find(blocks_[block].host);
+  PRLC_ASSERT(it != host_blocks_.end(), "detaching from an unknown host");
+  std::erase(it->second, block);
+  if (it->second.empty()) host_blocks_.erase(it);
+}
+
+void ClusterTrial::lose_block(std::uint32_t block, double now) {
+  Block& b = blocks_[block];
+  b.host = kNoHost;
+  ++b.generation;
+  if (b.rotten) {
+    // Already off the count ledger since it rotted; the loud failure just
+    // surfaces the loss to the repair scheduler.
+    b.rotten = false;
+  } else {
+    --counts_[b.level];
+    if (params_.replication && --copies_[b.source] == 0) ++zero_sources_[b.level];
+  }
+  enqueue_repair(block);
   (void)now;
 }
 
@@ -239,6 +319,45 @@ void ClusterTrial::on_failure(const FailureEvent& event) {
 void ClusterTrial::on_join(std::uint32_t node) {
   membership_.join(node);
   ++outcome_.joins;
+}
+
+void ClusterTrial::on_rot(std::uint32_t block, std::uint32_t generation, double now) {
+  Block& b = blocks_[block];
+  // Stale: the bytes this clock was armed for left the host (failure,
+  // scrub, repair round-trip) before the clock fired.
+  if (b.generation != generation || b.host == kNoHost || b.rotten) return;
+  b.rotten = true;
+  --counts_[b.level];
+  ++outcome_.rot_events;
+  // Ground truth degrades now; the repair scheduler only learns at the
+  // next scrub (or when the host dies loudly).
+  record_losses(now);
+}
+
+void ClusterTrial::on_scrub(double now) {
+  ++outcome_.scrub_scans;
+  // Full scan in block-index order: detection within one tick is
+  // deterministic and independent of hash-map iteration order.
+  for (std::uint32_t block = 0; block < blocks_.size(); ++block) {
+    Block& b = blocks_[block];
+    if (b.host == kNoHost || !b.rotten) continue;
+    ++outcome_.rot_detected;
+    obs::emit(obs::EventType::kIntegrityViolation, static_cast<double>(b.host),
+              static_cast<double>(block));
+    if (is_byzantine(b.host) && quarantined_.insert(b.host).second) {
+      ++outcome_.quarantined_nodes;
+      obs::emit(obs::EventType::kNodeQuarantined, static_cast<double>(b.host));
+    }
+    detach_block(block);
+    b.host = kNoHost;
+    b.rotten = false;
+    ++b.generation;
+    enqueue_repair(block);
+  }
+  const double next = now + params_.integrity.scrub_interval;
+  if (next <= params_.max_time) {
+    queue_.push(next, SimEvent{SimEvent::Kind::kScrub, 0, 0});
+  }
 }
 
 bool ClusterTrial::repairable(const Block& block) const {
@@ -282,24 +401,40 @@ void ClusterTrial::dispatch_repairs(double now) {
 void ClusterTrial::on_repair_done(std::uint32_t block, double now) {
   ++free_streams_;
   Block& b = blocks_[block];
+  // Quarantined hosts never receive repairs. Cheap bound first: alive >
+  // |quarantined| guarantees an eligible host; only when that fails count
+  // the alive quarantined exactly (set iteration order doesn't matter for
+  // a count).
+  bool placeable = membership_.alive_count() > quarantined_.size();
+  if (!placeable && membership_.alive_count() > 0) {
+    std::size_t alive_quarantined = 0;
+    for (const std::uint32_t q : quarantined_) alive_quarantined += membership_.alive(q);
+    placeable = membership_.alive_count() > alive_quarantined;
+  }
   // The level may have gone under while the repair was in flight; the
   // re-encode has nothing valid to draw on, so the work is abandoned.
-  if (!repairable(b) || membership_.alive_count() == 0) {
+  if (!repairable(b) || !placeable) {
     ++outcome_.repairs_dropped;
     return;
   }
   std::uint32_t host;
   do {
     host = static_cast<std::uint32_t>(rng_.uniform(params_.nodes));
-  } while (!membership_.alive(host));
+  } while (!membership_.alive(host) || quarantined_.contains(host));
   b.host = host;
   host_blocks_[host].push_back(block);
-  ++counts_[b.level];
-  if (params_.replication && copies_[b.source]++ == 0) --zero_sources_[b.level];
   ++outcome_.repairs_completed;
   outcome_.repair_traffic += static_cast<double>(params_.repair.fetch_blocks + 1);
+  if (is_byzantine(host)) {
+    // Landed on an undetected Byzantine host: stored forged, never counted.
+    b.rotten = true;
+    ++outcome_.rot_events;
+  } else {
+    ++counts_[b.level];
+    if (params_.replication && copies_[b.source]++ == 0) --zero_sources_[b.level];
+    if (params_.integrity.rot_rate > 0.0) schedule_rot(block, now);
+  }
   decoded_ = decoded_levels();  // a repair can revive a higher level (PLC)
-  (void)now;
 }
 
 void ClusterTrial::drain_samples(double upto) {
@@ -331,8 +466,11 @@ void ClusterTrial::finish(double final_time) {
 
 LifetimeOutcome ClusterTrial::run() {
   place_blocks();
+  seed_integrity();
   process_ = make_failure_process(params_.experiment.failure);
-  record_losses(0.0);  // an undersized placement is a loss at t = 0
+  // An undersized placement — or one forged hollow by Byzantine hosts —
+  // is a loss at t = 0.
+  record_losses(0.0);
 
   while (!terminal_) {
     const double queue_time = queue_.empty() ? kInf : queue_.top().time;
@@ -353,10 +491,19 @@ LifetimeOutcome ClusterTrial::run() {
       drain_samples(now);
       ++outcome_.events;
       const auto entry = queue_.pop();
-      if (entry.payload.kind == SimEvent::Kind::kJoin) {
-        on_join(entry.payload.id);
-      } else {
-        on_repair_done(entry.payload.id, entry.time);
+      switch (entry.payload.kind) {
+        case SimEvent::Kind::kJoin:
+          on_join(entry.payload.id);
+          break;
+        case SimEvent::Kind::kRepairDone:
+          on_repair_done(entry.payload.id, entry.time);
+          break;
+        case SimEvent::Kind::kRot:
+          on_rot(entry.payload.id, entry.payload.generation, entry.time);
+          break;
+        case SimEvent::Kind::kScrub:
+          on_scrub(entry.time);
+          break;
       }
     } else {
       break;  // nothing left inside the horizon
@@ -394,6 +541,15 @@ void RepairConfig::validate() const {
   PRLC_REQUIRE(fetch_blocks > 0, "re-encoding must fetch at least one block");
 }
 
+void IntegrityConfig::validate() const {
+  PRLC_REQUIRE(rot_rate >= 0.0 && std::isfinite(rot_rate),
+               "rot rate must be a finite nonnegative hazard");
+  PRLC_REQUIRE(byzantine_fraction >= 0.0 && byzantine_fraction <= 1.0,
+               "byzantine fraction must be in [0,1]");
+  PRLC_REQUIRE(scrub_interval >= 0.0 && std::isfinite(scrub_interval),
+               "scrub interval must be finite and nonnegative");
+}
+
 void ClusterParams::validate() const {
   PRLC_REQUIRE(nodes > 0, "cluster needs at least one node");
   PRLC_REQUIRE(max_time > 0.0, "max_time must be positive");
@@ -406,6 +562,10 @@ void ClusterParams::validate() const {
     PRLC_REQUIRE(sample_times[i - 1] <= sample_times[i],
                  "sample times must be nondecreasing");
   }
+  integrity.validate();
+  PRLC_REQUIRE(!replication || !integrity.active(),
+               "silent-corruption model needs coded storage; replication mode "
+               "has no fingerprintable coded blocks");
   experiment.validate();
   repair.validate();
 }
@@ -426,6 +586,7 @@ ClusterPoint run_cluster_lifetime(const ClusterParams& params) {
   std::vector<RunningStats> lost(levels);
   std::vector<RunningStats> at(params.sample_times.size());
   RunningStats failures, joins, repairs, dropped, traffic, events;
+  RunningStats rotted, detected, scrubs, quarantined;
   double peak = 0;
   // Slot order is trial order: the merge is bit-identical at any --threads.
   for (const LifetimeOutcome& o : outcomes) {
@@ -440,6 +601,10 @@ ClusterPoint run_cluster_lifetime(const ClusterParams& params) {
     dropped.add(static_cast<double>(o.repairs_dropped));
     traffic.add(o.repair_traffic);
     events.add(static_cast<double>(o.events));
+    rotted.add(static_cast<double>(o.rot_events));
+    detected.add(static_cast<double>(o.rot_detected));
+    scrubs.add(static_cast<double>(o.scrub_scans));
+    quarantined.add(static_cast<double>(o.quarantined_nodes));
     peak = std::max(peak, static_cast<double>(o.peak_queue));
   }
 
@@ -461,6 +626,10 @@ ClusterPoint run_cluster_lifetime(const ClusterParams& params) {
   point.mean_repair_traffic = traffic.mean();
   point.mean_events = events.mean();
   point.max_peak_queue = peak;
+  point.mean_rot_events = rotted.mean();
+  point.mean_rot_detected = detected.mean();
+  point.mean_scrub_scans = scrubs.mean();
+  point.mean_quarantined = quarantined.mean();
   return point;
 }
 

@@ -5,14 +5,18 @@
 // One trial is one whole cluster lifetime: W nodes (lazily materialized —
 // only nodes holding blocks get any per-node storage beyond one byte of
 // liveness), M stored coded blocks partitioned over the priority levels,
-// a FailureProcess streaming (time, node) deaths, and three event kinds
+// a FailureProcess streaming (time, node) deaths, and five event kinds
 // on a deterministic (time, seq) queue:
 //
 //   * failure — the node dies, its blocks are lost, a replacement join is
 //     scheduled, and the lost blocks enter the repair scheduler;
 //   * join    — the slot comes back alive with empty storage;
 //   * repair  — a repair stream finishes re-encoding one lost block onto
-//     a random alive node.
+//     a random alive, non-quarantined node;
+//   * rot     — a stored block silently corrupts (IntegrityConfig): ground
+//     truth degrades now, the scheduler doesn't know yet;
+//   * scrub   — periodic fingerprint scan: rotten blocks are detected and
+//     fed to the repair scheduler, Byzantine hosts are quarantined.
 //
 // Decodability is evaluated on the count model (analysis/count_model.h):
 // at 10^6 nodes no Galois-field work happens — whether the first k levels
@@ -76,6 +80,28 @@ struct RepairConfig {
   void validate() const;
 };
 
+/// Silent-corruption model for the cluster simulator (DESIGN §13): blocks
+/// rot at rest under a per-block exponential clock, Byzantine hosts serve
+/// forged blocks from the moment they store them, and a periodic scrubber
+/// is the only way the repair scheduler learns about either. Ground-truth
+/// decodability reflects a rotten block immediately; the repair backlog
+/// only sees it once a scrub scan detects it — the detection lag is the
+/// quantity the scrub-interval sweep measures. The first detection on a
+/// Byzantine host quarantines it: repairs never target quarantined hosts.
+struct IntegrityConfig {
+  double rot_rate = 0.0;  ///< per-block at-rest rot hazard (events per unit time)
+  /// Fraction of node slots that are Byzantine (membership by stateless
+  /// hash, so a slot stays Byzantine across fail/rejoin). Blocks stored on
+  /// them are forged from birth.
+  double byzantine_fraction = 0.0;
+  /// Scrub period; 0 disables scrubbing (silent damage is then only
+  /// discovered when its host fails loudly).
+  double scrub_interval = 0.0;
+
+  bool active() const { return rot_rate > 0.0 || byzantine_fraction > 0.0; }
+  void validate() const;
+};
+
 struct ClusterParams {
   std::size_t nodes = 100000;  ///< cluster size W (10^6 is in budget)
   /// Stored coded blocks M; 0 = 2x the spec's source-block count. In
@@ -90,6 +116,7 @@ struct ClusterParams {
   /// the churn model (experiment.failure).
   proto::ExperimentConfig experiment;
   RepairConfig repair;
+  IntegrityConfig integrity;  ///< silent corruption + scrubbing (coded modes only)
 
   void validate() const;
 };
@@ -108,6 +135,10 @@ struct LifetimeOutcome {
   double repair_traffic = 0;        ///< blocks transferred by completed repairs
   std::size_t events = 0;           ///< events processed
   std::size_t peak_queue = 0;       ///< max pending events
+  std::size_t rot_events = 0;       ///< blocks that silently rotted (incl. forged-at-birth)
+  std::size_t rot_detected = 0;     ///< rotten blocks a scrub scan caught
+  std::size_t scrub_scans = 0;      ///< scrub ticks executed
+  std::size_t quarantined_nodes = 0;  ///< Byzantine hosts quarantined
 };
 
 /// Trial aggregate across `experiment.trials` lifetimes.
@@ -124,6 +155,10 @@ struct ClusterPoint {
   double mean_repair_traffic = 0;
   double mean_events = 0;
   double max_peak_queue = 0;
+  double mean_rot_events = 0;
+  double mean_rot_detected = 0;
+  double mean_scrub_scans = 0;
+  double mean_quarantined = 0;
 };
 
 /// One cluster lifetime with explicit randomness — the deterministic unit

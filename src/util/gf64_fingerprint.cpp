@@ -1,0 +1,174 @@
+#include "util/gf64_fingerprint.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prlc::util {
+
+namespace {
+
+// x^64 = x^4 + x^3 + x + 1 over GF(2). Folding the high word multiplies
+// it by this low-degree remainder; the product reaches at most bit 67, so
+// one second fold of those four bits finishes the reduction.
+inline unsigned __int128 fold(std::uint64_t hi) {
+  const auto h = static_cast<unsigned __int128>(hi);
+  return (h << 4) ^ (h << 3) ^ (h << 1) ^ h;
+}
+
+}  // namespace
+
+std::uint64_t gf64_mul(std::uint64_t a, std::uint64_t b) {
+  unsigned __int128 acc = 0;
+  unsigned __int128 shifted = a;
+  while (b != 0) {
+    if (b & 1) acc ^= shifted;
+    shifted <<= 1;
+    b >>= 1;
+  }
+  std::uint64_t lo = static_cast<std::uint64_t>(acc);
+  const unsigned __int128 first = fold(static_cast<std::uint64_t>(acc >> 64));
+  lo ^= static_cast<std::uint64_t>(first);
+  lo ^= static_cast<std::uint64_t>(fold(static_cast<std::uint64_t>(first >> 64)));
+  return lo;
+}
+
+std::uint64_t gf64_pow(std::uint64_t a, std::uint64_t e) {
+  std::uint64_t result = 1;
+  std::uint64_t base = a;
+  while (e != 0) {
+    if (e & 1) result = gf64_mul(result, base);
+    base = gf64_mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+/// p(b) for the GF(2^8) modulus 0x11D = x^8 + x^4 + x^3 + x^2 + 1,
+/// evaluated in GF(2^64).
+std::uint64_t eval_gf256_modulus(std::uint64_t b) {
+  const std::uint64_t b2 = gf64_mul(b, b);
+  const std::uint64_t b3 = gf64_mul(b2, b);
+  const std::uint64_t b4 = gf64_mul(b2, b2);
+  const std::uint64_t b8 = gf64_mul(b4, b4);
+  return b8 ^ b4 ^ b3 ^ b2 ^ 1;
+}
+
+/// A root of 0x11D inside GF(2^64). Roots of a degree-8 GF(2)-irreducible
+/// polynomial live in the unique copy of GF(2^8), i.e. the order-255
+/// multiplicative subgroup. Project a candidate onto that subgroup with
+/// the exact cofactor (2^64-1)/255 = 0x0101010101010101, then scan its
+/// powers; if the candidate landed in a proper subgroup (u's order
+/// divides 255 strictly), try the next one.
+std::uint64_t find_embed_root() {
+  constexpr std::uint64_t kCofactor = 0x0101010101010101ULL;
+  for (std::uint64_t t = 2; t < 64; ++t) {
+    const std::uint64_t u = gf64_pow(t, kCofactor);
+    if (u == 1) continue;
+    std::uint64_t b = u;
+    for (int k = 1; k < 255; ++k) {
+      if (eval_gf256_modulus(b) == 0) return b;
+      b = gf64_mul(b, u);
+    }
+  }
+  PRLC_ASSERT(false, "no GF(2^8) root found in GF(2^64)");
+}
+
+const std::array<std::uint64_t, 256>& embed_table() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    const std::uint64_t alpha = find_embed_root();
+    std::array<std::uint64_t, 8> alpha_pow;
+    alpha_pow[0] = 1;
+    for (std::size_t i = 1; i < 8; ++i) alpha_pow[i] = gf64_mul(alpha_pow[i - 1], alpha);
+    std::array<std::uint64_t, 256> out{};
+    for (std::size_t v = 0; v < 256; ++v) {
+      std::uint64_t e = 0;
+      for (std::size_t i = 0; i < 8; ++i) {
+        if (v & (std::size_t{1} << i)) e ^= alpha_pow[i];
+      }
+      out[v] = e;
+    }
+    return out;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t gf64_embed(std::uint8_t value) { return embed_table()[value]; }
+
+Fingerprinter::Fingerprinter(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  do {
+    point_ = splitmix64_next(sm);
+  } while (point_ == 0);
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t b = 0; b < 256; ++b) {
+      table_[k][b] = gf64_mul(static_cast<std::uint64_t>(b) << (8 * k), point_);
+    }
+  }
+  (void)embed_table();  // force the one-time root search off the hot path
+}
+
+std::uint64_t Fingerprinter::mul_point(std::uint64_t acc) const {
+  std::uint64_t out = 0;
+  for (std::size_t k = 0; k < 8; ++k) {
+    out ^= table_[k][(acc >> (8 * k)) & 0xff];
+  }
+  return out;
+}
+
+std::uint64_t Fingerprinter::fingerprint(std::span<const std::uint8_t> payload) const {
+  const std::array<std::uint64_t, 256>& embed = embed_table();
+  std::uint64_t acc = 0;
+  for (const std::uint8_t byte : payload) {
+    acc = mul_point(acc) ^ embed[byte];
+  }
+  return acc;
+}
+
+std::uint64_t Fingerprinter::combine(std::span<const std::uint8_t> coeffs,
+                                     std::span<const std::uint64_t> fingerprints) const {
+  PRLC_REQUIRE(coeffs.size() == fingerprints.size(),
+               "combine needs one fingerprint per coefficient");
+  std::uint64_t acc = 0;
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    if (coeffs[j] == 0) continue;
+    acc ^= gf64_mul(gf64_embed(coeffs[j]), fingerprints[j]);
+  }
+  return acc;
+}
+
+std::uint64_t Fingerprinter::combine_sparse(
+    std::span<const std::uint32_t> indices, std::span<const std::uint8_t> values,
+    std::span<const std::uint64_t> fingerprints) const {
+  PRLC_REQUIRE(indices.size() == values.size(),
+               "sparse combine needs matching index/value spans");
+  std::uint64_t acc = 0;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    PRLC_REQUIRE(indices[k] < fingerprints.size(), "sparse index outside the manifest");
+    if (values[k] == 0) continue;
+    acc ^= gf64_mul(gf64_embed(values[k]), fingerprints[indices[k]]);
+  }
+  return acc;
+}
+
+FingerprintManifest build_manifest(std::uint64_t seed,
+                                   std::span<const std::uint8_t> source,
+                                   std::size_t block_size) {
+  PRLC_REQUIRE(block_size > 0, "manifest block size must be positive");
+  PRLC_REQUIRE(source.size() % block_size == 0,
+               "source bytes must be a whole number of blocks");
+  const Fingerprinter fp(seed);
+  FingerprintManifest manifest;
+  manifest.seed = seed;
+  manifest.block_size = block_size;
+  manifest.fingerprints.reserve(source.size() / block_size);
+  for (std::size_t off = 0; off < source.size(); off += block_size) {
+    manifest.fingerprints.push_back(fp.fingerprint(source.subspan(off, block_size)));
+  }
+  return manifest;
+}
+
+}  // namespace prlc::util

@@ -1,0 +1,105 @@
+// Homomorphic block fingerprints over GF(2^64).
+//
+// A payload is read as a polynomial over GF(2^64) — one field element per
+// byte, through the embedding below — and evaluated at a secret point r
+// (Rabin fingerprinting, but over a binary field so that the algebra of
+// the codes carries through). Two properties make this the right
+// integrity primitive for random linear codes:
+//
+//   * Linearity under coding. GF(2^8) embeds in GF(2^64) (8 divides 64):
+//     fix a root alpha of the code's own modulus x^8+x^4+x^3+x^2+1
+//     (gf::Gf256's 0x11D) inside GF(2^64); then byte -> sum of alpha^i
+//     over its set bits is a FIELD homomorphism, so for equal-length
+//     payloads   fp(sum_j gamma_j * s_j) = sum_j embed(gamma_j) * fp(s_j).
+//     Any coded block is verifiable against the SOURCE-block fingerprint
+//     manifest — per block, with no decoding and no leave-one-out search.
+//
+//   * Schwartz–Zippel soundness. Distinct equal-length payloads agree at
+//     a random r with probability <= (L-1)/2^64 for L-byte payloads: a
+//     forged frame (bit rot behind a recomputed CRC, a Byzantine node
+//     serving payload inconsistent with its claimed coefficients) slips
+//     through with probability ~2^-50 even at 16 KiB blocks.
+//
+// GF(2^64) is GF(2)[x]/(x^64+x^4+x^3+x+1). The per-byte hot path is
+// byte-sliced: multiplication by the fixed point r is 8 table lookups
+// (16 KiB of tables), built once per Fingerprinter.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace prlc::util {
+
+/// Reference carry-less multiply-and-reduce in GF(2^64). Slow (bitwise);
+/// table construction and tests only — the fingerprint path never calls it
+/// per byte.
+std::uint64_t gf64_mul(std::uint64_t a, std::uint64_t b);
+
+/// a^e in GF(2^64) by square-and-multiply.
+std::uint64_t gf64_pow(std::uint64_t a, std::uint64_t e);
+
+/// The field embedding GF(2^8) -> GF(2^64): evaluation of the byte's
+/// polynomial at a root of 0x11D. embed(a*b) = embed(a)*embed(b) and
+/// embed(a^b) = embed(a)^embed(b) (GF(2^8) products per gf::Gf256).
+/// embed(0) = 0, embed(1) = 1. The root is found once at startup.
+std::uint64_t gf64_embed(std::uint8_t value);
+
+/// Seeded fingerprinting context: derives a nonzero evaluation point from
+/// `seed` and precomputes the multiply-by-point tables. The same seed
+/// always yields the same point — a manifest records its seed so any
+/// collector can re-derive the verifier.
+class Fingerprinter {
+ public:
+  explicit Fingerprinter(std::uint64_t seed);
+
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t point() const { return point_; }
+
+  /// Horner evaluation: fp = sum_i embed(payload[i]) * r^(L-1-i).
+  /// Linear in the payload for a fixed length L; fp(empty) = 0.
+  std::uint64_t fingerprint(std::span<const std::uint8_t> payload) const;
+
+  /// Predicted fingerprint of a coded block: sum_j embed(coeffs[j]) *
+  /// fingerprints[j]. Equals fingerprint(coded payload) whenever the
+  /// payload really is that linear combination of the source blocks.
+  std::uint64_t combine(std::span<const std::uint8_t> coeffs,
+                        std::span<const std::uint64_t> fingerprints) const;
+
+  /// Support-only combine for sparse coefficient vectors:
+  /// sum_k embed(values[k]) * fingerprints[indices[k]].
+  std::uint64_t combine_sparse(std::span<const std::uint32_t> indices,
+                               std::span<const std::uint8_t> values,
+                               std::span<const std::uint64_t> fingerprints) const;
+
+ private:
+  /// acc * point_ via the byte-sliced tables.
+  std::uint64_t mul_point(std::uint64_t acc) const;
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t point_ = 0;
+  /// table_[k][b] = (b << 8k) * point_ in GF(2^64).
+  std::array<std::array<std::uint64_t, 256>, 8> table_{};
+};
+
+/// The per-source-block fingerprint manifest a collection verifies
+/// against. Computed by whoever holds the source data (the disseminating
+/// node), shipped beside the coded blocks (codes/wire_format.h gives it a
+/// CRC-framed wire encoding), and valid for any number of coded blocks.
+struct FingerprintManifest {
+  std::uint64_t seed = 0;                     ///< Fingerprinter seed
+  std::size_t block_size = 0;                 ///< payload bytes per block
+  std::vector<std::uint64_t> fingerprints;    ///< one per source block
+
+  bool operator==(const FingerprintManifest&) const = default;
+};
+
+/// Fingerprint every `block_size`-byte block of `source` (laid out
+/// back-to-back, as codes::SourceData stores them).
+FingerprintManifest build_manifest(std::uint64_t seed,
+                                   std::span<const std::uint8_t> source,
+                                   std::size_t block_size);
+
+}  // namespace prlc::util

@@ -122,6 +122,51 @@ TEST(BenchCommonFlagsDeathTest, RejectsNonPositiveAndGarbageRates) {
   EXPECT_EXIT(parse({"--repair-bw", "nan"}), testing::ExitedWithCode(64), "--repair-bw");
 }
 
+TEST(BenchCommonFlags, ParsesIntegrityFlags) {
+  const auto r =
+      parse({"--rot-rate", "0.02", "--byzantine-rate=0.1", "--scrub-interval", "2.5"});
+  ASSERT_TRUE(r.options.rot_rate.has_value());
+  ASSERT_TRUE(r.options.byzantine_rate.has_value());
+  ASSERT_TRUE(r.options.scrub_interval.has_value());
+  EXPECT_DOUBLE_EQ(*r.options.rot_rate, 0.02);
+  EXPECT_DOUBLE_EQ(*r.options.byzantine_rate, 0.1);
+  EXPECT_DOUBLE_EQ(*r.options.scrub_interval, 2.5);
+  EXPECT_TRUE(r.leftover.empty());
+}
+
+TEST(BenchCommonFlags, IntegrityFlagsAcceptZeroAndStayNulloptWhenUnset) {
+  // Unlike --churn-rate, zero is meaningful for all three: rot off,
+  // no Byzantine nodes, scrubbing disabled.
+  const auto zero =
+      parse({"--rot-rate", "0", "--byzantine-rate", "0", "--scrub-interval", "0"});
+  EXPECT_DOUBLE_EQ(*zero.options.rot_rate, 0.0);
+  EXPECT_DOUBLE_EQ(*zero.options.byzantine_rate, 0.0);
+  EXPECT_DOUBLE_EQ(*zero.options.scrub_interval, 0.0);
+  const auto unset = parse({"--trials", "3"});
+  EXPECT_FALSE(unset.options.rot_rate.has_value());
+  EXPECT_FALSE(unset.options.byzantine_rate.has_value());
+  EXPECT_FALSE(unset.options.scrub_interval.has_value());
+}
+
+TEST(BenchCommonFlagsDeathTest, RejectsMalformedIntegrityFlags) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(parse({"--rot-rate", "-0.1"}), testing::ExitedWithCode(64), "--rot-rate");
+  EXPECT_EXIT(parse({"--rot-rate", "fast"}), testing::ExitedWithCode(64), "--rot-rate");
+  EXPECT_EXIT(parse({"--rot-rate", "inf"}), testing::ExitedWithCode(64), "--rot-rate");
+  EXPECT_EXIT(parse({"--byzantine-rate", "1.5"}), testing::ExitedWithCode(64),
+              "--byzantine-rate");
+  EXPECT_EXIT(parse({"--byzantine-rate", "-0.2"}), testing::ExitedWithCode(64),
+              "--byzantine-rate");
+  EXPECT_EXIT(parse({"--byzantine-rate", "lots"}), testing::ExitedWithCode(64),
+              "--byzantine-rate");
+  EXPECT_EXIT(parse({"--scrub-interval", "-1"}), testing::ExitedWithCode(64),
+              "--scrub-interval");
+  EXPECT_EXIT(parse({"--scrub-interval", "nan"}), testing::ExitedWithCode(64),
+              "--scrub-interval");
+  EXPECT_EXIT(parse({"--scrub-interval"}), testing::ExitedWithCode(64),
+              "missing its value");
+}
+
 TEST(BenchCommonFlagsDeathTest, RejectsUnknownArgumentsUnlessKept) {
   testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_EXIT(parse({"--frobnicate"}), testing::ExitedWithCode(64), "unknown argument");

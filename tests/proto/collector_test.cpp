@@ -4,7 +4,9 @@
 
 #include "net/chord_network.h"
 #include "net/churn.h"
+#include "obs/metrics.h"
 #include "util/check.h"
+#include "util/gf64_fingerprint.h"
 
 namespace prlc::proto {
 namespace {
@@ -331,28 +333,179 @@ TEST(ResilientCollector, TargetLevelsStillStopsEarlyUnderFaults) {
   EXPECT_LT(outcome.result.blocks_retrieved, 60u);
 }
 
-// The deprecated collect_resilient name must keep working (and keep its
-// trailing trace flag) until callers have migrated.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ResilientCollector, DeprecatedShimForwardsToCollect) {
+// --- satellite regression: CRC rejection routes around the bad node ------
+
+TEST(ResilientCollector, WireRejectedBlockRetriesAgainstADifferentNode) {
   FaultHarness h;
-  auto d1 = h.decoder();
-  Rng r1(31);
-  FaultyChannel c1(h.pd);
-  const CollectionOutcome via_shim = collect_resilient(c1, d1, {}, r1, /*trace=*/true);
-  auto d2 = h.decoder();
-  Rng r2(31);
-  FaultyChannel c2(h.pd);
-  CollectorOptions opt;
-  opt.trace = true;
-  const CollectionOutcome direct = collect(c2, d2, opt, r2);
-  EXPECT_EQ(via_shim.result.decoded_levels, direct.result.decoded_levels);
-  EXPECT_EQ(via_shim.result.blocks_retrieved, direct.result.blocks_retrieved);
-  EXPECT_EQ(via_shim.result.level_trace, direct.result.level_trace);
-  EXPECT_EQ(r1(), r2());  // identical draw streams through the shim
+  obs::set_enabled(true);
+  const std::uint64_t corrupt_before = obs::counter("collector.corrupt_blocks").value();
+  net::FaultSpec faults;
+  faults.corrupt_rate = 0.5;
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.trace = true;
+  const CollectionOutcome outcome = collect(channel, decoder, options, h.rng);
+  ASSERT_GT(outcome.faults.wire_errors, 0u);
+  // Every CRC rejection increments collector.corrupt_blocks...
+  EXPECT_EQ(obs::counter("collector.corrupt_blocks").value() - corrupt_before,
+            outcome.faults.wire_errors);
+  // ...and the rejected frame never reached the decoder: only delivered
+  // frames count as retrieved, and everything decoded verifies.
+  std::size_t delivered = 0;
+  for (const FetchAttempt& a : outcome.fetch_log) delivered += a.delivered ? 1 : 0;
+  EXPECT_EQ(delivered, outcome.result.blocks_retrieved);
+  h.expect_verified(decoder);
+  // A wire rejection defers the location: the immediately following fetch
+  // targets a *different* location — i.e. the collector routes around the
+  // node that just served garbage instead of hammering it in place.
+  std::size_t rejections_followed = 0, different_node = 0;
+  for (std::size_t i = 0; i + 1 < outcome.fetch_log.size(); ++i) {
+    if (!outcome.fetch_log[i].wire_rejected) continue;
+    ++rejections_followed;
+    EXPECT_NE(outcome.fetch_log[i + 1].location, outcome.fetch_log[i].location);
+    different_node += outcome.fetch_log[i + 1].node != outcome.fetch_log[i].node ? 1 : 0;
+  }
+  ASSERT_GT(rejections_followed, 0u);
+  EXPECT_GT(different_node, 0u);
 }
-#pragma GCC diagnostic pop
+
+// --- integrity: fingerprint manifest against silent corruption -----------
+
+/// Flatten the harness's source data and fingerprint it.
+util::FingerprintManifest make_manifest(const FaultHarness& h,
+                                        std::uint64_t seed = 4242) {
+  std::vector<std::uint8_t> flat;
+  for (std::size_t j = 0; j < h.spec.total(); ++j) {
+    const auto row = h.source.block(j);
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  return util::build_manifest(seed, flat, h.params.block_size);
+}
+
+TEST(IntegrityCollector, CleanChannelWithManifestHasZeroViolations) {
+  FaultHarness h;
+  const auto manifest = make_manifest(h);
+  FaultyChannel channel(h.pd);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.manifest = &manifest;
+  const CollectionOutcome outcome = collect(channel, decoder, options, h.rng);
+  EXPECT_EQ(outcome.faults.integrity_violations, 0u);
+  EXPECT_EQ(outcome.quarantined_nodes, 0u);
+  EXPECT_EQ(outcome.result.decoded_levels, 3u);
+  h.expect_verified(decoder);
+}
+
+TEST(IntegrityCollector, BitRotIsDetectedLocalizedAndQuarantined) {
+  FaultHarness h;
+  const auto manifest = make_manifest(h);
+  net::FaultSpec faults;
+  faults.bitrot_rate = 1.0;  // every stored replica rots on first touch
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.manifest = &manifest;
+  options.trace = true;
+  CollectionOutcome outcome;
+  ASSERT_NO_THROW(outcome = collect(channel, decoder, options, h.rng));
+  // Every delivered frame was rotten; the fingerprint caught each one and
+  // not a single wrong byte reached the decoder.
+  EXPECT_GT(outcome.faults.integrity_violations, 0u);
+  EXPECT_GT(outcome.quarantined_nodes, 0u);
+  EXPECT_EQ(outcome.result.blocks_retrieved, 0u);
+  EXPECT_EQ(outcome.result.decoded_levels, 0u);
+  EXPECT_TRUE(outcome.degraded);
+  // Localization: each violation names a location the channel really rotted.
+  for (const FetchAttempt& a : outcome.fetch_log) {
+    if (a.integrity_rejected) EXPECT_TRUE(channel.location_rotten(a.location));
+    EXPECT_FALSE(a.delivered);
+  }
+  h.expect_verified(decoder);  // vacuous but proves no garbage decoded
+}
+
+TEST(IntegrityCollector, ByzantineMinorityIsLocalizedAndDecodingSurvives) {
+  FaultHarness h;
+  const auto manifest = make_manifest(h);
+  net::FaultSpec faults;
+  faults.byzantine_fraction = 0.2;
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.manifest = &manifest;
+  options.trace = true;
+  const CollectionOutcome outcome = collect(channel, decoder, options, h.rng);
+  // Violations localize exactly: only genuinely Byzantine nodes are ever
+  // accused, and every quarantine followed a real forgery.
+  std::size_t violations = 0;
+  for (const FetchAttempt& a : outcome.fetch_log) {
+    if (!a.integrity_rejected) continue;
+    ++violations;
+    EXPECT_TRUE(channel.plan().profile(a.node).byzantine) << a.node;
+  }
+  EXPECT_EQ(violations, outcome.faults.integrity_violations);
+  EXPECT_GT(outcome.faults.integrity_violations, 0u);
+  EXPECT_GT(outcome.quarantined_nodes, 0u);
+  // 60 locations for 20 unknowns: the honest majority still decodes all
+  // levels, and every decoded byte is correct.
+  EXPECT_EQ(outcome.result.decoded_levels, 3u);
+  h.expect_verified(decoder);
+}
+
+TEST(IntegrityCollector, WithoutAManifestForgedPayloadsPoisonTheDecode) {
+  // The counterfactual that makes the manifest load-bearing: an all-
+  // Byzantine channel serves CRC-valid forgeries, the decoder happily
+  // solves the forged system, and the output is wrong.
+  FaultHarness h;
+  net::FaultSpec faults;
+  faults.byzantine_fraction = 1.0;
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  const CollectionOutcome outcome = collect(channel, decoder, {}, h.rng);
+  EXPECT_EQ(outcome.faults.integrity_violations, 0u);  // nothing to catch it
+  ASSERT_EQ(outcome.result.decoded_levels, 3u);
+  bool any_wrong = false;
+  for (std::size_t j = 0; j < h.spec.total(); ++j) {
+    if (!decoder.is_block_decoded(j)) continue;
+    const auto got = decoder.recovered(j);
+    const auto want = h.source.block(j);
+    if (!std::equal(got.begin(), got.end(), want.begin(), want.end())) any_wrong = true;
+  }
+  EXPECT_TRUE(any_wrong);
+}
+
+TEST(IntegrityCollector, MixedSilentAndLoudFaultsNeverYieldWrongBytes) {
+  // The acceptance criterion: under any injected silent-corruption mix the
+  // decoder must never return wrong source bytes.
+  FaultHarness h;
+  const auto manifest = make_manifest(h);
+  net::FaultSpec faults;
+  faults.bitrot_rate = 0.1;
+  faults.byzantine_fraction = 0.15;
+  faults.corrupt_rate = 0.1;
+  faults.truncate_rate = 0.05;
+  faults.timeout_rate = 0.1;
+  auto channel = h.channel(faults);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.manifest = &manifest;
+  CollectionOutcome outcome;
+  ASSERT_NO_THROW(outcome = collect(channel, decoder, options, h.rng));
+  h.expect_verified(decoder);
+  EXPECT_GT(outcome.faults.integrity_violations, 0u);
+}
+
+TEST(IntegrityCollector, ManifestMustMatchTheSpec) {
+  FaultHarness h;
+  util::FingerprintManifest wrong;
+  wrong.seed = 1;
+  wrong.block_size = h.params.block_size;
+  wrong.fingerprints.resize(h.spec.total() + 1);
+  auto decoder = h.decoder();
+  CollectorOptions options;
+  options.manifest = &wrong;
+  EXPECT_THROW(collect(h.pd, decoder, options, h.rng), PreconditionError);
+}
 
 }  // namespace
 }  // namespace prlc::proto

@@ -135,6 +135,86 @@ TEST(FaultyChannel, FetchRequiresAStoredBlock) {
   EXPECT_THROW(channel.owner_of(0), PreconditionError);
 }
 
+TEST(FaultyChannel, BitRotIsSilentStickyAndLocalized) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  net::FaultSpec spec;
+  spec.bitrot_rate = 1.0;
+  net::FaultPlan plan(spec, h.overlay.nodes(), h.rng);
+  FaultyChannel channel(pd, std::move(plan));
+  const auto locs = channel.retrievable_locations();
+  ASSERT_FALSE(locs.empty());
+  for (net::LocationId loc : locs) {
+    const FetchReply reply = channel.fetch(loc, h.rng);
+    ASSERT_EQ(reply.fault, net::FaultClass::kNone);  // silent
+    // The frame is well-formed: CRC and bounds all pass...
+    const codes::WireBlock wire = codes::decode_wire(reply.bytes);
+    const StoredBlock* slot = pd.stored(loc);
+    // ...but exactly one payload byte differs from the stored truth.
+    EXPECT_EQ(wire.block.coeffs, slot->block.coeffs);
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < wire.block.payload.size(); ++i) {
+      diffs += wire.block.payload[i] != slot->block.payload[i] ? 1 : 0;
+    }
+    EXPECT_EQ(diffs, 1u);
+    EXPECT_TRUE(channel.location_rotten(loc));
+    // Sticky: a refetch serves the identical rotten bytes.
+    EXPECT_EQ(channel.fetch(loc, h.rng).bytes, reply.bytes);
+  }
+  EXPECT_EQ(channel.injected().rotted_locations, locs.size());
+  EXPECT_EQ(channel.injected().bitrot_frames, 2 * locs.size());
+}
+
+TEST(FaultyChannel, ByzantineNodesForgeConsistentlyAndSilently) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  net::FaultSpec spec;
+  spec.byzantine_fraction = 1.0;  // every node lies
+  net::FaultPlan plan(spec, h.overlay.nodes(), h.rng);
+  FaultyChannel channel(pd, std::move(plan));
+  Rng probe(5);
+  std::size_t forged = 0;
+  for (net::LocationId loc : channel.retrievable_locations()) {
+    const FetchReply reply = channel.fetch(loc, probe);
+    ASSERT_EQ(reply.fault, net::FaultClass::kNone);
+    const codes::WireBlock wire = codes::decode_wire(reply.bytes);  // CRC passes
+    const StoredBlock* slot = pd.stored(loc);
+    EXPECT_EQ(wire.block.coeffs, slot->block.coeffs);
+    EXPECT_NE(wire.block.payload, slot->block.payload);
+    ++forged;
+    // The lie is deterministic per (node, location): refetch matches.
+    EXPECT_EQ(channel.fetch(loc, probe).bytes, reply.bytes);
+  }
+  EXPECT_EQ(channel.injected().byzantine_frames, 2 * forged);
+  EXPECT_EQ(channel.injected().rotted_locations, 0u);
+}
+
+TEST(FaultyChannel, HonestNodesServePristineBytesUnderAByzantineMix) {
+  TestHarness h;
+  const Predistribution pd = h.deploy();
+  net::FaultSpec spec;
+  spec.byzantine_fraction = 0.3;
+  net::FaultPlan plan(spec, h.overlay.nodes(), h.rng);
+  FaultyChannel channel(pd, std::move(plan));
+  std::size_t honest = 0, lying = 0;
+  for (net::LocationId loc : channel.retrievable_locations()) {
+    const FetchReply reply = channel.fetch(loc, h.rng);
+    const codes::WireBlock wire = codes::decode_wire(reply.bytes);
+    const StoredBlock* slot = pd.stored(loc);
+    const bool byz = channel.plan().profile(slot->owner).byzantine;
+    if (byz) {
+      EXPECT_NE(wire.block.payload, slot->block.payload);
+      ++lying;
+    } else {
+      EXPECT_EQ(wire.block.payload, slot->block.payload);
+      ++honest;
+    }
+  }
+  EXPECT_GT(honest, 0u);
+  EXPECT_GT(lying, 0u);
+  EXPECT_EQ(channel.injected().byzantine_frames, lying);
+}
+
 TEST(FaultyChannel, TimeoutAndTransientCarryNoBytes) {
   TestHarness h;
   const Predistribution pd = h.deploy();

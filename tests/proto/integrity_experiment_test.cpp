@@ -1,0 +1,106 @@
+#include "proto/integrity_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace prlc::proto {
+namespace {
+
+IntegritySweepParams small_params() {
+  IntegritySweepParams p;
+  p.overlay = OverlayKind::kSensor;
+  p.nodes = 80;
+  p.locations = 48;
+  p.experiment.level_sizes = {4, 6, 10};  // N = 20
+  // Weight the deep level so 48 locations always carry enough full-width
+  // blocks for a clean full decode (uniform occasionally undersamples it).
+  p.experiment.priority_distribution = {0.2, 0.3, 0.5};
+  p.experiment.trials = 8;
+  p.experiment.root_seed = 2024;
+  p.experiment.threads = 1;
+  p.mixes = {{0.0, 0.0}, {1.0, 0.0}, {0.0, 0.25}, {0.3, 0.15}};
+  return p;
+}
+
+TEST(IntegrityExperiment, DetectsEverySilentFrameAndNeverDecodesWrongBytes) {
+  // The acceptance bar of the integrity subsystem: across a grid of
+  // silent-corruption mixes, every forged/rotten frame the channel served
+  // is caught by the fingerprint and nothing wrong ever leaves the
+  // decoder.
+  const auto points = run_integrity_experiment(small_params());
+  ASSERT_EQ(points.size(), 4u);
+  for (const IntegrityPoint& pt : points) {
+    EXPECT_EQ(pt.detection_ratio, 1.0)
+        << "rot=" << pt.rot_rate << " byz=" << pt.byzantine_fraction;
+    EXPECT_EQ(pt.wrong_decode_fraction, 0.0)
+        << "rot=" << pt.rot_rate << " byz=" << pt.byzantine_fraction;
+  }
+  // Clean point: nothing flagged, nothing quarantined, full decode.
+  EXPECT_EQ(points[0].mean_integrity_violations, 0.0);
+  EXPECT_EQ(points[0].mean_quarantined_nodes, 0.0);
+  EXPECT_EQ(points[0].mean_decoded_levels, 3.0);
+  // Silent pressure leaves a ledger trail: violations detected and the
+  // offending nodes quarantined.
+  EXPECT_GT(points[1].mean_integrity_violations, 0.0);
+  EXPECT_GT(points[1].mean_quarantined_nodes, 0.0);
+  EXPECT_GT(points[2].mean_integrity_violations, 0.0);
+  EXPECT_GT(points[2].mean_quarantined_nodes, 0.0);
+}
+
+TEST(IntegrityExperiment, SilentFaultsComposeWithLoudOnes) {
+  // Wire-visible faults run underneath the silent mix; the integrity
+  // guarantees are unchanged and the loud ledger still fills in.
+  auto params = small_params();
+  params.faults.timeout_rate = 0.05;
+  params.faults.corrupt_rate = 0.08;
+  params.faults.transient_rate = 0.05;
+  const auto points = run_integrity_experiment(params);
+  ASSERT_EQ(points.size(), 4u);
+  for (const IntegrityPoint& pt : points) {
+    EXPECT_EQ(pt.detection_ratio, 1.0);
+    EXPECT_EQ(pt.wrong_decode_fraction, 0.0);
+  }
+  EXPECT_GT(points[0].mean_wire_errors, 0.0);
+  EXPECT_GT(points[0].mean_retries, 0.0);
+}
+
+TEST(IntegrityExperiment, ThreadCountNeverChangesResults) {
+  auto serial = small_params();
+  serial.experiment.threads = 1;
+  auto parallel = small_params();
+  parallel.experiment.threads = 8;
+  const auto a = run_integrity_experiment(serial);
+  const auto b = run_integrity_experiment(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rot_rate, b[i].rot_rate);
+    EXPECT_EQ(a[i].byzantine_fraction, b[i].byzantine_fraction);
+    EXPECT_EQ(a[i].mean_decoded_levels, b[i].mean_decoded_levels);
+    EXPECT_EQ(a[i].ci95_decoded_levels, b[i].ci95_decoded_levels);
+    EXPECT_EQ(a[i].mean_blocks_retrieved, b[i].mean_blocks_retrieved);
+    EXPECT_EQ(a[i].mean_blocks_lost, b[i].mean_blocks_lost);
+    EXPECT_EQ(a[i].mean_integrity_violations, b[i].mean_integrity_violations);
+    EXPECT_EQ(a[i].mean_quarantined_nodes, b[i].mean_quarantined_nodes);
+    EXPECT_EQ(a[i].mean_wire_errors, b[i].mean_wire_errors);
+    EXPECT_EQ(a[i].mean_retries, b[i].mean_retries);
+    EXPECT_EQ(a[i].detection_ratio, b[i].detection_ratio);
+    EXPECT_EQ(a[i].wrong_decode_fraction, b[i].wrong_decode_fraction);
+    EXPECT_EQ(a[i].degraded_fraction, b[i].degraded_fraction);
+  }
+}
+
+TEST(IntegrityExperiment, RejectsMalformedSweeps) {
+  auto no_mixes = small_params();
+  no_mixes.mixes.clear();
+  EXPECT_THROW(run_integrity_experiment(no_mixes), PreconditionError);
+  auto bad_rate = small_params();
+  bad_rate.mixes = {{1.5, 0.0}};
+  EXPECT_THROW(run_integrity_experiment(bad_rate), PreconditionError);
+  auto bad_fraction = small_params();
+  bad_fraction.mixes = {{0.0, -0.1}};
+  EXPECT_THROW(run_integrity_experiment(bad_fraction), PreconditionError);
+}
+
+}  // namespace
+}  // namespace prlc::proto

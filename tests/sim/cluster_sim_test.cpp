@@ -132,6 +132,92 @@ TEST(ClusterSim, MillionNodeClusterSustainsContinuousChurn) {
   for (const auto lost : outcome.lost) EXPECT_EQ(lost, 0u);
 }
 
+TEST(ClusterSim, IntegrityOffIsBitCompatibleWithTheBaseline) {
+  // Default-constructed IntegrityConfig must not perturb a single draw:
+  // the PR 9 numbers (and committed bench baselines) stay reproducible.
+  const ClusterParams params = small_cluster(6, 321);
+  ClusterParams with_cfg = params;
+  with_cfg.integrity = IntegrityConfig{};  // explicit zeros
+  const ClusterPoint a = run_cluster_lifetime(params);
+  const ClusterPoint b = run_cluster_lifetime(with_cfg);
+  EXPECT_EQ(a.mean_first_loss, b.mean_first_loss);
+  EXPECT_EQ(a.mean_events, b.mean_events);
+  EXPECT_EQ(a.mean_repairs, b.mean_repairs);
+  EXPECT_EQ(b.mean_rot_events, 0.0);
+  EXPECT_EQ(b.mean_scrub_scans, 0.0);
+  EXPECT_EQ(b.mean_quarantined, 0.0);
+}
+
+TEST(ClusterSim, ScrubbingRecoversRottenBlocksUnscrubbedClustersDecay) {
+  // Rot-only, zero loud churn: every loss is silent. Without scrubbing
+  // the scheduler never learns and the cluster decays to level-1 death;
+  // with scrubbing every rotten block is detected and re-encoded while
+  // the level still stands.
+  ClusterParams params = small_cluster(8, 1313);
+  params.experiment.failure.kind = FailureModelConfig::Kind::kWave;
+  params.experiment.failure.wave_fractions = {};  // zero loud failures
+  params.integrity.rot_rate = 0.05;
+
+  params.integrity.scrub_interval = 0.0;  // silent decay
+  const ClusterPoint unscrubbed = run_cluster_lifetime(params);
+  params.integrity.scrub_interval = 1.0;
+  const ClusterPoint scrubbed = run_cluster_lifetime(params);
+
+  EXPECT_GT(unscrubbed.mean_rot_events, 0.0);
+  EXPECT_EQ(unscrubbed.mean_rot_detected, 0.0);
+  EXPECT_EQ(unscrubbed.mean_repairs, 0.0);  // nothing loud ever surfaces the loss
+  EXPECT_GT(scrubbed.mean_scrub_scans, 0.0);
+  EXPECT_GT(scrubbed.mean_rot_detected, 0.0);
+  EXPECT_GT(scrubbed.mean_repairs, 0.0);
+  // The headline: detection turns silent decay back into repairable loss.
+  EXPECT_GT(scrubbed.mean_ttfl_l1, unscrubbed.mean_ttfl_l1);
+  EXPECT_LT(scrubbed.loss_fraction[0], unscrubbed.loss_fraction[0]);
+}
+
+TEST(ClusterSim, ByzantineHostsAreQuarantinedAndNeverRepairedInto) {
+  ClusterParams params = small_cluster(1, 777);
+  params.nodes = 400;
+  params.experiment.failure.kind = FailureModelConfig::Kind::kWave;
+  params.experiment.failure.wave_fractions = {};  // zero loud failures
+  params.integrity.byzantine_fraction = 0.25;
+  params.integrity.scrub_interval = 1.0;
+  params.max_time = 20.0;
+  Rng rng(9090);
+  const LifetimeOutcome outcome = run_cluster_trial(params, rng);
+  // Forged-at-birth blocks exist, are all detected, and their hosts end
+  // up quarantined.
+  EXPECT_GT(outcome.rot_events, 0u);
+  EXPECT_GT(outcome.rot_detected, 0u);
+  EXPECT_GT(outcome.quarantined_nodes, 0u);
+  // Every detection event eventually drains: by the horizon no rotten
+  // block can be sitting undetected longer than one scrub interval, and
+  // repairs re-homed blocks onto honest nodes only (re-forged repairs
+  // would show up as rot_events > detections + pending).
+  EXPECT_GE(outcome.repairs_completed + outcome.repairs_dropped, outcome.rot_detected);
+}
+
+TEST(ClusterSim, RotTrialsReplayBitIdenticallyAtAnyThreadCount) {
+  ClusterParams params = small_cluster(9, 4321);
+  params.integrity.rot_rate = 0.04;
+  params.integrity.byzantine_fraction = 0.1;
+  params.integrity.scrub_interval = 2.0;
+  params.sample_times = {5.0, 20.0};
+  std::vector<ClusterPoint> points;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    params.experiment.threads = threads;
+    points.push_back(run_cluster_lifetime(params));
+  }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_EQ(points[0].mean_first_loss, points[i].mean_first_loss);
+    EXPECT_EQ(points[0].mean_levels_at, points[i].mean_levels_at);
+    EXPECT_EQ(points[0].mean_repairs, points[i].mean_repairs);
+    EXPECT_EQ(points[0].mean_rot_events, points[i].mean_rot_events);
+    EXPECT_EQ(points[0].mean_rot_detected, points[i].mean_rot_detected);
+    EXPECT_EQ(points[0].mean_scrub_scans, points[i].mean_scrub_scans);
+    EXPECT_EQ(points[0].mean_quarantined, points[i].mean_quarantined);
+  }
+}
+
 TEST(ClusterSim, ValidateRejectsBadParams) {
   ClusterParams params = small_cluster(1, 1);
   params.nodes = 0;
@@ -148,6 +234,19 @@ TEST(ClusterSim, ValidateRejectsBadParams) {
 
   params = small_cluster(1, 1);
   params.sample_times = {2.0, 1.0};  // not nondecreasing
+  EXPECT_THROW(params.validate(), PreconditionError);
+
+  params = small_cluster(1, 1);
+  params.integrity.rot_rate = -0.1;
+  EXPECT_THROW(params.validate(), PreconditionError);
+
+  params = small_cluster(1, 1);
+  params.integrity.byzantine_fraction = 1.5;
+  EXPECT_THROW(params.validate(), PreconditionError);
+
+  params = small_cluster(1, 1);
+  params.replication = true;
+  params.integrity.rot_rate = 0.1;  // silent model needs coded storage
   EXPECT_THROW(params.validate(), PreconditionError);
 }
 

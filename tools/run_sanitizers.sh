@@ -47,7 +47,8 @@ cmake -B "${tsan_build_dir}" -S "${repo_root}" \
 cmake --build "${tsan_build_dir}" -j"${jobs}" \
   --target test_obs --target test_obs_noalloc --target test_runtime \
   --target test_codec --target test_codes --target test_proto --target test_sim \
-  --target abl_persistence_e2e --target abl_fault --target abl_cluster_lifetime
+  --target abl_persistence_e2e --target abl_fault --target abl_cluster_lifetime \
+  --target abl_integrity
 
 # test_codec drives the dependency-counting OpGraph executor (the codec's
 # multithreaded data plane) across pools of 1/2/8 workers — the prime
@@ -84,4 +85,16 @@ PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_fault" \
 PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_cluster_lifetime" \
   --threads 8 \
   --json "${tsan_build_dir}/cluster.json" > /dev/null
+# Integrity path under TSan: fingerprint verification + quarantine inside
+# the sharded collector trials, and the scrubber/rot event machinery in
+# the cluster simulator, both at 8 worker threads. The parallel-vs-serial
+# in-process gates run under ASan/UBSan in the full phase above.
+"${tsan_build_dir}/tests/test_proto" \
+  --gtest_filter='IntegrityExperiment.ThreadCountNeverChangesResults' > /dev/null
+"${tsan_build_dir}/tests/test_sim" \
+  --gtest_filter='ClusterSim.RotTrialsReplayBitIdenticallyAtAnyThreadCount' > /dev/null
+PRLC_BENCH_FAST=1 "${tsan_build_dir}/bench/abl_integrity" \
+  --threads 8 --seed 777 \
+  --json "${tsan_build_dir}/integrity.json" \
+  --events-jsonl "${tsan_build_dir}/integrity_events.jsonl" > /dev/null
 echo "tsan run OK (${tsan_build_dir})"
